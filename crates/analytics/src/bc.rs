@@ -1,0 +1,150 @@
+//! Single-source betweenness centrality, Brandes' algorithm (paper §6.3,
+//! Fig. 13).
+//!
+//! Level-synchronous forward sweep counting shortest paths, then a pull-based
+//! backward sweep accumulating dependencies — both phases parallel over the
+//! vertices of each level, with no atomics in the numeric phases (each phase
+//! pulls from the already-finalized neighboring level).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use lsgraph_api::Graph;
+use rayon::prelude::*;
+
+/// Sentinel depth for "unreached".
+const UNSET: u32 = u32::MAX;
+
+/// Brandes single-source dependency scores from `src` on a symmetric graph.
+pub fn betweenness<G: Graph + ?Sized>(g: &G, src: u32) -> Vec<f64> {
+    let n = g.num_vertices();
+    let depth: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+    depth[src as usize].store(0, Ordering::Relaxed);
+    // Forward: build BFS levels.
+    let mut levels: Vec<Vec<u32>> = vec![vec![src]];
+    loop {
+        let cur = levels.last().expect("levels never empty");
+        let d = (levels.len() - 1) as u32;
+        let next: Vec<u32> = cur
+            .par_iter()
+            .fold(Vec::new, |mut acc, &v| {
+                g.for_each_neighbor(v, &mut |u| {
+                    if depth[u as usize]
+                        .compare_exchange(UNSET, d + 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        acc.push(u);
+                    }
+                });
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        if next.is_empty() {
+            break;
+        }
+        levels.push(next);
+    }
+    let depth: Vec<u32> = depth.into_iter().map(AtomicU32::into_inner).collect();
+    // Sigma (shortest-path counts), pulled level by level.
+    let mut sigma = vec![0.0f64; n];
+    sigma[src as usize] = 1.0;
+    for (li, level) in levels.iter().enumerate().skip(1) {
+        let d = li as u32;
+        let snapshot = &sigma;
+        let vals: Vec<(u32, f64)> = level
+            .par_iter()
+            .map(|&v| {
+                let mut s = 0.0;
+                g.for_each_neighbor(v, &mut |u| {
+                    if depth[u as usize] == d - 1 {
+                        s += snapshot[u as usize];
+                    }
+                });
+                (v, s)
+            })
+            .collect();
+        for (v, s) in vals {
+            sigma[v as usize] = s;
+        }
+    }
+    // Backward: delta pulled from the deeper level.
+    let mut delta = vec![0.0f64; n];
+    for (li, level) in levels.iter().enumerate().rev() {
+        let d = li as u32;
+        let snapshot = &delta;
+        let sigma_ref = &sigma;
+        let depth_ref = &depth;
+        let vals: Vec<(u32, f64)> = level
+            .par_iter()
+            .map(|&v| {
+                let mut acc = 0.0;
+                g.for_each_neighbor(v, &mut |w| {
+                    if depth_ref[w as usize] == d + 1 && sigma_ref[w as usize] > 0.0 {
+                        acc += sigma_ref[v as usize] / sigma_ref[w as usize]
+                            * (1.0 + snapshot[w as usize]);
+                    }
+                });
+                (v, acc)
+            })
+            .collect();
+        for (v, a) in vals {
+            delta[v as usize] = a;
+        }
+    }
+    delta[src as usize] = 0.0;
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsgraph_api::Edge;
+    use lsgraph_gen::Csr;
+
+    fn sym(pairs: &[(u32, u32)], n: usize) -> Csr {
+        let mut es = Vec::new();
+        for &(a, b) in pairs {
+            es.push(Edge::new(a, b));
+            es.push(Edge::new(b, a));
+        }
+        Csr::from_edges(n, &es)
+    }
+
+    #[test]
+    fn path_dependencies() {
+        // Path 0-1-2-3: from source 0, delta(1) = 2, delta(2) = 1, delta(3)=0.
+        let g = sym(&[(0, 1), (1, 2), (2, 3)], 4);
+        let d = betweenness(&g, 0);
+        assert!((d[1] - 2.0).abs() < 1e-12, "{d:?}");
+        assert!((d[2] - 1.0).abs() < 1e-12);
+        assert!(d[3].abs() < 1e-12);
+        assert!(d[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_splits_paths() {
+        // 0 -> {1,2} -> 3: two shortest paths to 3, each middle carries 0.5.
+        let g = sym(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4);
+        let d = betweenness(&g, 0);
+        assert!((d[1] - 0.5).abs() < 1e-12, "{d:?}");
+        assert!((d[2] - 0.5).abs() < 1e-12);
+        assert!(d[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_center_carries_all() {
+        let g = sym(&[(0, 1), (0, 2), (0, 3), (0, 4)], 5);
+        let d = betweenness(&g, 1);
+        // From leaf 1: center 0 lies on all paths to 2, 3, 4.
+        assert!((d[0] - 3.0).abs() < 1e-12, "{d:?}");
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let g = sym(&[(0, 1)], 4);
+        let d = betweenness(&g, 0);
+        assert!(d[2].abs() < 1e-12 && d[3].abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Connected components by parallel label propagation (paper Table 2).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use lsgraph_api::Graph;
+
+use crate::edge_map::edge_map;
+use crate::subset::VertexSubset;
+
+/// Computes connected-component labels on a symmetric graph: every vertex
+/// ends with the minimum vertex id of its component.
+pub fn connected_components<G: Graph + ?Sized>(g: &G) -> Vec<u32> {
+    let n = g.num_vertices();
+    let label: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let mut frontier = VertexSubset::full(n);
+    while !frontier.is_empty() {
+        frontier = edge_map(
+            g,
+            &frontier,
+            |s, d| {
+                // Monotone min-write: propagate s's label to d if smaller.
+                let ls = label[s as usize].load(Ordering::Relaxed);
+                let mut ld = label[d as usize].load(Ordering::Relaxed);
+                let mut won = false;
+                while ls < ld {
+                    match label[d as usize].compare_exchange_weak(
+                        ld,
+                        ls,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            won = true;
+                            break;
+                        }
+                        Err(cur) => ld = cur,
+                    }
+                }
+                won
+            },
+            |_| true,
+        );
+    }
+    label.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsgraph_api::Edge;
+    use lsgraph_gen::Csr;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn sym(pairs: &[(u32, u32)], n: usize) -> Csr {
+        let mut es = Vec::new();
+        for &(a, b) in pairs {
+            es.push(Edge::new(a, b));
+            es.push(Edge::new(b, a));
+        }
+        Csr::from_edges(n, &es)
+    }
+
+    #[test]
+    fn two_components_and_isolate() {
+        let g = sym(&[(0, 1), (1, 2), (4, 5)], 7);
+        let cc = connected_components(&g);
+        assert_eq!(cc[0], 0);
+        assert_eq!(cc[1], 0);
+        assert_eq!(cc[2], 0);
+        assert_eq!(cc[3], 3, "isolated vertex is its own component");
+        assert_eq!(cc[4], 4);
+        assert_eq!(cc[5], 4);
+        assert_eq!(cc[6], 6);
+    }
+
+    #[test]
+    fn chain_converges_to_min() {
+        let n = 2_000u32;
+        let pairs: Vec<(u32, u32)> = (0..n - 1).map(|v| (v, v + 1)).collect();
+        let g = sym(&pairs, n as usize);
+        let cc = connected_components(&g);
+        assert!(cc.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn random_graph_matches_union_find() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let n = 500usize;
+        let pairs: Vec<(u32, u32)> = (0..400)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        let g = sym(&pairs, n);
+        let cc = connected_components(&g);
+        // Union-find oracle.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for &(a, b) in &pairs {
+            let (ra, rb) = (find(&mut parent, a as usize), find(&mut parent, b as usize));
+            parent[ra.max(rb)] = ra.min(rb);
+        }
+        for v in 0..n {
+            for u in 0..n {
+                let same_oracle = find(&mut parent, v) == find(&mut parent, u);
+                let same_ours = cc[v] == cc[u];
+                assert_eq!(same_oracle, same_ours, "pair ({v},{u})");
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! k-core decomposition by parallel peeling.
+//!
+//! Not part of the paper's headline evaluation, but a standard member of the
+//! Ligra-style kernel family the paper's interface targets (§5), and a
+//! natural consumer of LSGraph's fast sorted-neighbor iteration. Returns the
+//! *coreness* of every vertex: the largest `k` such that the vertex survives
+//! in the subgraph where every vertex has degree ≥ `k`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use lsgraph_api::Graph;
+use rayon::prelude::*;
+
+/// Computes the coreness of every vertex of a symmetric graph.
+pub fn kcore<G: Graph + ?Sized>(g: &G) -> Vec<u32> {
+    let n = g.num_vertices();
+    let deg: Vec<AtomicU32> = (0..n as u32)
+        .map(|v| AtomicU32::new(g.degree(v) as u32))
+        .collect();
+    let core: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let alive: Vec<std::sync::atomic::AtomicBool> =
+        (0..n).map(|_| std::sync::atomic::AtomicBool::new(true)).collect();
+    let mut remaining = n;
+    let mut k = 0u32;
+    while remaining > 0 {
+        // Peel everything with degree <= k until the level is exhausted.
+        loop {
+            let peel: Vec<u32> = (0..n as u32)
+                .into_par_iter()
+                .filter(|&v| {
+                    alive[v as usize].load(Ordering::Relaxed)
+                        && deg[v as usize].load(Ordering::Relaxed) <= k
+                })
+                .collect();
+            if peel.is_empty() {
+                break;
+            }
+            peel.par_iter().for_each(|&v| {
+                alive[v as usize].store(false, Ordering::Relaxed);
+                core[v as usize].store(k, Ordering::Relaxed);
+            });
+            remaining -= peel.len();
+            peel.par_iter().for_each(|&v| {
+                g.for_each_neighbor(v, &mut |u| {
+                    if alive[u as usize].load(Ordering::Relaxed) {
+                        deg[u as usize].fetch_sub(1, Ordering::Relaxed);
+                    }
+                });
+            });
+        }
+        k += 1;
+    }
+    core.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// The degeneracy (maximum coreness) of the graph.
+pub fn degeneracy<G: Graph + ?Sized>(g: &G) -> u32 {
+    kcore(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsgraph_api::Edge;
+    use lsgraph_gen::Csr;
+
+    fn sym(pairs: &[(u32, u32)], n: usize) -> Csr {
+        let mut es = Vec::new();
+        for &(a, b) in pairs {
+            es.push(Edge::new(a, b));
+            es.push(Edge::new(b, a));
+        }
+        Csr::from_edges(n, &es)
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle 0-1-2 plus pendant 2-3: triangle is 2-core, tail 1-core.
+        let g = sym(&[(0, 1), (1, 2), (0, 2), (2, 3)], 4);
+        let c = kcore(&g);
+        assert_eq!(c, vec![2, 2, 2, 1]);
+        assert_eq!(degeneracy(&g), 2);
+    }
+
+    #[test]
+    fn clique_coreness() {
+        let mut pairs = Vec::new();
+        for a in 0..6u32 {
+            for b in a + 1..6 {
+                pairs.push((a, b));
+            }
+        }
+        let g = sym(&pairs, 6);
+        assert!(kcore(&g).iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn isolated_vertices_are_zero_core() {
+        let g = sym(&[(0, 1)], 4);
+        let c = kcore(&g);
+        assert_eq!(c[2], 0);
+        assert_eq!(c[3], 0);
+        assert_eq!(c[0], 1);
+    }
+
+    #[test]
+    fn path_is_one_core() {
+        let pairs: Vec<(u32, u32)> = (0..9).map(|v| (v, v + 1)).collect();
+        let g = sym(&pairs, 10);
+        assert!(kcore(&g).iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,103 @@
+//! Batch-update preparation shared by every engine (paper §5, "Batch
+//! Updates").
+//!
+//! The paper's pipeline sorts a batch by source then destination id, dedups
+//! it, and splits it into per-source groups so each group is applied by one
+//! thread without locking. The sort runs in parallel and its time is charged
+//! to the update, exactly as the paper charges it to throughput.
+
+use rayon::prelude::*;
+
+use crate::edge::Edge;
+
+/// Sorts a batch by `(src, dst)` in parallel and removes duplicates.
+pub fn sorted_dedup_keys(batch: &[Edge]) -> Vec<u64> {
+    let mut keys: Vec<u64> = batch.iter().map(|e| e.key()).collect();
+    keys.par_sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// A contiguous run of sorted keys sharing one source vertex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SrcRun {
+    /// The shared source vertex.
+    pub src: u32,
+    /// Start offset into the key slice.
+    pub start: usize,
+    /// End offset (exclusive).
+    pub end: usize,
+}
+
+/// Splits sorted packed keys into per-source runs.
+pub fn runs_by_src(keys: &[u64]) -> Vec<SrcRun> {
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < keys.len() {
+        let src = (keys[i] >> 32) as u32;
+        let mut j = i + 1;
+        while j < keys.len() && (keys[j] >> 32) as u32 == src {
+            j += 1;
+        }
+        runs.push(SrcRun { src, start: i, end: j });
+        i = j;
+    }
+    runs
+}
+
+/// Largest vertex id referenced by a batch, or `None` for an empty batch.
+pub fn max_vertex_id(batch: &[Edge]) -> Option<u32> {
+    batch.iter().map(|e| e.src.max(e.dst)).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_dedup_orders_by_src_then_dst() {
+        let batch = [
+            Edge::new(2, 1),
+            Edge::new(0, 9),
+            Edge::new(2, 0),
+            Edge::new(0, 9),
+            Edge::new(1, 5),
+        ];
+        let keys = sorted_dedup_keys(&batch);
+        let edges: Vec<Edge> = keys.iter().map(|&k| Edge::from_key(k)).collect();
+        assert_eq!(
+            edges,
+            vec![Edge::new(0, 9), Edge::new(1, 5), Edge::new(2, 0), Edge::new(2, 1)]
+        );
+    }
+
+    #[test]
+    fn runs_group_by_source() {
+        let keys = sorted_dedup_keys(&[
+            Edge::new(3, 3),
+            Edge::new(1, 2),
+            Edge::new(1, 4),
+            Edge::new(3, 1),
+        ]);
+        let runs = runs_by_src(&keys);
+        assert_eq!(
+            runs,
+            vec![
+                SrcRun { src: 1, start: 0, end: 2 },
+                SrcRun { src: 3, start: 2, end: 4 }
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert!(sorted_dedup_keys(&[]).is_empty());
+        assert!(runs_by_src(&[]).is_empty());
+        assert_eq!(max_vertex_id(&[]), None);
+    }
+
+    #[test]
+    fn max_vertex() {
+        assert_eq!(max_vertex_id(&[Edge::new(3, 9), Edge::new(12, 0)]), Some(12));
+    }
+}

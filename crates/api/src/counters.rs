@@ -1,0 +1,150 @@
+//! Instrumentation counters for the motivation experiments (paper Fig. 4).
+//!
+//! The paper attributes Terrace's slow inserts to PMA search cost and data
+//! movement. To regenerate Fig. 4 we count, per structure, how many element
+//! slots were examined while searching and how many elements were moved,
+//! plus wall-clock nanoseconds attributed to each phase.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Cheap relaxed-atomic counters shared by instrumented structures.
+///
+/// Counters are updated with `Ordering::Relaxed`: they are statistics, not
+/// synchronization, and relaxed increments keep the instrumented fast paths
+/// honest.
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    /// Element comparisons performed while locating insert/delete positions.
+    pub search_steps: AtomicU64,
+    /// Elements moved to resolve position conflicts or rebalance.
+    pub elements_moved: AtomicU64,
+    /// Nanoseconds spent in search phases (single-threaded runs only).
+    pub search_nanos: AtomicU64,
+    /// Nanoseconds spent moving data (single-threaded runs only).
+    pub move_nanos: AtomicU64,
+    /// Number of whole-structure rebuilds / array expansions.
+    pub rebuilds: AtomicU64,
+}
+
+impl OpCounters {
+    /// Creates zeroed counters.
+    pub const fn new() -> Self {
+        OpCounters {
+            search_steps: AtomicU64::new(0),
+            elements_moved: AtomicU64::new(0),
+            search_nanos: AtomicU64::new(0),
+            move_nanos: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` search steps.
+    #[inline]
+    pub fn add_search(&self, n: u64) {
+        self.search_steps.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` moved elements.
+    #[inline]
+    pub fn add_moves(&self, n: u64) {
+        self.elements_moved.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one rebuild/expansion.
+    #[inline]
+    pub fn add_rebuild(&self) {
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds nanoseconds to the search-phase clock.
+    #[inline]
+    pub fn add_search_nanos(&self, n: u64) {
+        self.search_nanos.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds nanoseconds to the move-phase clock.
+    #[inline]
+    pub fn add_move_nanos(&self, n: u64) {
+        self.move_nanos.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.search_steps.store(0, Ordering::Relaxed);
+        self.elements_moved.store(0, Ordering::Relaxed);
+        self.search_nanos.store(0, Ordering::Relaxed);
+        self.move_nanos.store(0, Ordering::Relaxed);
+        self.rebuilds.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the current values.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            search_steps: self.search_steps.load(Ordering::Relaxed),
+            elements_moved: self.elements_moved.load(Ordering::Relaxed),
+            search_nanos: self.search_nanos.load(Ordering::Relaxed),
+            move_nanos: self.move_nanos.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`OpCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// See [`OpCounters::search_steps`].
+    pub search_steps: u64,
+    /// See [`OpCounters::elements_moved`].
+    pub elements_moved: u64,
+    /// See [`OpCounters::search_nanos`].
+    pub search_nanos: u64,
+    /// See [`OpCounters::move_nanos`].
+    pub move_nanos: u64,
+    /// See [`OpCounters::rebuilds`].
+    pub rebuilds: u64,
+}
+
+impl CounterSnapshot {
+    /// Difference `self - earlier`, saturating at zero.
+    pub fn since(self, earlier: CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            search_steps: self.search_steps.saturating_sub(earlier.search_steps),
+            elements_moved: self.elements_moved.saturating_sub(earlier.elements_moved),
+            search_nanos: self.search_nanos.saturating_sub(earlier.search_nanos),
+            move_nanos: self.move_nanos.saturating_sub(earlier.move_nanos),
+            rebuilds: self.rebuilds.saturating_sub(earlier.rebuilds),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = OpCounters::new();
+        c.add_search(3);
+        c.add_search(2);
+        c.add_moves(7);
+        c.add_rebuild();
+        let s = c.snapshot();
+        assert_eq!(s.search_steps, 5);
+        assert_eq!(s.elements_moved, 7);
+        assert_eq!(s.rebuilds, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_since() {
+        let c = OpCounters::new();
+        c.add_moves(10);
+        let a = c.snapshot();
+        c.add_moves(5);
+        c.add_search(1);
+        let d = c.snapshot().since(a);
+        assert_eq!(d.elements_moved, 5);
+        assert_eq!(d.search_steps, 1);
+    }
+}

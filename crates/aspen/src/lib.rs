@@ -1,0 +1,843 @@
+//! Aspen baseline (Dhulipala et al., PLDI'19): low-latency graph streaming
+//! with purely-functional *C-trees*.
+//!
+//! A C-tree stores an ordered set by hash-selecting a subset of *head*
+//! elements (expected one in [`CHUNK_FACTOR`]); heads live in a functional
+//! balanced search tree (here a treap with hash-derived priorities, so the
+//! shape is deterministic), and each head carries a sorted *chunk* array of
+//! the following non-head elements. Elements smaller than every head sit in
+//! a shared prefix chunk.
+//!
+//! Updates are path-copying, so snapshots are O(1) per vertex and updates
+//! never block readers. The cost — and the reason the paper's analytics
+//! comparison favours LSGraph — is pointer-chasing during traversal.
+//!
+//! Chunks are difference-encoded ([`DeltaChunk`]), as in the original: that
+//! is where Aspen's memory advantage comes from, paid for with sequential
+//! decode on every traversal.
+//!
+//! **Substitution note (DESIGN.md):** real Aspen also keeps the *vertex*
+//! level in a functional tree; we keep it as a flat `Vec` of cheaply
+//! clonable edge sets (snapshots are O(V) pointer copies), which only
+//! *helps* this baseline, so LSGraph's measured edge over it is
+//! conservative.
+
+mod varint;
+
+pub use varint::DeltaChunk;
+
+use std::sync::Arc;
+
+use lsgraph_api::batch::{max_vertex_id, runs_by_src, sorted_dedup_keys};
+use lsgraph_api::{DynamicGraph, Edge, Footprint, Graph, MemoryFootprint, VertexId};
+use rayon::prelude::*;
+
+/// Expected chunk size: one in this many elements is a head.
+pub const CHUNK_FACTOR: u64 = 32;
+
+/// Deterministic element hash (splitmix64 finalizer).
+#[inline]
+fn hash(x: u32) -> u64 {
+    let mut z = x as u64 ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether `x` is a head element.
+#[inline]
+fn is_head(x: u32) -> bool {
+    hash(x).is_multiple_of(CHUNK_FACTOR)
+}
+
+/// Treap priority for head `x` (distinct from the head-selection hash).
+#[inline]
+fn priority(x: u32) -> u64 {
+    hash(x ^ 0xA5A5_5A5A)
+}
+
+/// One C-tree node: a head element, its trailing chunk, and treap links.
+#[derive(Debug)]
+struct CNode {
+    head: u32,
+    chunk: Arc<DeltaChunk>,
+    prio: u64,
+    left: Option<Arc<CNode>>,
+    right: Option<Arc<CNode>>,
+}
+
+type Link = Option<Arc<CNode>>;
+
+fn node(head: u32, chunk: Arc<DeltaChunk>, prio: u64, left: Link, right: Link) -> Arc<CNode> {
+    Arc::new(CNode {
+        head,
+        chunk,
+        prio,
+        left,
+        right,
+    })
+}
+
+/// Splits by head key: `(heads < key, heads > key)`; `key` must be absent.
+fn split(t: &Link, key: u32) -> (Link, Link) {
+    match t {
+        None => (None, None),
+        Some(n) => {
+            debug_assert_ne!(n.head, key);
+            if key < n.head {
+                let (l, r) = split(&n.left, key);
+                (l, Some(node(n.head, n.chunk.clone(), n.prio, r, n.right.clone())))
+            } else {
+                let (l, r) = split(&n.right, key);
+                (Some(node(n.head, n.chunk.clone(), n.prio, n.left.clone(), l)), r)
+            }
+        }
+    }
+}
+
+/// Joins two treaps where every head in `l` precedes every head in `r`.
+fn join(l: &Link, r: &Link) -> Link {
+    match (l, r) {
+        (None, _) => r.clone(),
+        (_, None) => l.clone(),
+        (Some(a), Some(b)) => {
+            if a.prio >= b.prio {
+                Some(node(
+                    a.head,
+                    a.chunk.clone(),
+                    a.prio,
+                    a.left.clone(),
+                    join(&a.right, r),
+                ))
+            } else {
+                Some(node(
+                    b.head,
+                    b.chunk.clone(),
+                    b.prio,
+                    join(l, &b.left),
+                    b.right.clone(),
+                ))
+            }
+        }
+    }
+}
+
+/// Inserts a fresh head node (key must be absent).
+fn insert_head(t: &Link, head: u32, chunk: Arc<DeltaChunk>) -> Link {
+    let prio = priority(head);
+    match t {
+        None => Some(node(head, chunk, prio, None, None)),
+        Some(n) => {
+            if prio > n.prio {
+                let (l, r) = split(t, head);
+                Some(node(head, chunk, prio, l, r))
+            } else if head < n.head {
+                Some(node(
+                    n.head,
+                    n.chunk.clone(),
+                    n.prio,
+                    insert_head(&n.left, head, chunk),
+                    n.right.clone(),
+                ))
+            } else {
+                Some(node(
+                    n.head,
+                    n.chunk.clone(),
+                    n.prio,
+                    n.left.clone(),
+                    insert_head(&n.right, head, chunk),
+                ))
+            }
+        }
+    }
+}
+
+/// Removes head `key`, returning the new tree (key must be present).
+fn delete_head(t: &Link, key: u32) -> Link {
+    let n = t.as_ref().expect("delete_head: key must be present");
+    if key < n.head {
+        Some(node(
+            n.head,
+            n.chunk.clone(),
+            n.prio,
+            delete_head(&n.left, key),
+            n.right.clone(),
+        ))
+    } else if key > n.head {
+        Some(node(
+            n.head,
+            n.chunk.clone(),
+            n.prio,
+            n.left.clone(),
+            delete_head(&n.right, key),
+        ))
+    } else {
+        join(&n.left, &n.right)
+    }
+}
+
+/// Node with the greatest head `<= x`.
+fn find_pred(t: &Link, x: u32) -> Option<&CNode> {
+    let mut cur = t;
+    let mut best: Option<&CNode> = None;
+    while let Some(n) = cur {
+        if n.head <= x {
+            best = Some(n);
+            cur = &n.right;
+        } else {
+            cur = &n.left;
+        }
+    }
+    best
+}
+
+/// Path-copies to head `key` and replaces its chunk (key must be present).
+fn with_chunk(t: &Link, key: u32, chunk: Arc<DeltaChunk>) -> Link {
+    let n = t.as_ref().expect("with_chunk: key must be present");
+    if key < n.head {
+        Some(node(
+            n.head,
+            n.chunk.clone(),
+            n.prio,
+            with_chunk(&n.left, key, chunk),
+            n.right.clone(),
+        ))
+    } else if key > n.head {
+        Some(node(
+            n.head,
+            n.chunk.clone(),
+            n.prio,
+            n.left.clone(),
+            with_chunk(&n.right, key, chunk),
+        ))
+    } else {
+        Some(node(n.head, chunk, n.prio, n.left.clone(), n.right.clone()))
+    }
+}
+
+fn for_each_node(t: &Link, f: &mut dyn FnMut(u32) -> bool) -> bool {
+    if let Some(n) = t {
+        if !for_each_node(&n.left, f) {
+            return false;
+        }
+        if !f(n.head) {
+            return false;
+        }
+        if !n.chunk.for_each_while(f) {
+            return false;
+        }
+        for_each_node(&n.right, f)
+    } else {
+        true
+    }
+}
+
+fn footprint_node(t: &Link) -> Footprint {
+    match t {
+        None => Footprint::default(),
+        Some(n) => {
+            Footprint::new(
+                core::mem::size_of::<u32>() + n.chunk.byte_len(),
+                core::mem::size_of::<CNode>() - core::mem::size_of::<u32>(),
+            ) + footprint_node(&n.left)
+                + footprint_node(&n.right)
+        }
+    }
+}
+
+/// A purely-functional ordered `u32` set (one vertex's edges).
+#[derive(Clone, Debug, Default)]
+pub struct CTreeSet {
+    prefix: Arc<DeltaChunk>,
+    root: Link,
+    len: usize,
+}
+
+impl CTreeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        CTreeSet {
+            prefix: Arc::new(DeltaChunk::default()),
+            root: None,
+            len: 0,
+        }
+    }
+
+    /// Builds from a sorted duplicate-free slice.
+    pub fn from_sorted(sorted: &[u32]) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+        let first_head = sorted.iter().position(|&x| is_head(x));
+        let Some(fh) = first_head else {
+            return CTreeSet {
+                prefix: Arc::new(DeltaChunk::encode(sorted)),
+                root: None,
+                len: sorted.len(),
+            };
+        };
+        let prefix = Arc::new(DeltaChunk::encode(&sorted[..fh]));
+        let mut root: Link = None;
+        let mut i = fh;
+        while i < sorted.len() {
+            let head = sorted[i];
+            let mut j = i + 1;
+            while j < sorted.len() && !is_head(sorted[j]) {
+                j += 1;
+            }
+            root = insert_head(&root, head, Arc::new(DeltaChunk::encode(&sorted[i + 1..j])));
+            i = j;
+        }
+        CTreeSet {
+            prefix,
+            root,
+            len: sorted.len(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns whether `x` is present.
+    pub fn contains(&self, x: u32) -> bool {
+        match find_pred(&self.root, x) {
+            None => self.prefix.contains(x),
+            Some(n) => n.head == x || n.chunk.contains(x),
+        }
+    }
+
+    /// Returns a new set with `x` inserted, or `None` if already present.
+    pub fn inserted(&self, x: u32) -> Option<CTreeSet> {
+        if self.contains(x) {
+            return None;
+        }
+        let mut out = self.clone();
+        out.len += 1;
+        if is_head(x) {
+            // Elements after x in the covering chunk move into x's chunk.
+            match find_pred(&self.root, x) {
+                None => {
+                    let pre = self.prefix.decode();
+                    let cut = pre.partition_point(|&y| y < x);
+                    out.prefix = Arc::new(DeltaChunk::encode(&pre[..cut]));
+                    out.root =
+                        insert_head(&self.root, x, Arc::new(DeltaChunk::encode(&pre[cut..])));
+                }
+                Some(p) => {
+                    let chunk = p.chunk.decode();
+                    let cut = chunk.partition_point(|&y| y < x);
+                    let kept = Arc::new(DeltaChunk::encode(&chunk[..cut]));
+                    let pruned = with_chunk(&self.root, p.head, kept);
+                    out.root =
+                        insert_head(&pruned, x, Arc::new(DeltaChunk::encode(&chunk[cut..])));
+                }
+            }
+        } else {
+            match find_pred(&self.root, x) {
+                None => {
+                    let mut pre = self.prefix.decode();
+                    let i = pre.partition_point(|&y| y < x);
+                    pre.insert(i, x);
+                    out.prefix = Arc::new(DeltaChunk::encode(&pre));
+                }
+                Some(p) => {
+                    let mut chunk = p.chunk.decode();
+                    let i = chunk.partition_point(|&y| y < x);
+                    chunk.insert(i, x);
+                    out.root = with_chunk(&self.root, p.head, Arc::new(DeltaChunk::encode(&chunk)));
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Returns a new set with `x` removed, or `None` if absent.
+    pub fn deleted(&self, x: u32) -> Option<CTreeSet> {
+        let mut out = self.clone();
+        match find_pred(&self.root, x) {
+            None => {
+                let mut pre = self.prefix.decode();
+                let i = pre.binary_search(&x).ok()?;
+                pre.remove(i);
+                out.prefix = Arc::new(DeltaChunk::encode(&pre));
+            }
+            Some(p) if p.head == x => {
+                // The head's chunk merges into the predecessor's chunk (or
+                // the prefix when x was the first head).
+                let orphan = p.chunk.decode();
+                let removed = delete_head(&self.root, x);
+                match find_pred(&removed, x) {
+                    None => {
+                        let mut pre = self.prefix.decode();
+                        pre.extend_from_slice(&orphan);
+                        out.prefix = Arc::new(DeltaChunk::encode(&pre));
+                        out.root = removed;
+                    }
+                    Some(q) => {
+                        let mut chunk = q.chunk.decode();
+                        chunk.extend_from_slice(&orphan);
+                        out.root = with_chunk(&removed, q.head, Arc::new(DeltaChunk::encode(&chunk)));
+                    }
+                }
+            }
+            Some(p) => {
+                let mut chunk = p.chunk.decode();
+                let i = chunk.binary_search(&x).ok()?;
+                chunk.remove(i);
+                out.root = with_chunk(&self.root, p.head, Arc::new(DeltaChunk::encode(&chunk)));
+            }
+        }
+        out.len -= 1;
+        Some(out)
+    }
+
+    /// Returns a new set containing the union with a sorted duplicate-free
+    /// slice, plus the number of genuinely new elements — Aspen's bulk
+    /// `multi_insert`, used when a batch touches a large fraction of the
+    /// set (rebuilding beats per-element path copying there).
+    pub fn merged_with_sorted(&self, items: &[u32]) -> (CTreeSet, usize) {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]));
+        let cur = self.to_vec();
+        let mut merged = Vec::with_capacity(cur.len() + items.len());
+        let mut added = 0;
+        let (mut i, mut j) = (0, 0);
+        while i < cur.len() || j < items.len() {
+            if j >= items.len() || (i < cur.len() && cur[i] < items[j]) {
+                merged.push(cur[i]);
+                i += 1;
+            } else if i >= cur.len() || items[j] < cur[i] {
+                merged.push(items[j]);
+                j += 1;
+                added += 1;
+            } else {
+                merged.push(cur[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+        (CTreeSet::from_sorted(&merged), added)
+    }
+
+    /// Returns a new set without the elements of a sorted duplicate-free
+    /// slice, plus the number actually removed (bulk `multi_delete`).
+    pub fn minus_sorted(&self, items: &[u32]) -> (CTreeSet, usize) {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]));
+        let cur = self.to_vec();
+        let mut kept = Vec::with_capacity(cur.len());
+        let mut j = 0;
+        for &x in &cur {
+            while j < items.len() && items[j] < x {
+                j += 1;
+            }
+            if j < items.len() && items[j] == x {
+                j += 1;
+            } else {
+                kept.push(x);
+            }
+        }
+        let removed = cur.len() - kept.len();
+        (CTreeSet::from_sorted(&kept), removed)
+    }
+
+    /// Applies `f` to every element in ascending order.
+    pub fn for_each(&self, f: &mut dyn FnMut(u32)) {
+        self.for_each_while(&mut |x| {
+            f(x);
+            true
+        });
+    }
+
+    /// Applies `f` until it returns `false`; returns whether the scan
+    /// completed.
+    pub fn for_each_while(&self, f: &mut dyn FnMut(u32) -> bool) -> bool {
+        if !self.prefix.for_each_while(f) {
+            return false;
+        }
+        for_each_node(&self.root, f)
+    }
+
+    /// Collects all elements into a sorted vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut v = Vec::with_capacity(self.len);
+        self.for_each(&mut |x| v.push(x));
+        v
+    }
+
+    /// Verifies ordering, head selection, and length accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn check_invariants(&self) {
+        let v = self.to_vec();
+        assert_eq!(v.len(), self.len, "len mismatch");
+        assert!(v.windows(2).all(|w| w[0] < w[1]), "not sorted/dedup");
+        self.prefix.for_each_while(&mut |x| {
+            assert!(!is_head(x), "head element in prefix");
+            true
+        });
+        fn walk(t: &Link, lo: Option<u32>, hi: Option<u32>, max_prio: u64) {
+            if let Some(n) = t {
+                assert!(is_head(n.head), "non-head as node head");
+                assert!(n.prio <= max_prio, "heap order violated");
+                assert!(lo.is_none_or(|l| n.head > l));
+                assert!(hi.is_none_or(|h| n.head < h));
+                n.chunk.for_each_while(&mut |x| {
+                    assert!(!is_head(x), "head stored in chunk");
+                    assert!(x > n.head);
+                    assert!(hi.is_none_or(|h| x < h), "chunk leaks past next head");
+                    true
+                });
+                walk(&n.left, lo, Some(n.head), n.prio);
+                walk(&n.right, Some(n.head), hi, n.prio);
+            }
+        }
+        walk(&self.root, None, None, u64::MAX);
+    }
+}
+
+impl MemoryFootprint for CTreeSet {
+    fn footprint(&self) -> Footprint {
+        Footprint::new(self.prefix.byte_len(), 0) + footprint_node(&self.root)
+    }
+}
+
+/// The Aspen streaming-graph baseline: one functional C-tree per vertex.
+pub struct AspenGraph {
+    vertices: Vec<CTreeSet>,
+    num_edges: usize,
+}
+
+impl AspenGraph {
+    /// Creates an empty graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        AspenGraph {
+            vertices: vec![CTreeSet::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Bulk-loads from an edge list in parallel.
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let keys = sorted_dedup_keys(edges);
+        let n = n.max(max_vertex_id(edges).map_or(0, |m| m as usize + 1));
+        let mut vertices = vec![CTreeSet::new(); n];
+        let runs = runs_by_src(&keys);
+        let built: Vec<(u32, CTreeSet)> = runs
+            .par_iter()
+            .map(|run| {
+                let ns: Vec<u32> = keys[run.start..run.end].iter().map(|&k| k as u32).collect();
+                (run.src, CTreeSet::from_sorted(&ns))
+            })
+            .collect();
+        for (src, set) in built {
+            vertices[src as usize] = set;
+        }
+        AspenGraph {
+            vertices,
+            num_edges: keys.len(),
+        }
+    }
+
+    /// O(V) snapshot sharing all edge structure (functional trees).
+    pub fn snapshot(&self) -> AspenGraph {
+        AspenGraph {
+            vertices: self.vertices.clone(),
+            num_edges: self.num_edges,
+        }
+    }
+
+    /// Verifies every vertex's C-tree invariants and edge accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn check_invariants(&self) {
+        let mut total = 0;
+        for set in &self.vertices {
+            set.check_invariants();
+            total += set.len();
+        }
+        assert_eq!(total, self.num_edges);
+    }
+
+    fn grow_to(&mut self, max_id: u32) {
+        if max_id as usize >= self.vertices.len() {
+            self.vertices.resize(max_id as usize + 1, CTreeSet::new());
+        }
+    }
+}
+
+impl Graph for AspenGraph {
+    fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.vertices[v as usize].len()
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        self.vertices[v as usize].for_each(f);
+    }
+
+    fn for_each_neighbor_while(&self, v: VertexId, f: &mut dyn FnMut(VertexId) -> bool) -> bool {
+        self.vertices[v as usize].for_each_while(f)
+    }
+
+    fn has_edge(&self, v: VertexId, u: VertexId) -> bool {
+        self.vertices[v as usize].contains(u)
+    }
+}
+
+impl DynamicGraph for AspenGraph {
+    fn insert_batch(&mut self, batch: &[Edge]) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        let keys = sorted_dedup_keys(batch);
+        if let Some(max_id) = max_vertex_id(batch) {
+            self.grow_to(max_id);
+        }
+        let runs = runs_by_src(&keys);
+        let vertices = &self.vertices;
+        // Functional updates: build new per-vertex sets in parallel, then
+        // swap them in.
+        let built: Vec<(u32, CTreeSet, usize)> = runs
+            .par_iter()
+            .map(|run| {
+                let set = &vertices[run.src as usize];
+                let items: Vec<u32> =
+                    keys[run.start..run.end].iter().map(|&k| k as u32).collect();
+                // Bulk union when the run is a sizeable fraction of the set;
+                // per-element path copying for point updates.
+                if items.len() * 4 >= set.len().max(8) {
+                    let (next, added) = set.merged_with_sorted(&items);
+                    (run.src, next, added)
+                } else {
+                    let mut set = set.clone();
+                    let mut added = 0;
+                    for u in items {
+                        if let Some(next) = set.inserted(u) {
+                            set = next;
+                            added += 1;
+                        }
+                    }
+                    (run.src, set, added)
+                }
+            })
+            .collect();
+        let mut total = 0;
+        for (src, set, added) in built {
+            self.vertices[src as usize] = set;
+            total += added;
+        }
+        self.num_edges += total;
+        total
+    }
+
+    fn delete_batch(&mut self, batch: &[Edge]) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        let keys = sorted_dedup_keys(batch);
+        let n = self.vertices.len() as u64;
+        let keys: Vec<u64> = keys.into_iter().filter(|&k| (k >> 32) < n).collect();
+        let runs = runs_by_src(&keys);
+        let vertices = &self.vertices;
+        let built: Vec<(u32, CTreeSet, usize)> = runs
+            .par_iter()
+            .map(|run| {
+                let set = &vertices[run.src as usize];
+                let items: Vec<u32> =
+                    keys[run.start..run.end].iter().map(|&k| k as u32).collect();
+                if items.len() * 4 >= set.len().max(8) {
+                    let (next, removed) = set.minus_sorted(&items);
+                    (run.src, next, removed)
+                } else {
+                    let mut set = set.clone();
+                    let mut removed = 0;
+                    for u in items {
+                        if let Some(next) = set.deleted(u) {
+                            set = next;
+                            removed += 1;
+                        }
+                    }
+                    (run.src, set, removed)
+                }
+            })
+            .collect();
+        let mut total = 0;
+        for (src, set, removed) in built {
+            self.vertices[src as usize] = set;
+            total += removed;
+        }
+        self.num_edges -= total;
+        total
+    }
+}
+
+impl MemoryFootprint for AspenGraph {
+    fn footprint(&self) -> Footprint {
+        self.vertices
+            .par_iter()
+            .map(|s| s.footprint())
+            .reduce(Footprint::default, Footprint::add)
+            + Footprint::new(
+                0,
+                self.vertices.len() * core::mem::size_of::<CTreeSet>(),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    #[test]
+    fn ctree_roundtrip() {
+        for n in [0usize, 1, 5, 100, 5_000] {
+            let v: Vec<u32> = (0..n as u32).map(|i| i * 3 + 1).collect();
+            let s = CTreeSet::from_sorted(&v);
+            s.check_invariants();
+            assert_eq!(s.to_vec(), v, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ctree_insert_delete_differential() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut s = CTreeSet::new();
+        let mut oracle = std::collections::BTreeSet::new();
+        for _ in 0..15_000 {
+            let x = rng.gen_range(0..3_000u32);
+            if rng.gen_bool(0.6) {
+                let ours = s.inserted(x);
+                assert_eq!(ours.is_some(), oracle.insert(x), "insert {x}");
+                if let Some(next) = ours {
+                    s = next;
+                }
+            } else {
+                let ours = s.deleted(x);
+                assert_eq!(ours.is_some(), oracle.remove(&x), "delete {x}");
+                if let Some(next) = ours {
+                    s = next;
+                }
+            }
+        }
+        s.check_invariants();
+        assert_eq!(s.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_merge_matches_elementwise() {
+        let base: Vec<u32> = (0..2_000).map(|i| i * 3).collect();
+        let s = CTreeSet::from_sorted(&base);
+        let items: Vec<u32> = (0..1_500).map(|i| i * 4).collect();
+        let (bulk, added) = s.merged_with_sorted(&items);
+        let mut slow = s.clone();
+        let mut slow_added = 0;
+        for &x in &items {
+            if let Some(next) = slow.inserted(x) {
+                slow = next;
+                slow_added += 1;
+            }
+        }
+        assert_eq!(added, slow_added);
+        assert_eq!(bulk.to_vec(), slow.to_vec());
+        bulk.check_invariants();
+    }
+
+    #[test]
+    fn bulk_minus_matches_elementwise() {
+        let base: Vec<u32> = (0..2_000).collect();
+        let s = CTreeSet::from_sorted(&base);
+        let items: Vec<u32> = (0..3_000).step_by(2).collect();
+        let (bulk, removed) = s.minus_sorted(&items);
+        assert_eq!(removed, 1_000);
+        assert_eq!(bulk.to_vec(), (1..2_000).step_by(2).collect::<Vec<_>>());
+        bulk.check_invariants();
+    }
+
+    #[test]
+    fn persistence_old_versions_unchanged() {
+        let s0 = CTreeSet::from_sorted(&(0..1_000).collect::<Vec<_>>());
+        let v0 = s0.to_vec();
+        let s1 = s0.inserted(5_000).expect("new element");
+        let s2 = s1.deleted(500).expect("present");
+        assert_eq!(s0.to_vec(), v0, "original mutated");
+        assert!(s1.contains(5_000) && s1.contains(500));
+        assert!(!s2.contains(500));
+        s1.check_invariants();
+        s2.check_invariants();
+    }
+
+    #[test]
+    fn graph_batches() {
+        let mut g = AspenGraph::new(4);
+        let batch: Vec<Edge> = vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(3, 0)];
+        assert_eq!(g.insert_batch(&batch), 3);
+        assert_eq!(g.neighbors(0), vec![1, 2]);
+        assert_eq!(g.delete_batch(&[Edge::new(0, 2), Edge::new(0, 9)]), 1);
+        assert_eq!(g.neighbors(0), vec![1]);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn snapshot_isolated_from_updates() {
+        let mut g = AspenGraph::from_edges(3, &[Edge::new(0, 1), Edge::new(1, 2)]);
+        let snap = g.snapshot();
+        g.insert_batch(&[Edge::new(0, 2)]);
+        assert_eq!(snap.neighbors(0), vec![1]);
+        assert_eq!(g.neighbors(0), vec![1, 2]);
+    }
+
+    #[test]
+    fn bulk_equals_incremental() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let es: Vec<Edge> = (0..20_000)
+            .map(|_| Edge::new(rng.gen_range(0..30), rng.gen_range(0..3_000)))
+            .collect();
+        let bulk = AspenGraph::from_edges(3_000, &es);
+        let mut inc = AspenGraph::new(3_000);
+        for chunk in es.chunks(777) {
+            inc.insert_batch(chunk);
+        }
+        assert_eq!(bulk.num_edges(), inc.num_edges());
+        for v in 0..30u32 {
+            assert_eq!(bulk.neighbors(v), inc.neighbors(v), "vertex {v}");
+        }
+        bulk.check_invariants();
+        inc.check_invariants();
+    }
+
+    #[test]
+    fn insert_then_delete_restores() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let base: Vec<Edge> = (0..5_000)
+            .map(|_| Edge::new(rng.gen_range(0..50), rng.gen_range(0..1_000)))
+            .collect();
+        let mut g = AspenGraph::from_edges(1_000, &base);
+        let before: Vec<Vec<u32>> = (0..50).map(|v| g.neighbors(v)).collect();
+        let batch: Vec<Edge> = (0..2_000)
+            .map(|_| Edge::new(rng.gen_range(0..50), rng.gen_range(1_000..4_000)))
+            .collect();
+        let a = g.insert_batch(&batch);
+        let r = g.delete_batch(&batch);
+        assert_eq!(a, r);
+        for v in 0..50u32 {
+            assert_eq!(g.neighbors(v), before[v as usize]);
+        }
+        g.check_invariants();
+    }
+}

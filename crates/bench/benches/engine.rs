@@ -1,0 +1,100 @@
+//! Criterion engine-level benchmarks: batch updates and analytics kernels
+//! per engine on a small R-MAT graph (the statistical companion to the
+//! `repro` harness's figure regeneration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use lsgraph_api::Edge;
+use lsgraph_bench::{build_engine, engines};
+use lsgraph_gen::{rmat, RmatParams};
+
+const SCALE: u32 = 13;
+const BASE_EDGES: usize = 1 << 17;
+const BATCH: usize = 1 << 13;
+
+fn base_graph() -> Vec<Edge> {
+    rmat(SCALE, BASE_EDGES, RmatParams::paper(), 42)
+}
+
+fn sym(edges: &[Edge]) -> Vec<Edge> {
+    let mut out = Vec::with_capacity(edges.len() * 2);
+    for e in edges {
+        out.push(*e);
+        out.push(e.reversed());
+    }
+    out
+}
+
+fn bench_insert_batch(c: &mut Criterion) {
+    let base = base_graph();
+    let batch = rmat(SCALE, BATCH, RmatParams::paper(), 7);
+    let mut g = c.benchmark_group("insert_batch_8k");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for kind in engines() {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter_batched(
+                || build_engine(k, 1 << SCALE, &base),
+                |mut eng| {
+                    eng.insert_batch(&batch);
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_delete_batch(c: &mut Criterion) {
+    let base = base_graph();
+    let batch: Vec<Edge> = base[..BATCH].to_vec();
+    let mut g = c.benchmark_group("delete_batch_8k");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for kind in engines() {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter_batched(
+                || build_engine(k, 1 << SCALE, &base),
+                |mut eng| {
+                    eng.delete_batch(&batch);
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let base = sym(&base_graph());
+    let mut g = c.benchmark_group("bfs");
+    for kind in engines() {
+        let eng = build_engine(kind, 1 << SCALE, &base);
+        let src = (0..eng.num_vertices() as u32)
+            .max_by_key(|&v| eng.degree(v))
+            .unwrap_or(0);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| lsgraph_analytics::bfs(eng.as_ref(), src))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let base = sym(&base_graph());
+    let mut g = c.benchmark_group("pagerank_10iter");
+    for kind in engines() {
+        let eng = build_engine(kind, 1 << SCALE, &base);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| lsgraph_analytics::pagerank(eng.as_ref(), 10, 0.85))
+        });
+    }
+    g.finish();
+}
+
+
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_insert_batch, bench_delete_batch, bench_bfs, bench_pagerank
+}
+criterion_main!(benches);

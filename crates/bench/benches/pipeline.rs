@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the batch-update pipeline stages (paper §5):
+//! parallel sort + dedup, per-source grouping, and the per-vertex apply —
+//! the components whose sum Fig. 12's throughput measures.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lsgraph_api::batch::{runs_by_src, sorted_dedup_keys};
+use lsgraph_core::{Config, LsGraph};
+use lsgraph_gen::{rmat, RmatParams};
+
+const SCALE: u32 = 14;
+const BATCH: usize = 1 << 16;
+
+fn bench_stages(c: &mut Criterion) {
+    let batch = rmat(SCALE, BATCH, RmatParams::paper(), 3);
+    let keys = sorted_dedup_keys(&batch);
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function("sort_dedup", |b| {
+        b.iter(|| sorted_dedup_keys(black_box(&batch)))
+    });
+    g.bench_function("group_runs", |b| b.iter(|| runs_by_src(black_box(&keys))));
+    g.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    use lsgraph_api::DynamicGraph;
+    let base = rmat(SCALE, 1 << 18, RmatParams::paper(), 4);
+    let batch = rmat(SCALE, BATCH, RmatParams::paper(), 5);
+    let mut g = c.benchmark_group("apply");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.sample_size(10);
+    g.bench_function("insert_into_loaded_graph", |b| {
+        b.iter_batched(
+            || LsGraph::from_edges(1 << SCALE, &base, Config::default()),
+            |mut eng| {
+                eng.insert_batch(&batch);
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("delete_from_loaded_graph", |b| {
+        b.iter_batched(
+            || LsGraph::from_edges(1 << SCALE, &base, Config::default()),
+            |mut eng| {
+                eng.delete_batch(&base[..BATCH]);
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stages, bench_apply
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Reproduction harness: one subcommand per paper table/figure.
+//!
+//! ```text
+//! cargo run -p lsgraph-bench --release --bin repro -- <experiment>
+//! ```
+//!
+//! Experiments: `fig3 fig4 fig12 small ablation fig13 table2 table3 fig14
+//! fig15 fig16 fig17 table4 g500 all`. Sizes scale with `REPRO_SCALE` (extra
+//! powers of two), `REPRO_BASE` (log2 base vertex count, default 15), and
+//! `REPRO_TRIALS` (default 3).
+
+use lsgraph_bench::experiments;
+use lsgraph_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    if args.is_empty() {
+        eprintln!(
+            "usage: repro <fig3|fig4|fig12|small|ablation|fig13|table2|table3|fig14|fig15|fig16|fig17|table4|g500|all>"
+        );
+        std::process::exit(2);
+    }
+    eprintln!(
+        "[repro] base=2^{} shift={} trials={}",
+        scale.base, scale.shift, scale.trials
+    );
+    for arg in &args {
+        match arg.as_str() {
+            "fig3" => experiments::fig3(&scale),
+            "fig4" => experiments::fig4(&scale),
+            "fig12" | "del" => experiments::fig12(&scale),
+            "small" => experiments::small_batches(&scale),
+            "ablation" => experiments::ablation(&scale),
+            "fig13" => experiments::fig13(&scale),
+            "table2" => experiments::table2(&scale),
+            "table3" => experiments::table3(&scale),
+            "fig14" => experiments::fig14(&scale),
+            "fig15" => experiments::fig15(&scale),
+            "fig16" => experiments::fig16(&scale),
+            "fig17" => experiments::fig17(&scale),
+            "table4" => experiments::table4(&scale),
+            "sortledton" => experiments::sortledton(&scale),
+            "verify" => experiments::verify(&scale),
+            "g500" => experiments::g500(&scale),
+            "all" => experiments::all(&scale),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

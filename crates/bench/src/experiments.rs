@@ -1,0 +1,663 @@
+//! One function per paper table/figure. See EXPERIMENTS.md for the mapping
+//! and the recorded paper-vs-measured outcomes.
+
+use std::time::Duration;
+
+use lsgraph_api::{DynamicGraph, Edge, Graph, MemoryFootprint};
+use lsgraph_aspen::AspenGraph;
+use lsgraph_core::{Config, HighDegreeStore, LiaSearch, LsGraph, MediumStore};
+use lsgraph_gen::{rmat, temporal::TEMPORAL_PROFILES, DatasetProfile, RmatParams};
+use lsgraph_pactree::PacGraph;
+use lsgraph_terrace::TerraceGraph;
+
+use crate::runner::{build_engine, engines, fmt_tput, time, time_avg, EngineKind, Scale};
+
+/// Datasets used at the current scale (TW/FR only at higher scales: their
+/// stand-ins are large even scaled).
+fn datasets(scale: &Scale) -> Vec<DatasetProfile> {
+    let mut names = vec!["LJ", "OR", "RM"];
+    if scale.shift >= 4 {
+        names.push("TW");
+        names.push("FR");
+    }
+    names
+        .into_iter()
+        .map(|n| DatasetProfile::by_name(n).expect("profile exists"))
+        .collect()
+}
+
+/// Shift mapping a profile's real size down to the harness scale.
+fn shift_for(p: &DatasetProfile, scale: &Scale) -> u32 {
+    p.log_vertices.saturating_sub(scale.graph_scale())
+}
+
+/// A vertex with edges, used as the BFS/BC source (paper uses the highest
+/// out-degree vertex, as Terrace/Ligra do).
+fn max_degree_vertex(g: &dyn Graph) -> u32 {
+    (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.degree(v))
+        .unwrap_or(0)
+}
+
+/// Generates the update batch the throughput experiments use (rMat with the
+/// paper's parameters over the same vertex range).
+fn update_batch(graph_scale: u32, size: usize, seed: u64) -> Vec<Edge> {
+    rmat(graph_scale, size, RmatParams::paper(), seed)
+}
+
+/// Fig. 12 (+ §6.2 deletion results): insert/delete throughput for every
+/// engine and graph across batch sizes.
+pub fn fig12(scale: &Scale) {
+    println!("# Fig. 12: update throughput (edges/s), insert|delete");
+    for p in datasets(scale) {
+        let shift = shift_for(&p, scale);
+        let n = p.scaled_vertices(shift);
+        let gscale = p.log_vertices - shift;
+        let base = p.generate(shift, 42);
+        println!("\n## {} (|V|=2^{}, |E|={})", p.name, gscale, base.len());
+        print!("{:>10}", "batch");
+        for k in engines() {
+            print!("{:>22}", k.name());
+        }
+        println!();
+        let mut built: Vec<(EngineKind, Box<dyn crate::Engine>)> = engines()
+            .iter()
+            .map(|&k| (k, build_engine(k, n, &base)))
+            .collect();
+        for bs in scale.batch_sizes() {
+            print!("{bs:>10}");
+            for (_, g) in built.iter_mut() {
+                let mut ins = Duration::ZERO;
+                let mut del = Duration::ZERO;
+                for t in 0..scale.trials {
+                    let batch = update_batch(gscale, bs, 1_000 + t as u64);
+                    let (_, ti) = time(|| g.insert_batch(&batch));
+                    let (_, td) = time(|| g.delete_batch(&batch));
+                    ins += ti;
+                    del += td;
+                }
+                print!(
+                    "{:>22}",
+                    format!(
+                        "{}|{}",
+                        fmt_tput(bs * scale.trials, ins),
+                        fmt_tput(bs * scale.trials, del)
+                    )
+                );
+            }
+            println!();
+        }
+    }
+}
+
+/// §6.2 small batches: latency at batch size 10.
+pub fn small_batches(scale: &Scale) {
+    println!("# §6.2: batch-size-10 updates (throughput, edges/s)");
+    let p = DatasetProfile::by_name("OR").expect("profile exists");
+    let shift = shift_for(&p, scale);
+    let gscale = p.log_vertices - shift;
+    let base = p.generate(shift, 42);
+    let n = p.scaled_vertices(shift);
+    let rounds = 2_000;
+    for k in engines() {
+        let mut g = build_engine(k, n, &base);
+        let batches: Vec<Vec<Edge>> = (0..rounds)
+            .map(|i| update_batch(gscale, 10, 7_000 + i as u64))
+            .collect();
+        let (_, d) = time(|| {
+            for b in &batches {
+                g.insert_batch(b);
+            }
+        });
+        println!("{:>10}: {}", k.name(), fmt_tput(10 * rounds, d));
+    }
+}
+
+/// Fig. 3 motivation: Terrace wins BFS, Aspen wins large inserts.
+pub fn fig3(scale: &Scale) {
+    println!("# Fig. 3a: BFS time normalized to Terrace (lower is better)");
+    for p in datasets(scale) {
+        let shift = shift_for(&p, scale);
+        let n = p.scaled_vertices(shift);
+        let base = p.generate(shift, 42);
+        let terrace = TerraceGraph::from_edges(n, &sym(&base));
+        let aspen = AspenGraph::from_edges(n, &sym(&base));
+        let src = max_degree_vertex(&terrace);
+        let t_t = time_avg(scale.trials, || {
+            lsgraph_analytics::bfs(&terrace, src);
+        });
+        let t_a = time_avg(scale.trials, || {
+            lsgraph_analytics::bfs(&aspen, src);
+        });
+        println!(
+            "{:>4}: Terrace 1.00  Aspen {:.2}",
+            p.name,
+            t_a.as_secs_f64() / t_t.as_secs_f64()
+        );
+    }
+    println!("\n# Fig. 3b: insert throughput on OR, Terrace vs Aspen (+ PCSR)");
+    let p = DatasetProfile::by_name("OR").expect("profile exists");
+    let shift = shift_for(&p, scale);
+    let gscale = p.log_vertices - shift;
+    let base = p.generate(shift, 42);
+    let n = p.scaled_vertices(shift);
+    let mut terrace = TerraceGraph::from_edges(n, &base);
+    let mut aspen = AspenGraph::from_edges(n, &base);
+    let mut pcsr = lsgraph_pma::PmaGraph::from_edges(n, &base);
+    println!("{:>10}{:>12}{:>12}{:>12}", "batch", "Terrace", "Aspen", "PCSR");
+    for bs in scale.batch_sizes() {
+        let batch = update_batch(gscale, bs, 11);
+        let (_, tt) = time(|| terrace.insert_batch(&batch));
+        terrace.delete_batch(&batch);
+        let (_, ta) = time(|| aspen.insert_batch(&batch));
+        aspen.delete_batch(&batch);
+        let (_, tp) = time(|| pcsr.insert_batch(&batch));
+        pcsr.delete_batch(&batch);
+        println!(
+            "{bs:>10}{:>12}{:>12}{:>12}",
+            fmt_tput(bs, tt),
+            fmt_tput(bs, ta),
+            fmt_tput(bs, tp)
+        );
+    }
+}
+
+/// Fig. 4: where Terrace's insert time goes (PMA share, search vs move).
+pub fn fig4(scale: &Scale) {
+    println!("# Fig. 4: Terrace insert cost breakdown (single structure shares)");
+    println!(
+        "{:>6}{:>12}{:>16}{:>16}{:>12}",
+        "graph", "PMA-time", "search-steps", "moved-elems", "rebuilds"
+    );
+    for p in datasets(scale) {
+        let shift = shift_for(&p, scale);
+        let gscale = p.log_vertices - shift;
+        let n = p.scaled_vertices(shift);
+        let base = p.generate(shift, 42);
+        let mut g = TerraceGraph::from_edges(n, &base);
+        g.reset_instrumentation();
+        let batch = update_batch(gscale, *scale.batch_sizes().last().expect("nonempty"), 5);
+        g.insert_batch(&batch);
+        let c = g.pma_counters();
+        println!(
+            "{:>6}{:>11.1}%{:>16}{:>16}{:>12}",
+            p.name,
+            g.pma_time_share() * 100.0,
+            c.search_steps,
+            c.elements_moved,
+            c.rebuilds
+        );
+    }
+}
+
+/// Mirrors a directed edge list (the paper symmetrizes analytics inputs).
+fn sym(edges: &[Edge]) -> Vec<Edge> {
+    let mut out = Vec::with_capacity(edges.len() * 2);
+    for e in edges {
+        out.push(*e);
+        out.push(e.reversed());
+    }
+    out
+}
+
+/// Fig. 13: BFS and BC times normalized to LSGraph.
+pub fn fig13(scale: &Scale) {
+    println!("# Fig. 13: BFS / BC time normalized to LSGraph (higher = slower)");
+    println!(
+        "{:>6}{:>6}{:>10}{:>10}{:>10}{:>10}",
+        "graph", "algo", "LSGraph", "Terrace", "Aspen", "PaC-tree"
+    );
+    for p in datasets(scale) {
+        let shift = shift_for(&p, scale);
+        let n = p.scaled_vertices(shift);
+        let base = sym(&p.generate(shift, 42));
+        let built: Vec<(EngineKind, Box<dyn crate::Engine>)> = engines()
+            .iter()
+            .map(|&k| (k, build_engine(k, n, &base)))
+            .collect();
+        let src = max_degree_vertex(built[0].1.as_ref());
+        for algo in ["BFS", "BC"] {
+            let mut times = std::collections::HashMap::new();
+            for (k, g) in &built {
+                let d = time_avg(scale.trials, || match algo {
+                    "BFS" => {
+                        lsgraph_analytics::bfs(g.as_ref(), src);
+                    }
+                    _ => {
+                        lsgraph_analytics::betweenness(g.as_ref(), src);
+                    }
+                });
+                times.insert(*k, d.as_secs_f64());
+            }
+            let ls = times[&EngineKind::LsGraph];
+            println!(
+                "{:>6}{:>6}{:>10.2}{:>10.2}{:>10.2}{:>10.2}",
+                p.name,
+                algo,
+                1.0,
+                times[&EngineKind::Terrace] / ls,
+                times[&EngineKind::Aspen] / ls,
+                times[&EngineKind::PacTree] / ls,
+            );
+        }
+    }
+}
+
+/// Table 2: PR / CC / TC absolute times, LSGraph vs Terrace.
+pub fn table2(scale: &Scale) {
+    println!("# Table 2: PR, CC, TC times in seconds (T/L = Terrace/LSGraph)");
+    println!(
+        "{:>6}{:>10}{:>10}{:>7}{:>10}{:>10}{:>7}{:>10}{:>10}{:>7}{:>9}",
+        "graph", "PR-L", "PR-T", "T/L", "CC-L", "CC-T", "T/L", "TC-L", "TC-T", "T/L", "Tra/L"
+    );
+    for p in datasets(scale) {
+        let shift = shift_for(&p, scale);
+        let n = p.scaled_vertices(shift);
+        let base = sym(&p.generate(shift, 42));
+        let ls = LsGraph::from_edges(n, &base, Config::default());
+        let tr = TerraceGraph::from_edges(n, &base);
+        let pr_l = time_avg(scale.trials, || {
+            lsgraph_analytics::pagerank(&ls, 10, 0.85);
+        });
+        let pr_t = time_avg(scale.trials, || {
+            lsgraph_analytics::pagerank(&tr, 10, 0.85);
+        });
+        let cc_l = time_avg(scale.trials, || {
+            lsgraph_analytics::connected_components(&ls);
+        });
+        let cc_t = time_avg(scale.trials, || {
+            lsgraph_analytics::connected_components(&tr);
+        });
+        let tc_l = lsgraph_analytics::triangle_count(&ls);
+        let tc_t = lsgraph_analytics::triangle_count(&tr);
+        assert_eq!(tc_l.triangles, tc_t.triangles, "TC mismatch across engines");
+        println!(
+            "{:>6}{:>10.4}{:>10.4}{:>7.2}{:>10.4}{:>10.4}{:>7.2}{:>10.4}{:>10.4}{:>7.2}{:>8.1}%",
+            p.name,
+            pr_l.as_secs_f64(),
+            pr_t.as_secs_f64(),
+            pr_t.as_secs_f64() / pr_l.as_secs_f64(),
+            cc_l.as_secs_f64(),
+            cc_t.as_secs_f64(),
+            cc_t.as_secs_f64() / cc_l.as_secs_f64(),
+            tc_l.total.as_secs_f64(),
+            tc_t.total.as_secs_f64(),
+            tc_t.total.as_secs_f64() / tc_l.total.as_secs_f64(),
+            tc_l.traversal.as_secs_f64() / tc_l.total.as_secs_f64() * 100.0,
+        );
+    }
+}
+
+/// Table 3: memory footprints and LSGraph's index overhead.
+pub fn table3(scale: &Scale) {
+    println!("# Table 3: memory usage (MB), T/L ratio, LSGraph index overhead I/L");
+    println!(
+        "{:>6}{:>10}{:>10}{:>10}{:>10}{:>7}{:>7}",
+        "graph", "LSGraph", "Terrace", "Aspen", "PaC-tree", "T/L", "I/L"
+    );
+    for p in datasets(scale) {
+        let shift = shift_for(&p, scale);
+        let n = p.scaled_vertices(shift);
+        let base = sym(&p.generate(shift, 42));
+        let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+        let ls = LsGraph::from_edges(n, &base, Config::default());
+        let fp_l = ls.footprint();
+        let fp_t = TerraceGraph::from_edges(n, &base).footprint();
+        let fp_a = AspenGraph::from_edges(n, &base).footprint();
+        let fp_p = PacGraph::from_edges(n, &base).footprint();
+        println!(
+            "{:>6}{:>10.1}{:>10.1}{:>10.1}{:>10.1}{:>7.2}{:>6.1}%",
+            p.name,
+            mb(fp_l.total()),
+            mb(fp_t.total()),
+            mb(fp_a.total()),
+            mb(fp_p.total()),
+            fp_t.total() as f64 / fp_l.total() as f64,
+            ls.index_overhead() * 100.0,
+        );
+    }
+}
+
+/// §6.2 component ablation: PMA-for-RIA, RIA-only, binary search in LIA.
+pub fn ablation(scale: &Scale) {
+    println!("# §6.2 ablation: insert time of one large batch (lower is better)");
+    let p = DatasetProfile::by_name("OR").expect("profile exists");
+    let shift = shift_for(&p, scale);
+    let gscale = p.log_vertices - shift;
+    let n = p.scaled_vertices(shift);
+    let base = p.generate(shift, 42);
+    // Whole-graph-scale insert, as the paper's 10^8-edge ablation workload;
+    // smaller batches barely reach the HITree/LIA code paths.
+    let bs = base.len();
+    let variants: [(&str, Config); 4] = [
+        ("LSGraph (full)", Config::default()),
+        ("PMA instead of RIA", Config { medium: MediumStore::Pma, ..Config::default() }),
+        ("RIA instead of HITree", Config { high: HighDegreeStore::RiaOnly, ..Config::default() }),
+        ("binary search in LIA", Config { lia_search: LiaSearch::Binary, ..Config::default() }),
+    ];
+    let mut baseline = None;
+    for (name, cfg) in variants {
+        let mut total = Duration::ZERO;
+        for t in 0..scale.trials {
+            let mut g = LsGraph::from_edges(n, &base, cfg);
+            let batch = update_batch(gscale, bs, 33 + t as u64);
+            let (_, d) = time(|| g.insert_batch(&batch));
+            total += d;
+        }
+        let secs = (total / scale.trials.max(1) as u32).as_secs_f64();
+        let rel = match baseline {
+            None => {
+                baseline = Some(secs);
+                1.0
+            }
+            Some(b) => secs / b,
+        };
+        println!("{name:>24}: {secs:.4}s  ({rel:.2}x of full)");
+    }
+}
+
+/// Fig. 14: insert-time sensitivity to α and M.
+pub fn fig14(scale: &Scale) {
+    println!("# Fig. 14: time (s) to insert one large batch, by alpha and M");
+    sensitivity(scale, false);
+}
+
+/// Fig. 15: PageRank sensitivity to α and M.
+pub fn fig15(scale: &Scale) {
+    println!("# Fig. 15: PageRank time (s), by alpha and M");
+    sensitivity(scale, true);
+}
+
+fn sensitivity(scale: &Scale, pagerank: bool) {
+    let alphas = [1.1, 1.2, 1.3, 1.5, 2.0];
+    let ms = [1usize << 12, 1 << 14, 1 << 16];
+    for p in datasets(scale) {
+        let shift = shift_for(&p, scale);
+        let gscale = p.log_vertices - shift;
+        let n = p.scaled_vertices(shift);
+        let base = if pagerank {
+            sym(&p.generate(shift, 42))
+        } else {
+            p.generate(shift, 42)
+        };
+        // The paper's Fig. 14 inserts a batch comparable to the whole graph
+        // (10^8 edges on LJ); match that ratio so the α effect is visible.
+        let bs = base.len().max(*scale.batch_sizes().last().expect("nonempty"));
+        println!("\n## {}", p.name);
+        print!("{:>8}", "alpha\\M");
+        for m in ms {
+            print!("{:>10}", format!("2^{}", m.ilog2()));
+        }
+        println!();
+        for a in alphas {
+            print!("{a:>8}");
+            for m in ms {
+                let cfg = Config::default().with_alpha(a).with_m(m);
+                let d = if pagerank {
+                    let g = LsGraph::from_edges(n, &base, cfg);
+                    time_avg(scale.trials, || {
+                        lsgraph_analytics::pagerank(&g, 10, 0.85);
+                    })
+                } else {
+                    let mut total = std::time::Duration::ZERO;
+                    for t in 0..scale.trials {
+                        // Fresh graph per trial: a whole-graph-sized insert.
+                        let mut g = LsGraph::from_edges(n, &base, cfg);
+                        let batch = update_batch(gscale, bs, 17 + t as u64);
+                        let (_, d) = time(|| g.insert_batch(&batch));
+                        total += d;
+                    }
+                    total / scale.trials.max(1) as u32
+                };
+                print!("{:>10.4}", d.as_secs_f64());
+            }
+            println!();
+        }
+    }
+}
+
+/// Fig. 16: five consecutive large insert batches (no deletes), stressing
+/// HITree's vertical movement.
+pub fn fig16(scale: &Scale) {
+    println!("# Fig. 16: cumulative time (s) of 5 consecutive large inserts on OR");
+    let p = DatasetProfile::by_name("OR").expect("profile exists");
+    let shift = shift_for(&p, scale);
+    let gscale = p.log_vertices - shift;
+    let n = p.scaled_vertices(shift);
+    let base = p.generate(shift, 42);
+    // Five whole-graph-scale batches, as in the paper (5 x 10^8 on OR).
+    let bs = base.len() / 2;
+    let alphas = [1.1, 1.2, 1.5];
+    let ms = [1usize << 12, 1 << 14, 1 << 16];
+    print!("{:>8}", "alpha\\M");
+    for m in ms {
+        print!("{:>10}", format!("2^{}", m.ilog2()));
+    }
+    println!();
+    for a in alphas {
+        print!("{a:>8}");
+        for m in ms {
+            let cfg = Config::default().with_alpha(a).with_m(m);
+            let mut g = LsGraph::from_edges(n, &base, cfg);
+            let (_, d) = time(|| {
+                for round in 0..5u64 {
+                    let batch = update_batch(gscale, bs, 100 + round);
+                    g.insert_batch(&batch);
+                }
+            });
+            print!("{:>10.4}", d.as_secs_f64());
+        }
+        println!();
+    }
+}
+
+/// Fig. 17: update-throughput scaling across thread counts.
+pub fn fig17(scale: &Scale) {
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("# Fig. 17: insert throughput vs threads on OR (hw threads: {hw})");
+    let p = DatasetProfile::by_name("OR").expect("profile exists");
+    let shift = shift_for(&p, scale);
+    let gscale = p.log_vertices - shift;
+    let n = p.scaled_vertices(shift);
+    let base = p.generate(shift, 42);
+    let bs = scale.batch_sizes()[3];
+    let mut threads = vec![1usize];
+    while *threads.last().expect("nonempty") * 2 <= hw {
+        threads.push(threads.last().expect("nonempty") * 2);
+    }
+    print!("{:>10}", "threads");
+    for k in engines() {
+        print!("{:>12}", k.name());
+    }
+    println!();
+    for t in threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("pool");
+        print!("{t:>10}");
+        for k in engines() {
+            let d = pool.install(|| {
+                let mut g = build_engine(k, n, &base);
+                let batch = update_batch(gscale, bs, 55);
+                let (_, d) = time(|| g.insert_batch(&batch));
+                d
+            });
+            print!("{:>12}", fmt_tput(bs, d));
+        }
+        println!();
+    }
+}
+
+/// Table 4 / §6.5: realistic temporal arrival streams — 90% loaded, the
+/// final 10% streamed as timestamped batches.
+pub fn table4(scale: &Scale) {
+    println!("# Table 4 / §6.5: streaming the last 10% of temporal graphs (edges/s)");
+    let div = if scale.shift >= 3 { 1 } else { 10 >> scale.shift.min(3) };
+    print!("{:>6}", "graph");
+    for k in engines() {
+        print!("{:>12}", k.name());
+    }
+    println!();
+    for p in TEMPORAL_PROFILES {
+        let stream = p.generate(div.max(1), 7);
+        let cut = stream.len() * 9 / 10;
+        let (base, tail) = stream.split_at(cut);
+        let n = p.vertices / div.max(1) + 1;
+        print!("{:>6}", p.name);
+        for k in engines() {
+            let mut g = build_engine(k, n, base);
+            let (_, d) = time(|| {
+                for chunk in tail.chunks(10_000.max(tail.len() / 50)) {
+                    g.insert_batch(chunk);
+                }
+            });
+            print!("{:>12}", fmt_tput(tail.len(), d));
+        }
+        println!();
+    }
+}
+
+/// §6.1 baseline selection: PaC-tree vs Sortledton update throughput (the
+/// paper reports PaC-tree ahead by 40.56×–142.53× and therefore uses it as
+/// the tree-family baseline).
+pub fn sortledton(scale: &Scale) {
+    use lsgraph_pactree::PacGraph;
+    use lsgraph_sortledton::SortledtonGraph;
+    println!("# §6.1: PaC-tree vs Sortledton insert throughput (edges/s)");
+    let p = DatasetProfile::by_name("OR").expect("profile exists");
+    let shift = shift_for(&p, scale);
+    let gscale = p.log_vertices - shift;
+    let n = p.scaled_vertices(shift);
+    let base = p.generate(shift, 42);
+    let mut pac = PacGraph::from_edges(n, &base);
+    let mut sl = SortledtonGraph::from_edges(n, &base);
+    println!("{:>10}{:>12}{:>12}{:>8}", "batch", "PaC-tree", "Sortledton", "P/S");
+    for bs in scale.batch_sizes() {
+        let batch = update_batch(gscale, bs, 61);
+        let (_, tp) = time(|| pac.insert_batch(&batch));
+        pac.delete_batch(&batch);
+        let (_, ts) = time(|| sl.insert_batch(&batch));
+        sl.delete_batch(&batch);
+        println!(
+            "{bs:>10}{:>12}{:>12}{:>8.2}",
+            fmt_tput(bs, tp),
+            fmt_tput(bs, ts),
+            ts.as_secs_f64() / tp.as_secs_f64()
+        );
+    }
+}
+
+/// §6.5 larger graphs: graph500 Kronecker, LSGraph vs Aspen vs PaC-tree.
+pub fn g500(scale: &Scale) {
+    println!("# §6.5: graph500 Kronecker graph, insert throughput (edges/s)");
+    let gscale = scale.graph_scale() + 2;
+    let m = 1usize << (gscale + 3);
+    let base = lsgraph_gen::graph500(gscale, m, 3);
+    let n = 1usize << gscale;
+    let bs = *scale.batch_sizes().last().expect("nonempty");
+    for k in [EngineKind::LsGraph, EngineKind::Aspen, EngineKind::PacTree] {
+        let mut g = build_engine(k, n, &base);
+        let batch = lsgraph_gen::graph500(gscale, bs, 91);
+        let (_, d) = time(|| g.insert_batch(&batch));
+        println!("{:>10}: {}", k.name(), fmt_tput(bs, d));
+    }
+}
+
+/// Artifact-evaluation style correctness pass: every engine must agree with
+/// a CSR oracle on reads and analytics at the configured scale.
+pub fn verify(scale: &Scale) {
+    println!("# verify: cross-engine agreement at base 2^{}", scale.graph_scale());
+    let p = DatasetProfile::by_name("LJ").expect("profile exists");
+    let shift = shift_for(&p, scale);
+    let n = p.scaled_vertices(shift);
+    let base = sym(&p.generate(shift, 42));
+    let oracle = lsgraph_gen::Csr::from_edges(n, &base);
+    let built: Vec<(EngineKind, Box<dyn crate::Engine>)> = engines()
+        .iter()
+        .map(|&k| (k, build_engine(k, n, &base)))
+        .collect();
+    let src = max_degree_vertex(&oracle);
+    let want_dist = {
+        let par = lsgraph_analytics::bfs(&oracle, src);
+        lsgraph_analytics::bfs::distances_from_parents(&oracle, src, &par)
+    };
+    let want_cc = lsgraph_analytics::connected_components(&oracle);
+    let want_tc = lsgraph_analytics::triangle_count(&oracle).triangles;
+    let mut ok = true;
+    for (k, g) in &built {
+        let mut fails = Vec::new();
+        for v in (0..n as u32).step_by(97) {
+            if g.neighbors(v) != oracle.neighbors_slice(v) {
+                fails.push("neighbors");
+                break;
+            }
+        }
+        let par = lsgraph_analytics::bfs(g.as_ref(), src);
+        if lsgraph_analytics::bfs::distances_from_parents(g.as_ref(), src, &par) != want_dist {
+            fails.push("bfs");
+        }
+        if lsgraph_analytics::connected_components(g.as_ref()) != want_cc {
+            fails.push("cc");
+        }
+        if lsgraph_analytics::triangle_count(g.as_ref()).triangles != want_tc {
+            fails.push("tc");
+        }
+        if fails.is_empty() {
+            println!("{:>10}: PASS", k.name());
+        } else {
+            ok = false;
+            println!("{:>10}: FAIL ({})", k.name(), fails.join(", "));
+        }
+    }
+    assert!(ok, "verification failed");
+}
+
+/// Runs every experiment in paper order.
+pub fn all(scale: &Scale) {
+    fig3(scale);
+    println!();
+    fig4(scale);
+    println!();
+    fig12(scale);
+    println!();
+    small_batches(scale);
+    println!();
+    ablation(scale);
+    println!();
+    fig13(scale);
+    println!();
+    table2(scale);
+    println!();
+    table3(scale);
+    println!();
+    fig14(scale);
+    println!();
+    fig15(scale);
+    println!();
+    fig16(scale);
+    println!();
+    fig17(scale);
+    println!();
+    table4(scale);
+    println!();
+    sortledton(scale);
+    println!();
+    g500(scale);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_table3() {
+        // Exercises every engine build + footprint on a small graph.
+        table3(&Scale::tiny());
+    }
+
+    #[test]
+    fn smoke_small_batches() {
+        small_batches(&Scale::tiny());
+    }
+}

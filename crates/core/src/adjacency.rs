@@ -1,0 +1,370 @@
+//! Per-vertex spill containers and the degree-tiered transitions between
+//! them (paper §4.1, Fig. 9).
+//!
+//! Neighbors beyond a vertex's inline cache line spill into one of:
+//!
+//! * a plain sorted **array** while the spill is at most `A` elements,
+//! * a **RIA** up to `M` elements (or a per-vertex **PMA** under the
+//!   ablation configuration),
+//! * a **HITree** beyond `M` (unless the RIA-only ablation is active).
+//!
+//! Containers upgrade eagerly when they outgrow their tier and downgrade
+//! with 2× hysteresis on deletion so oscillating workloads do not thrash.
+
+use lsgraph_api::{Footprint, MemoryFootprint};
+use lsgraph_pma::{Pma, PmaParams};
+
+use crate::config::{Config, HighDegreeStore, MediumStore};
+use crate::hitree::HiTree;
+use crate::ria::Ria;
+
+/// Spill storage for one vertex's non-inline neighbors.
+#[derive(Clone, Debug)]
+pub enum Spill {
+    /// Sorted array tier (`<= A`).
+    Array(Vec<u32>),
+    /// RIA tier (`<= M`).
+    Ria(Ria),
+    /// Per-vertex PMA tier (ablation replacement for RIA).
+    Pma(Pma<u32>),
+    /// HITree tier (`> M`).
+    Tree(HiTree),
+}
+
+impl Spill {
+    /// Builds the right tier for a sorted duplicate-free neighbor slice.
+    pub fn from_sorted(ns: &[u32], cfg: &Config) -> Spill {
+        if ns.len() <= cfg.a {
+            Spill::Array(ns.to_vec())
+        } else if ns.len() <= cfg.m || cfg.high == HighDegreeStore::RiaOnly {
+            match cfg.medium {
+                MediumStore::Ria => Spill::Ria(Ria::from_sorted(ns, cfg.alpha)),
+                MediumStore::Pma => Spill::Pma(Pma::from_sorted(ns, PmaParams::dense())),
+            }
+        } else {
+            Spill::Tree(HiTree::from_sorted(ns, cfg))
+        }
+    }
+
+    /// Number of stored neighbors.
+    pub fn len(&self) -> usize {
+        match self {
+            Spill::Array(v) => v.len(),
+            Spill::Ria(r) => r.len(),
+            Spill::Pma(p) => p.len(),
+            Spill::Tree(t) => t.len(),
+        }
+    }
+
+    /// Whether the spill is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns whether `u` is present.
+    pub fn contains(&self, u: u32, cfg: &Config) -> bool {
+        match self {
+            Spill::Array(v) => v.binary_search(&u).is_ok(),
+            Spill::Ria(r) => r.contains(u),
+            Spill::Pma(p) => p.contains(u),
+            Spill::Tree(t) => t.contains(u, cfg),
+        }
+    }
+
+    /// Inserts `u`, upgrading the tier if needed; returns whether it was
+    /// added.
+    pub fn insert(&mut self, u: u32, cfg: &Config) -> bool {
+        self.maybe_upgrade(cfg);
+        match self {
+            Spill::Array(v) => match v.binary_search(&u) {
+                Ok(_) => false,
+                Err(i) => {
+                    v.insert(i, u);
+                    true
+                }
+            },
+            Spill::Ria(r) => r.insert(u).inserted(),
+            Spill::Pma(p) => p.insert(u),
+            Spill::Tree(t) => t.insert(u, cfg),
+        }
+    }
+
+    /// Deletes `u`, downgrading the tier with hysteresis; returns whether it
+    /// was present.
+    pub fn delete(&mut self, u: u32, cfg: &Config) -> bool {
+        let removed = match self {
+            Spill::Array(v) => match v.binary_search(&u) {
+                Ok(i) => {
+                    v.remove(i);
+                    true
+                }
+                Err(_) => false,
+            },
+            Spill::Ria(r) => r.delete(u),
+            Spill::Pma(p) => p.delete(u),
+            Spill::Tree(t) => t.delete(u, cfg),
+        };
+        if removed {
+            self.maybe_downgrade(cfg);
+        }
+        removed
+    }
+
+    /// Removes and returns the smallest neighbor (used to refill a vertex
+    /// block's inline line after an inline delete).
+    pub fn pop_min(&mut self, cfg: &Config) -> Option<u32> {
+        let min = match self {
+            Spill::Array(v) => v.first().copied(),
+            Spill::Ria(r) => {
+                let mut m = None;
+                r.for_each_while(|x| {
+                    m = Some(x);
+                    false
+                });
+                m
+            }
+            Spill::Pma(p) => {
+                let mut m = None;
+                p.for_each_range_while(0, u32::MAX, |x| {
+                    m = Some(x);
+                    false
+                });
+                m
+            }
+            Spill::Tree(t) => {
+                let mut m = None;
+                t.for_each_while(&mut |x| {
+                    m = Some(x);
+                    false
+                });
+                m
+            }
+        }?;
+        let removed = self.delete(min, cfg);
+        debug_assert!(removed);
+        Some(min)
+    }
+
+    /// Applies `f` to every neighbor in ascending order.
+    pub fn for_each(&self, f: &mut dyn FnMut(u32)) {
+        match self {
+            Spill::Array(v) => {
+                for &x in v {
+                    f(x);
+                }
+            }
+            Spill::Ria(r) => r.for_each(f),
+            Spill::Pma(p) => p.for_each(&mut *f),
+            Spill::Tree(t) => t.for_each(f),
+        }
+    }
+
+    /// Applies `f` until it returns `false`; returns whether the scan
+    /// completed.
+    pub fn for_each_while(&self, f: &mut dyn FnMut(u32) -> bool) -> bool {
+        match self {
+            Spill::Array(v) => {
+                for &x in v {
+                    if !f(x) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Spill::Ria(r) => r.for_each_while(f),
+            Spill::Pma(p) => p.for_each_range_while(0, u32::MAX, &mut *f),
+            Spill::Tree(t) => t.for_each_while(f),
+        }
+    }
+
+    /// Collects all neighbors into a sorted vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut v = Vec::with_capacity(self.len());
+        self.for_each(&mut |x| v.push(x));
+        v
+    }
+
+    /// Iterates neighbors in ascending order.
+    pub fn iter(&self) -> SpillIter<'_> {
+        match self {
+            Spill::Array(v) => SpillIter::Arr(v.iter()),
+            Spill::Ria(r) => SpillIter::Ria(r.iter()),
+            Spill::Pma(p) => SpillIter::Pma(p.iter()),
+            Spill::Tree(t) => SpillIter::Tree(t.iter()),
+        }
+    }
+
+    /// Upgrades to the next tier ahead of an insert when this one is full.
+    fn maybe_upgrade(&mut self, cfg: &Config) {
+        let next = match self {
+            Spill::Array(v) if v.len() >= cfg.a => true,
+            Spill::Ria(r) if r.len() >= cfg.m && cfg.high == HighDegreeStore::HiTree => true,
+            Spill::Pma(p) if p.len() >= cfg.m && cfg.high == HighDegreeStore::HiTree => true,
+            _ => false,
+        };
+        if next {
+            let ns = self.to_vec();
+            *self = match self {
+                Spill::Array(_) => match cfg.medium {
+                    MediumStore::Ria => Spill::Ria(Ria::from_sorted(&ns, cfg.alpha)),
+                    MediumStore::Pma => Spill::Pma(Pma::from_sorted(&ns, PmaParams::dense())),
+                },
+                Spill::Ria(_) | Spill::Pma(_) => Spill::Tree(HiTree::from_sorted(&ns, cfg)),
+                Spill::Tree(_) => unreachable!(),
+            };
+        }
+    }
+
+    /// Downgrades with 2× hysteresis after deletions.
+    fn maybe_downgrade(&mut self, cfg: &Config) {
+        let rebuild = match self {
+            Spill::Array(_) => false,
+            Spill::Ria(r) => r.len() * 2 < cfg.a,
+            Spill::Pma(p) => p.len() * 2 < cfg.a,
+            Spill::Tree(t) => t.len() * 2 < cfg.m,
+        };
+        if rebuild {
+            let ns = self.to_vec();
+            *self = Spill::from_sorted(&ns, cfg);
+        }
+    }
+}
+
+/// Ascending iterator over a [`Spill`] container.
+pub enum SpillIter<'a> {
+    /// Array tier.
+    Arr(core::slice::Iter<'a, u32>),
+    /// RIA tier.
+    Ria(crate::ria::RiaIter<'a>),
+    /// PMA tier (ablation).
+    Pma(lsgraph_pma::PmaIter<'a, u32>),
+    /// HITree tier.
+    Tree(crate::hitree::HiTreeIter<'a>),
+}
+
+impl Iterator for SpillIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            SpillIter::Arr(it) => it.next().copied(),
+            SpillIter::Ria(it) => it.next(),
+            SpillIter::Pma(it) => it.next(),
+            SpillIter::Tree(it) => it.next(),
+        }
+    }
+}
+
+impl MemoryFootprint for Spill {
+    fn footprint(&self) -> Footprint {
+        match self {
+            Spill::Array(v) => Footprint::new(v.capacity() * core::mem::size_of::<u32>(), 0),
+            Spill::Ria(r) => r.footprint(),
+            Spill::Pma(p) => p.footprint(),
+            Spill::Tree(t) => t.footprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LiaSearch;
+
+    fn cfg() -> Config {
+        Config {
+            m: 256, // keep tier transitions reachable in small tests
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn grows_through_every_tier() {
+        let cfg = cfg();
+        let mut s = Spill::Array(Vec::new());
+        for u in 0..1_000u32 {
+            assert!(s.insert(u, &cfg), "insert {u}");
+        }
+        assert!(matches!(s, Spill::Tree(_)), "expected HITree tier");
+        assert_eq!(s.len(), 1_000);
+        assert_eq!(s.to_vec(), (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stops_at_ria_under_riaonly_ablation() {
+        let mut c = cfg();
+        c.high = HighDegreeStore::RiaOnly;
+        let mut s = Spill::Array(Vec::new());
+        for u in 0..1_000u32 {
+            s.insert(u, &c);
+        }
+        assert!(matches!(s, Spill::Ria(_)), "ablation should cap at RIA");
+        assert_eq!(s.len(), 1_000);
+    }
+
+    #[test]
+    fn pma_ablation_replaces_ria() {
+        let mut c = cfg();
+        c.medium = MediumStore::Pma;
+        let mut s = Spill::Array(Vec::new());
+        for u in 0..100u32 {
+            s.insert(u, &c);
+        }
+        assert!(matches!(s, Spill::Pma(_)));
+        for u in 0..100u32 {
+            assert!(s.contains(u, &c));
+        }
+    }
+
+    #[test]
+    fn downgrades_with_hysteresis() {
+        let cfg = cfg();
+        let mut s = Spill::from_sorted(&(0..1_000).collect::<Vec<_>>(), &cfg);
+        assert!(matches!(s, Spill::Tree(_)));
+        for u in 0..960u32 {
+            assert!(s.delete(u, &cfg), "delete {u}");
+        }
+        assert!(!matches!(s, Spill::Tree(_)), "should have downgraded");
+        assert_eq!(s.to_vec(), (960..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_min_across_tiers() {
+        let cfg = cfg();
+        for n in [10usize, 100, 600] {
+            let mut s = Spill::from_sorted(&(0..n as u32).map(|i| i * 2 + 4).collect::<Vec<_>>(), &cfg);
+            assert_eq!(s.pop_min(&cfg), Some(4));
+            assert_eq!(s.pop_min(&cfg), Some(6));
+            assert_eq!(s.len(), n - 2);
+        }
+        let mut empty = Spill::Array(Vec::new());
+        assert_eq!(empty.pop_min(&cfg), None);
+    }
+
+    #[test]
+    fn binary_search_ablation_same_results() {
+        let mut c = cfg();
+        c.lia_search = LiaSearch::Binary;
+        let mut s = Spill::Array(Vec::new());
+        for u in (0..2_000u32).rev() {
+            s.insert(u, &c);
+        }
+        assert_eq!(s.len(), 2_000);
+        for u in (0..2_000).step_by(13) {
+            assert!(s.contains(u, &c));
+        }
+        assert!(!s.contains(5_000, &c));
+    }
+
+    #[test]
+    fn duplicate_and_missing_handling_each_tier() {
+        let cfg = cfg();
+        for n in [8usize, 64, 600] {
+            let ns: Vec<u32> = (0..n as u32).map(|i| i * 3).collect();
+            let mut s = Spill::from_sorted(&ns, &cfg);
+            assert!(!s.insert(0, &cfg), "dup at n={n}");
+            assert!(!s.delete(1, &cfg), "missing at n={n}");
+            assert_eq!(s.len(), n);
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! The LSGraph engine: vertex-block table + per-vertex spill containers +
+//! the parallel batch-update pipeline (paper §5, Fig. 11).
+
+use lsgraph_api::batch::{max_vertex_id, runs_by_src, sorted_dedup_keys, SrcRun};
+use lsgraph_api::{DynamicGraph, Edge, Footprint, Graph, IterableGraph, MemoryFootprint, VertexId};
+use rayon::prelude::*;
+
+use crate::config::Config;
+use crate::vertex::VertexBlock;
+
+/// A shared-memory streaming graph engine with locality-centric storage.
+///
+/// # Examples
+///
+/// ```
+/// use lsgraph_core::LsGraph;
+/// use lsgraph_api::{DynamicGraph, Graph, Edge};
+///
+/// let mut g = LsGraph::new(4);
+/// g.insert_batch(&[Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 2)]);
+/// assert_eq!(g.degree(0), 2);
+/// assert_eq!(g.neighbors(0), vec![1, 2]);
+/// ```
+pub struct LsGraph {
+    vertices: Vec<VertexBlock>,
+    cfg: Config,
+    num_edges: usize,
+}
+
+/// Raw pointer to the vertex table, shared across the batch-apply tasks.
+///
+/// Send/Sync are sound because the batch pipeline guarantees each task
+/// exclusively owns the vertex blocks of the sources in its runs (runs are
+/// grouped by source id and each source appears in exactly one run).
+struct TablePtr(*mut VertexBlock);
+
+// SAFETY: see the type-level comment; disjoint-index access only.
+unsafe impl Send for TablePtr {}
+// SAFETY: see the type-level comment; disjoint-index access only.
+unsafe impl Sync for TablePtr {}
+
+impl TablePtr {
+    /// Returns a mutable reference to the block at `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee `i` is in bounds and that no other task
+    /// accesses index `i` for the lifetime of the returned reference.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn at(&self, i: usize) -> &mut VertexBlock {
+        // SAFETY: bounds and exclusivity are the caller's contract.
+        unsafe { &mut *self.0.add(i) }
+    }
+}
+
+impl LsGraph {
+    /// Creates an empty graph over `n` vertices with the default (paper)
+    /// configuration.
+    pub fn new(n: usize) -> Self {
+        LsGraph::with_config(n, Config::default())
+    }
+
+    /// Creates an empty graph with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (`α <= 1`, misordered
+    /// thresholds); use [`Config::validate`] to check first.
+    pub fn with_config(n: usize, cfg: Config) -> Self {
+        cfg.validate().expect("invalid LSGraph configuration");
+        LsGraph {
+            vertices: (0..n).map(|_| VertexBlock::new()).collect(),
+            cfg,
+            num_edges: 0,
+        }
+    }
+
+    /// Bulk-loads a graph from an edge list in parallel.
+    pub fn from_edges(n: usize, edges: &[Edge], cfg: Config) -> Self {
+        cfg.validate().expect("invalid LSGraph configuration");
+        let keys = sorted_dedup_keys(edges);
+        let n = n.max(max_vertex_id(edges).map_or(0, |m| m as usize + 1));
+        let mut g = LsGraph {
+            vertices: (0..n).map(|_| VertexBlock::new()).collect(),
+            cfg,
+            num_edges: keys.len(),
+        };
+        let runs = runs_by_src(&keys);
+        let ptr = TablePtr(g.vertices.as_mut_ptr());
+        let cfg = &g.cfg;
+        runs.par_iter().for_each(|run| {
+            let ns: Vec<u32> = keys[run.start..run.end].iter().map(|&k| k as u32).collect();
+            // SAFETY: `run.src < n` (the table was sized to the max id) and
+            // runs have pairwise-distinct sources, so this is the only task
+            // touching `vertices[run.src]`.
+            let vb = unsafe { ptr.at(run.src as usize) };
+            *vb = VertexBlock::from_sorted_neighbors(&ns, cfg);
+        });
+        g
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// The vertex block of `v` (introspection for tier statistics).
+    #[inline]
+    pub(crate) fn vertex(&self, v: VertexId) -> &VertexBlock {
+        &self.vertices[v as usize]
+    }
+
+    /// Ensures the vertex table covers ids up to `max_id`.
+    fn grow_to(&mut self, max_id: u32) {
+        if max_id as usize >= self.vertices.len() {
+            self.vertices.resize_with(max_id as usize + 1, VertexBlock::new);
+        }
+    }
+
+    /// Applies `op` to each run's vertex block in parallel, returning the
+    /// summed per-run counts.
+    fn apply_runs(
+        &mut self,
+        keys: &[u64],
+        runs: &[SrcRun],
+        op: impl Fn(&mut VertexBlock, &[u64], &Config) -> usize + Sync,
+    ) -> usize {
+        let ptr = TablePtr(self.vertices.as_mut_ptr());
+        let cfg = &self.cfg;
+        runs.par_iter()
+            .map(|run| {
+                // SAFETY: runs are grouped by distinct source ids and the
+                // table has been grown to cover every id in the batch, so
+                // each block is mutated by exactly one task.
+                let vb = unsafe { ptr.at(run.src as usize) };
+                op(vb, &keys[run.start..run.end], cfg)
+            })
+            .sum()
+    }
+
+    /// Removes every out-edge of `v`, returning how many were removed
+    /// (vertex deletion for directed use; for symmetric graphs pair with
+    /// [`LsGraph::clear_vertex_undirected`]).
+    pub fn clear_vertex(&mut self, v: VertexId) -> usize {
+        let vb = &mut self.vertices[v as usize];
+        let removed = vb.degree();
+        *vb = VertexBlock::new();
+        self.num_edges -= removed;
+        removed
+    }
+
+    /// Removes `v`'s out-edges *and* their mirrors from the neighbors'
+    /// adjacency — full vertex deletion on a symmetric graph. Returns the
+    /// number of directed edges removed.
+    pub fn clear_vertex_undirected(&mut self, v: VertexId) -> usize {
+        let ns = self.neighbors(v);
+        let mirrors: Vec<Edge> = ns.iter().map(|&u| Edge::new(u, v)).collect();
+        let back = self.delete_batch(&mirrors);
+        back + self.clear_vertex(v)
+    }
+
+    /// Verifies every structural invariant of the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn check_invariants(&self) {
+        let mut total = 0;
+        for vb in &self.vertices {
+            vb.check_invariants(&self.cfg);
+            total += vb.degree();
+        }
+        assert_eq!(total, self.num_edges, "edge accounting");
+    }
+
+    /// Index bytes (RIA index arrays, LIA models, slot metadata) versus
+    /// total bytes — the paper's Table 3 `I/L` ratio.
+    pub fn index_overhead(&self) -> f64 {
+        self.footprint().index_ratio()
+    }
+}
+
+impl Graph for LsGraph {
+    fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.vertices[v as usize].degree()
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        self.vertices[v as usize].for_each(f);
+    }
+
+    fn for_each_neighbor_while(&self, v: VertexId, f: &mut dyn FnMut(VertexId) -> bool) -> bool {
+        self.vertices[v as usize].for_each_while(f)
+    }
+
+    fn has_edge(&self, v: VertexId, u: VertexId) -> bool {
+        self.vertices[v as usize].contains(u, &self.cfg)
+    }
+}
+
+impl IterableGraph for LsGraph {
+    type NeighborIter<'a> = crate::vertex::NeighborIter<'a>;
+
+    fn neighbor_iter(&self, v: VertexId) -> Self::NeighborIter<'_> {
+        self.vertices[v as usize].iter()
+    }
+}
+
+impl DynamicGraph for LsGraph {
+    fn insert_batch(&mut self, batch: &[Edge]) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        let keys = sorted_dedup_keys(batch);
+        if let Some(max_id) = max_vertex_id(batch) {
+            self.grow_to(max_id);
+        }
+        let runs = runs_by_src(&keys);
+        let added = self.apply_runs(&keys, &runs, |vb, run_keys, cfg| {
+            let mut n = 0;
+            for &k in run_keys {
+                if vb.insert(k as u32, cfg) {
+                    n += 1;
+                }
+            }
+            n
+        });
+        self.num_edges += added;
+        added
+    }
+
+    fn delete_batch(&mut self, batch: &[Edge]) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        let keys = sorted_dedup_keys(batch);
+        // Ignore runs for vertices beyond the table; those edges cannot
+        // exist.
+        let n = self.vertices.len() as u64;
+        let keys: Vec<u64> = keys.into_iter().filter(|&k| (k >> 32) < n).collect();
+        let runs = runs_by_src(&keys);
+        let removed = self.apply_runs(&keys, &runs, |vb, run_keys, cfg| {
+            let mut n = 0;
+            for &k in run_keys {
+                if vb.delete(k as u32, cfg) {
+                    n += 1;
+                }
+            }
+            n
+        });
+        self.num_edges -= removed;
+        removed
+    }
+}
+
+impl MemoryFootprint for LsGraph {
+    fn footprint(&self) -> Footprint {
+        let blocks = Footprint::new(
+            self.vertices.len() * core::mem::size_of::<VertexBlock>(),
+            0,
+        );
+        let spills: Footprint = self
+            .vertices
+            .par_iter()
+            .map(VertexBlock::spill_footprint)
+            .reduce(Footprint::default, Footprint::add);
+        blocks + spills
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
+        pairs.iter().map(|&(a, b)| Edge::new(a, b)).collect()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = LsGraph::new(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(0), Vec::<u32>::new());
+        g.check_invariants();
+    }
+
+    #[test]
+    fn insert_batch_counts_new_edges_only() {
+        let mut g = LsGraph::new(4);
+        assert_eq!(g.insert_batch(&edges(&[(0, 1), (0, 2), (0, 1)])), 2);
+        assert_eq!(g.insert_batch(&edges(&[(0, 1), (1, 0)])), 1);
+        assert_eq!(g.num_edges(), 3);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn delete_batch() {
+        let mut g = LsGraph::from_edges(3, &edges(&[(0, 1), (0, 2), (1, 2)]), Config::default());
+        assert_eq!(g.delete_batch(&edges(&[(0, 1), (2, 0), (9, 9)])), 1);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), vec![2]);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn grows_vertex_table_on_demand() {
+        let mut g = LsGraph::new(2);
+        g.insert_batch(&edges(&[(10, 20)]));
+        assert_eq!(g.num_vertices(), 21);
+        assert!(g.has_edge(10, 20));
+        g.check_invariants();
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut es = Vec::new();
+        for _ in 0..20_000 {
+            es.push(Edge::new(rng.gen_range(0..50), rng.gen_range(0..2_000)));
+        }
+        let bulk = LsGraph::from_edges(2_000, &es, Config::default());
+        let mut inc = LsGraph::new(2_000);
+        for chunk in es.chunks(997) {
+            inc.insert_batch(chunk);
+        }
+        assert_eq!(bulk.num_edges(), inc.num_edges());
+        for v in 0..50u32 {
+            assert_eq!(bulk.neighbors(v), inc.neighbors(v), "vertex {v}");
+        }
+        bulk.check_invariants();
+        inc.check_invariants();
+    }
+
+    #[test]
+    fn insert_then_delete_restores_original() {
+        // The paper's throughput loop inserts a batch and then deletes it,
+        // asserting the graph is unchanged.
+        let mut rng = SmallRng::seed_from_u64(8);
+        let base: Vec<Edge> = (0..5_000)
+            .map(|_| Edge::new(rng.gen_range(0..100), rng.gen_range(0..1_000)))
+            .collect();
+        let mut g = LsGraph::from_edges(1_000, &base, Config::default());
+        let before: Vec<Vec<u32>> = (0..100).map(|v| g.neighbors(v)).collect();
+        let m = g.num_edges();
+        let batch: Vec<Edge> = (0..3_000)
+            .map(|_| Edge::new(rng.gen_range(0..100), rng.gen_range(1_000..5_000)))
+            .collect();
+        let added = g.insert_batch(&batch);
+        assert!(added > 0);
+        let removed = g.delete_batch(&batch);
+        assert_eq!(added, removed);
+        assert_eq!(g.num_edges(), m);
+        for v in 0..100u32 {
+            assert_eq!(g.neighbors(v), before[v as usize], "vertex {v}");
+        }
+        g.check_invariants();
+    }
+
+    #[test]
+    fn high_degree_vertex_lifecycle() {
+        let cfg = Config { m: 512, ..Config::default() };
+        let mut g = LsGraph::with_config(10, cfg);
+        let batch: Vec<Edge> = (0..8_000u32).map(|i| Edge::new(0, i + 1)).collect();
+        assert_eq!(g.insert_batch(&batch), 8_000);
+        assert_eq!(g.degree(0), 8_000);
+        let ns = g.neighbors(0);
+        assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ns.len(), 8_000);
+        g.check_invariants();
+        assert_eq!(g.delete_batch(&batch), 8_000);
+        assert_eq!(g.degree(0), 0);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn undirected_insert() {
+        let mut g = LsGraph::new(4);
+        g.insert_batch_undirected(&edges(&[(0, 1), (2, 3)]));
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(g.has_edge(2, 3) && g.has_edge(3, 2));
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn differential_against_adjacency_map_random_stream() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let cfg = Config { m: 128, ..Config::default() };
+        let mut g = LsGraph::with_config(300, cfg);
+        let mut oracle: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); 300];
+        for round in 0..30 {
+            let batch: Vec<Edge> = (0..500)
+                .map(|_| Edge::new(rng.gen_range(0..300), rng.gen_range(0..300)))
+                .collect();
+            if round % 3 == 2 {
+                let removed = g.delete_batch(&batch);
+                let mut expect = 0;
+                for e in dedup(&batch) {
+                    if oracle[e.src as usize].remove(&e.dst) {
+                        expect += 1;
+                    }
+                }
+                assert_eq!(removed, expect, "round {round}");
+            } else {
+                let added = g.insert_batch(&batch);
+                let mut expect = 0;
+                for e in dedup(&batch) {
+                    if oracle[e.src as usize].insert(e.dst) {
+                        expect += 1;
+                    }
+                }
+                assert_eq!(added, expect, "round {round}");
+            }
+        }
+        g.check_invariants();
+        for v in 0..300u32 {
+            assert_eq!(
+                g.neighbors(v),
+                oracle[v as usize].iter().copied().collect::<Vec<_>>(),
+                "vertex {v}"
+            );
+        }
+    }
+
+    fn dedup(batch: &[Edge]) -> Vec<Edge> {
+        let mut v = batch.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn footprint_and_index_overhead() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let es: Vec<Edge> = (0..50_000)
+            .map(|_| Edge::new(rng.gen_range(0..1_000), rng.gen_range(0..10_000)))
+            .collect();
+        let g = LsGraph::from_edges(10_000, &es, Config::default());
+        let fp = g.footprint();
+        assert!(fp.total() > 0);
+        // Paper Table 3 reports 2.9%–5.4% index overhead; ours is relative
+        // to a smaller vertex-block share so allow a loose upper bound.
+        assert!(g.index_overhead() < 0.30, "overhead {}", g.index_overhead());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid LSGraph configuration")]
+    fn invalid_config_rejected() {
+        let _ = LsGraph::with_config(1, Config::default().with_alpha(0.9));
+    }
+
+    #[test]
+    fn clear_vertex_directed() {
+        let mut g = LsGraph::from_edges(4, &edges(&[(0, 1), (0, 2), (1, 0), (2, 3)]), Config::default());
+        assert_eq!(g.clear_vertex(0), 2);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 0), "in-edges untouched by directed clear");
+        g.check_invariants();
+        assert_eq!(g.clear_vertex(3), 0);
+    }
+
+    #[test]
+    fn clear_vertex_undirected() {
+        let mut g = LsGraph::new(5);
+        g.insert_batch_undirected(&edges(&[(0, 1), (0, 2), (0, 3), (1, 2)]));
+        let removed = g.clear_vertex_undirected(0);
+        assert_eq!(removed, 6);
+        assert_eq!(g.degree(0), 0);
+        for v in 1..4u32 {
+            assert!(!g.has_edge(v, 0), "mirror edge ({v},0) must be gone");
+        }
+        assert!(g.has_edge(1, 2) && g.has_edge(2, 1));
+        g.check_invariants();
+    }
+}

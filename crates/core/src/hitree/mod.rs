@@ -1,0 +1,283 @@
+//! HITree — the *Hybrid Indexed Tree* (paper §3.2, Fig. 8).
+//!
+//! High-degree vertices store their spill neighbors in a HITree: LIA internal
+//! nodes (learned placement, horizontal-then-vertical conflict resolution)
+//! over RIA or array leaves. The hybrid combines the PMA-like cache locality
+//! of gapped arrays with the bounded data movement of trees.
+
+mod iter;
+mod lia;
+mod node;
+pub mod typevec;
+
+pub use iter::HiTreeIter;
+pub use lia::Lia;
+pub use node::Node;
+
+use lsgraph_api::{Footprint, MemoryFootprint};
+
+use crate::config::Config;
+
+/// An ordered `u32` set stored as a hybrid indexed tree.
+#[derive(Clone, Debug)]
+pub struct HiTree {
+    root: Node,
+}
+
+impl HiTree {
+    /// Bulk-loads a HITree from a sorted duplicate-free slice.
+    pub fn from_sorted(ns: &[u32], cfg: &Config) -> Self {
+        HiTree {
+            root: Node::from_sorted(ns, cfg, 0),
+        }
+    }
+
+    /// Creates an empty tree.
+    pub fn new(cfg: &Config) -> Self {
+        HiTree::from_sorted(&[], cfg)
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.root.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_empty()
+    }
+
+    /// Returns whether `key` is present.
+    pub fn contains(&self, key: u32, cfg: &Config) -> bool {
+        self.root.contains(key, cfg)
+    }
+
+    /// Inserts `key`; returns whether it was added (false = duplicate).
+    pub fn insert(&mut self, key: u32, cfg: &Config) -> bool {
+        self.root.insert(key, cfg, 0)
+    }
+
+    /// Deletes `key`; returns whether it was present.
+    pub fn delete(&mut self, key: u32, cfg: &Config) -> bool {
+        self.root.delete(key, cfg, 0)
+    }
+
+    /// Applies `f` to every element in ascending order (the paper's
+    /// *Traverse* operation backing `EdgeMap`).
+    pub fn for_each(&self, f: &mut dyn FnMut(u32)) {
+        self.root.for_each(f);
+    }
+
+    /// Applies `f` until it returns `false`; returns whether the scan
+    /// completed.
+    pub fn for_each_while(&self, f: &mut dyn FnMut(u32) -> bool) -> bool {
+        self.root.for_each_while(f)
+    }
+
+    /// Collects all elements into a sorted vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.root.to_vec()
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> HiTreeIter<'_> {
+        HiTreeIter::new(&self.root)
+    }
+
+    /// Verifies structural invariants recursively.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn check_invariants(&self, cfg: &Config) {
+        self.root.check_invariants(cfg);
+    }
+}
+
+impl MemoryFootprint for HiTree {
+    fn footprint(&self) -> Footprint {
+        self.root.footprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, LiaSearch};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn small_cfg() -> Config {
+        // Small M so tests exercise LIA nodes without huge inputs.
+        Config { m: 128, ..Config::default() }
+    }
+
+    #[test]
+    fn bulkload_roundtrip_across_kinds() {
+        let cfg = small_cfg();
+        for n in [0usize, 1, 30, 33, 100, 129, 1000, 5000] {
+            let v: Vec<u32> = (0..n as u32).map(|i| i * 7 + 3).collect();
+            let t = HiTree::from_sorted(&v, &cfg);
+            t.check_invariants(&cfg);
+            assert_eq!(t.to_vec(), v, "n = {n}");
+            assert_eq!(t.len(), n);
+        }
+    }
+
+    #[test]
+    fn bulkload_uses_lia_above_m() {
+        let cfg = small_cfg();
+        let v: Vec<u32> = (0..1000u32).collect();
+        let t = HiTree::from_sorted(&v, &cfg);
+        assert!(matches!(t.root, Node::Lia(_)));
+    }
+
+    #[test]
+    fn insert_into_lia_all_paths() {
+        let cfg = small_cfg();
+        // Bulk-load a skewed set, then hammer one region to force the
+        // U → E → B → C progression.
+        let v: Vec<u32> = (0..500u32).map(|i| i * 20).collect();
+        let mut t = HiTree::from_sorted(&v, &cfg);
+        let mut oracle: std::collections::BTreeSet<u32> = v.iter().copied().collect();
+        for k in 3000..3600u32 {
+            assert_eq!(t.insert(k, &cfg), oracle.insert(k), "key {k}");
+        }
+        t.check_invariants(&cfg);
+        assert_eq!(t.to_vec(), oracle.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_differential_vs_btreeset() {
+        let cfg = small_cfg();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut t = HiTree::new(&cfg);
+        let mut oracle = std::collections::BTreeSet::new();
+        for step in 0..30_000 {
+            let k = rng.gen_range(0..5_000u32);
+            if rng.gen_bool(0.65) {
+                assert_eq!(t.insert(k, &cfg), oracle.insert(k), "insert {k} at {step}");
+            } else {
+                assert_eq!(t.delete(k, &cfg), oracle.remove(&k), "delete {k} at {step}");
+            }
+            assert_eq!(t.len(), oracle.len());
+        }
+        t.check_invariants(&cfg);
+        assert_eq!(t.to_vec(), oracle.iter().copied().collect::<Vec<_>>());
+        for k in (0..5_000).step_by(7) {
+            assert_eq!(t.contains(k, &cfg), oracle.contains(&k), "contains {k}");
+        }
+    }
+
+    #[test]
+    fn binary_search_mode_behaves_identically() {
+        let mut cfg = small_cfg();
+        cfg.lia_search = LiaSearch::Binary;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut t = HiTree::new(&cfg);
+        let mut oracle = std::collections::BTreeSet::new();
+        for _ in 0..15_000 {
+            let k = rng.gen_range(0..3_000u32);
+            if rng.gen_bool(0.7) {
+                assert_eq!(t.insert(k, &cfg), oracle.insert(k));
+            } else {
+                assert_eq!(t.delete(k, &cfg), oracle.remove(&k));
+            }
+        }
+        t.check_invariants(&cfg);
+        assert_eq!(t.to_vec(), oracle.iter().copied().collect::<Vec<_>>());
+        for k in 0..3_000 {
+            assert_eq!(t.contains(k, &cfg), oracle.contains(&k), "contains {k}");
+        }
+    }
+
+    #[test]
+    fn clustered_inserts_create_children_vertical_movement() {
+        let cfg = small_cfg();
+        // Spread bulk-load, then insert a dense cluster into one model region
+        // so a block must overflow into a child (vertical movement).
+        let v: Vec<u32> = (0..300u32).map(|i| i * 1000).collect();
+        let mut t = HiTree::from_sorted(&v, &cfg);
+        for k in 150_000..150_200u32 {
+            t.insert(k, &cfg);
+        }
+        t.check_invariants(&cfg);
+        // 300 bulk-loaded + 200 inserted, minus the duplicate 150_000.
+        assert_eq!(t.len(), 499);
+        let all = t.to_vec();
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        for k in 150_000..150_200 {
+            assert!(t.contains(k, &cfg), "clustered key {k}");
+        }
+    }
+
+    #[test]
+    fn growth_from_empty_crosses_every_tier() {
+        let cfg = small_cfg();
+        let mut t = HiTree::new(&cfg);
+        for k in 0..2_000u32 {
+            assert!(t.insert(k, &cfg));
+        }
+        t.check_invariants(&cfg);
+        assert_eq!(t.len(), 2_000);
+        assert!(matches!(t.root, Node::Lia(_)), "should have upgraded to LIA");
+    }
+
+    #[test]
+    fn delete_down_to_empty() {
+        let cfg = small_cfg();
+        let v: Vec<u32> = (0..400).collect();
+        let mut t = HiTree::from_sorted(&v, &cfg);
+        for k in 0..400 {
+            assert!(t.delete(k, &cfg), "delete {k}");
+        }
+        assert!(t.is_empty());
+        t.check_invariants(&cfg);
+        assert!(!t.delete(0, &cfg));
+        assert!(t.insert(7, &cfg));
+        assert_eq!(t.to_vec(), vec![7]);
+    }
+
+    #[test]
+    fn for_each_while_early_exit() {
+        let cfg = small_cfg();
+        let v: Vec<u32> = (0..1000).collect();
+        let t = HiTree::from_sorted(&v, &cfg);
+        let mut n = 0;
+        assert!(!t.for_each_while(&mut |_| {
+            n += 1;
+            n < 10
+        }));
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn footprint_grows_with_content() {
+        let cfg = small_cfg();
+        let small = HiTree::from_sorted(&(0..100).collect::<Vec<_>>(), &cfg);
+        let large = HiTree::from_sorted(&(0..10_000).collect::<Vec<_>>(), &cfg);
+        assert!(large.footprint().total() > small.footprint().total());
+        // Index overhead stays a small fraction (paper Table 3: 2.9%–5.4%).
+        assert!(large.footprint().index_ratio() < 0.25);
+    }
+
+    #[test]
+    fn adversarial_same_block_hammering() {
+        // Insert keys that all predict into the same few blocks to stress
+        // B-packing and child creation, then verify and delete everything.
+        let cfg = small_cfg();
+        let mut base: Vec<u32> = (0..200u32).map(|i| i * 500).collect();
+        let mut t = HiTree::from_sorted(&base, &cfg);
+        for k in 50_000..50_400u32 {
+            t.insert(k, &cfg);
+            base.push(k);
+        }
+        t.check_invariants(&cfg);
+        base.sort_unstable();
+        base.dedup();
+        assert_eq!(t.to_vec(), base);
+        for &k in &base {
+            assert!(t.delete(k, &cfg));
+        }
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! LSGraph — a locality-centric high-performance streaming graph engine.
+//!
+//! Rust reproduction of *LSGraph* (Qi et al., EuroSys 2024). The engine
+//! stores each vertex's adjacency in a degree-tiered, hierarchically indexed
+//! representation:
+//!
+//! * one cache-line [`vertex block`](vertex::VertexBlock) per vertex with
+//!   inline neighbors,
+//! * a sorted array, a [`Ria`] (Redundant Indexed Array), or a
+//!   [`HiTree`](hitree::HiTree) (LIA internal nodes over RIA/array leaves)
+//!   for the spill, chosen by degree,
+//!
+//! and regulates data movement distance on updates: horizontal movement
+//! within/near cache-line blocks first, array expansion by the space
+//! amplification factor `α` or vertical movement (child creation) when the
+//! locality bound would be exceeded.
+//!
+//! Batched updates are sorted, grouped by source vertex, and applied one
+//! vertex per task without locks; analytics iterate neighbors in sorted
+//! order through the [`lsgraph_api::Graph`] trait.
+//!
+//! # Quick start
+//!
+//! ```
+//! use lsgraph_core::{Config, LsGraph};
+//! use lsgraph_api::{DynamicGraph, Graph, Edge};
+//!
+//! let mut g = LsGraph::with_config(3, Config::default());
+//! g.insert_batch_undirected(&[Edge::new(0, 1), Edge::new(1, 2)]);
+//! assert_eq!(g.neighbors(1), vec![0, 2]);
+//! g.delete_batch_undirected(&[Edge::new(0, 1)]);
+//! assert_eq!(g.degree(0), 0);
+//! ```
+
+pub mod adjacency;
+pub mod config;
+pub mod graph;
+pub mod hitree;
+pub mod model;
+pub mod ria;
+pub mod search;
+pub mod stats;
+pub mod vertex;
+
+pub use config::{Config, ConfigError, HighDegreeStore, LiaSearch, MediumStore, BKS, INLINE_CAP};
+pub use graph::LsGraph;
+pub use hitree::HiTree;
+pub use hitree::HiTreeIter;
+pub use ria::{Ria, RiaIter};
+pub use vertex::NeighborIter;
+pub use stats::{Tier, TierStats};

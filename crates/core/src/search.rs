@@ -1,0 +1,130 @@
+//! Shared ordered-search helpers.
+//!
+//! The paper's motivation (§2.3) is that binary search over a large PMA has
+//! serial data dependencies and poor spatial locality. The structures here
+//! instead search *small* index arrays, so the helpers are tuned for short
+//! inputs: a branchless lower bound for index arrays and a linear scan for
+//! within-block searches (a block is one cache line).
+
+/// Returns the first index `i` with `a[i] >= key` (i.e. `a.len()` if none).
+///
+/// Branchless binary search: each step halves the range with a conditional
+/// move instead of a branch, which avoids mispredictions on random keys.
+#[inline]
+pub fn lower_bound(a: &[u32], key: u32) -> usize {
+    let mut base = 0usize;
+    let mut size = a.len();
+    while size > 1 {
+        let half = size / 2;
+        let mid = base + half;
+        // SAFETY: `mid < base + size <= a.len()` is maintained by the loop.
+        let probe = unsafe { *a.get_unchecked(mid) };
+        if probe < key {
+            base = mid;
+        }
+        size -= half;
+    }
+    if base < a.len() && a[base] < key {
+        base + 1
+    } else {
+        base
+    }
+}
+
+/// Returns the index of the *rightmost* element `<= key`, or `None` if every
+/// element is greater than `key` (or the slice is empty).
+///
+/// This is the block-locating primitive: RIA index arrays store each block's
+/// first element, and a key belongs to the rightmost block whose first
+/// element does not exceed it.
+#[inline]
+pub fn rightmost_le(a: &[u32], key: u32) -> Option<usize> {
+    let i = lower_bound(a, key);
+    if i < a.len() && a[i] == key {
+        Some(i)
+    } else if i == 0 {
+        None
+    } else {
+        Some(i - 1)
+    }
+}
+
+/// Linear lower bound for cache-line-sized slices.
+#[inline]
+pub fn linear_lower_bound(a: &[u32], key: u32) -> usize {
+    let mut i = 0;
+    while i < a.len() && a[i] < key {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_matches_std() {
+        let a = [2u32, 4, 4, 7, 9, 9, 9, 12];
+        for key in 0..15 {
+            assert_eq!(lower_bound(&a, key), a.partition_point(|&x| x < key), "key {key}");
+        }
+        assert_eq!(lower_bound(&[], 5), 0);
+    }
+
+    #[test]
+    fn lower_bound_singleton() {
+        assert_eq!(lower_bound(&[5], 4), 0);
+        assert_eq!(lower_bound(&[5], 5), 0);
+        assert_eq!(lower_bound(&[5], 6), 1);
+    }
+
+    #[test]
+    fn rightmost_le_cases() {
+        let a = [10u32, 20, 30];
+        assert_eq!(rightmost_le(&a, 5), None);
+        assert_eq!(rightmost_le(&a, 10), Some(0));
+        assert_eq!(rightmost_le(&a, 15), Some(0));
+        assert_eq!(rightmost_le(&a, 20), Some(1));
+        assert_eq!(rightmost_le(&a, 99), Some(2));
+        assert_eq!(rightmost_le(&[], 1), None);
+    }
+
+    #[test]
+    fn linear_matches_branchless() {
+        let a = [1u32, 3, 5, 7, 9, 11, 13, 15];
+        for key in 0..17 {
+            assert_eq!(linear_lower_bound(&a, key), lower_bound(&a, key));
+        }
+    }
+
+    #[test]
+    fn lower_bound_exhaustive_small() {
+        // Every sorted multiset over a tiny alphabet, checked against std.
+        let alphabet = [0u32, 1, 2, 3];
+        for len in 0..=4usize {
+            let mut idx = vec![0usize; len];
+            loop {
+                let a: Vec<u32> = idx.iter().map(|&i| alphabet[i]).collect();
+                if a.windows(2).all(|w| w[0] <= w[1]) {
+                    for key in 0..5 {
+                        assert_eq!(lower_bound(&a, key), a.partition_point(|&x| x < key));
+                    }
+                }
+                // Odometer increment.
+                let mut k = 0;
+                while k < len {
+                    idx[k] += 1;
+                    if idx[k] < alphabet.len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == len {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Engine introspection: how the degree-tiered hierarchy is populated.
+//!
+//! The paper's design rests on power-law degree distributions putting almost
+//! every vertex in the cheap tiers (Fig. 9); these statistics make that
+//! distribution observable, back the EXPERIMENTS.md narrative, and let tests
+//! assert that tier transitions actually happen on skewed inputs.
+
+use crate::adjacency::Spill;
+use crate::graph::LsGraph;
+use lsgraph_api::Graph;
+
+/// Which container currently stores a vertex's spill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// All neighbors fit in the inline cache line.
+    Inline,
+    /// Sorted-array spill.
+    Array,
+    /// RIA spill.
+    Ria,
+    /// Per-vertex PMA spill (ablation configuration).
+    Pma,
+    /// HITree spill.
+    HiTree,
+}
+
+/// Per-tier vertex and edge counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Vertices whose neighbors are entirely inline.
+    pub inline_vertices: usize,
+    /// Vertices spilling into an array.
+    pub array_vertices: usize,
+    /// Vertices spilling into a RIA.
+    pub ria_vertices: usize,
+    /// Vertices spilling into a per-vertex PMA.
+    pub pma_vertices: usize,
+    /// Vertices spilling into a HITree.
+    pub hitree_vertices: usize,
+    /// Edges stored inline (including the inline prefix of spilled
+    /// vertices).
+    pub inline_edges: usize,
+    /// Edges stored in spill containers.
+    pub spill_edges: usize,
+}
+
+impl TierStats {
+    /// Total vertices counted.
+    pub fn total_vertices(&self) -> usize {
+        self.inline_vertices
+            + self.array_vertices
+            + self.ria_vertices
+            + self.pma_vertices
+            + self.hitree_vertices
+    }
+}
+
+impl LsGraph {
+    /// The tier of vertex `v`.
+    pub fn tier(&self, v: u32) -> Tier {
+        match self.vertex(v).spill() {
+            None => Tier::Inline,
+            Some(Spill::Array(_)) => Tier::Array,
+            Some(Spill::Ria(_)) => Tier::Ria,
+            Some(Spill::Pma(_)) => Tier::Pma,
+            Some(Spill::Tree(_)) => Tier::HiTree,
+        }
+    }
+
+    /// Tier population statistics across the whole graph.
+    pub fn tier_stats(&self) -> TierStats {
+        let mut s = TierStats::default();
+        for v in 0..self.num_vertices() as u32 {
+            let vb = self.vertex(v);
+            let deg = vb.degree();
+            let spill = vb.spill().map_or(0, Spill::len);
+            s.inline_edges += deg - spill;
+            s.spill_edges += spill;
+            match self.tier(v) {
+                Tier::Inline => s.inline_vertices += 1,
+                Tier::Array => s.array_vertices += 1,
+                Tier::Ria => s.ria_vertices += 1,
+                Tier::Pma => s.pma_vertices += 1,
+                Tier::HiTree => s.hitree_vertices += 1,
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, INLINE_CAP};
+    use lsgraph_api::{DynamicGraph, Edge};
+
+    #[test]
+    fn tiers_reflect_degrees() {
+        let cfg = Config { m: 256, ..Config::default() };
+        let mut g = LsGraph::with_config(4, cfg);
+        let mk = |v: u32, d: u32| (0..d).map(move |i| Edge::new(v, i + 1)).collect::<Vec<_>>();
+        g.insert_batch(&mk(0, 5)); // inline
+        g.insert_batch(&mk(1, 30)); // array
+        g.insert_batch(&mk(2, 200)); // ria
+        g.insert_batch(&mk(3, 2_000)); // hitree
+        assert_eq!(g.tier(0), Tier::Inline);
+        assert_eq!(g.tier(1), Tier::Array);
+        assert_eq!(g.tier(2), Tier::Ria);
+        assert_eq!(g.tier(3), Tier::HiTree);
+        let s = g.tier_stats();
+        // The table grew to cover the largest destination id (2000).
+        assert_eq!(s.total_vertices(), 2_001);
+        assert_eq!(s.inline_edges + s.spill_edges, g.num_edges());
+        assert_eq!(s.hitree_vertices, 1);
+        assert_eq!(s.ria_vertices, 1);
+    }
+
+    #[test]
+    fn power_law_keeps_most_vertices_inline() {
+        use lsgraph_api::Edge;
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        // R-MAT-style skew: repeatedly halve the id range with bias, giving
+        // a heavy head and a long tail of low-degree vertices.
+        let mut rng = SmallRng::seed_from_u64(12);
+        let scale = 12u32;
+        let n = 1u32 << scale;
+        let mut batch = Vec::new();
+        for _ in 0..40_000 {
+            let mut pick = || {
+                let mut x = 0u32;
+                for _ in 0..scale {
+                    x = (x << 1) | u32::from(rng.gen_bool(0.25));
+                }
+                x
+            };
+            batch.push(Edge::new(pick(), pick()));
+        }
+        let cfg = Config { m: 256, ..Config::default() }; // reachable HITree tier
+        let g = LsGraph::from_edges(n as usize, &batch, cfg);
+        let s = g.tier_stats();
+        assert!(
+            s.inline_vertices * 2 > s.total_vertices(),
+            "power law should keep most vertices inline: {s:?}"
+        );
+        assert!(s.hitree_vertices >= 1, "head vertices should reach HITree: {s:?}");
+        assert_eq!(s.inline_edges + s.spill_edges, g.num_edges());
+        // Inline capacity bound: inline edges per vertex <= INLINE_CAP.
+        assert!(s.inline_edges <= s.total_vertices() * INLINE_CAP);
+    }
+}

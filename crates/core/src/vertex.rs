@@ -1,0 +1,383 @@
+//! Cache-line vertex blocks (paper §4.1 ①, following Terrace).
+//!
+//! Each vertex owns exactly one 64-byte block: its degree, its
+//! [`INLINE_CAP`] smallest neighbors inline, and a pointer to the spill
+//! container holding the rest. Low-degree vertices — the overwhelming
+//! majority under power-law distributions — are therefore served by a single
+//! cache-line read.
+
+use lsgraph_api::{Footprint, MemoryFootprint};
+
+use crate::adjacency::Spill;
+use crate::config::{Config, INLINE_CAP};
+
+/// One vertex's cache-line block.
+///
+/// Invariant: `inline[..degree.min(INLINE_CAP)]` holds the vertex's smallest
+/// neighbors in ascending order, and every spilled neighbor is greater than
+/// the last inline one.
+#[repr(C, align(64))]
+#[derive(Clone, Debug, Default)]
+pub struct VertexBlock {
+    degree: u32,
+    inline: [u32; INLINE_CAP],
+    spill: Option<Box<Spill>>,
+}
+
+impl VertexBlock {
+    /// Creates an isolated vertex.
+    pub fn new() -> Self {
+        VertexBlock::default()
+    }
+
+    /// Builds a block from a sorted duplicate-free neighbor slice.
+    pub fn from_sorted_neighbors(ns: &[u32], cfg: &Config) -> Self {
+        debug_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        let mut vb = VertexBlock::new();
+        let inline_n = ns.len().min(INLINE_CAP);
+        vb.inline[..inline_n].copy_from_slice(&ns[..inline_n]);
+        vb.degree = ns.len() as u32;
+        if ns.len() > INLINE_CAP {
+            vb.spill = Some(Box::new(Spill::from_sorted(&ns[INLINE_CAP..], cfg)));
+        }
+        vb
+    }
+
+    /// Vertex degree.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree as usize
+    }
+
+    #[inline]
+    fn inline_len(&self) -> usize {
+        (self.degree as usize).min(INLINE_CAP)
+    }
+
+    /// The inline (smallest) neighbors.
+    #[inline]
+    pub fn inline_neighbors(&self) -> &[u32] {
+        &self.inline[..self.inline_len()]
+    }
+
+    /// The spill container, if any (introspection for tier statistics).
+    #[inline]
+    pub(crate) fn spill(&self) -> Option<&Spill> {
+        self.spill.as_deref()
+    }
+
+    /// Returns whether `u` is a neighbor.
+    pub fn contains(&self, u: u32, cfg: &Config) -> bool {
+        let inl = self.inline_neighbors();
+        if let Some(&last) = inl.last() {
+            if u <= last {
+                return inl.binary_search(&u).is_ok();
+            }
+        }
+        self.spill.as_ref().is_some_and(|s| s.contains(u, cfg))
+    }
+
+    /// Inserts neighbor `u`; returns whether it was added.
+    pub fn insert(&mut self, u: u32, cfg: &Config) -> bool {
+        let n = self.inline_len();
+        if n < INLINE_CAP {
+            // Everything fits inline.
+            debug_assert!(self.spill.is_none());
+            match self.inline[..n].binary_search(&u) {
+                Ok(_) => false,
+                Err(i) => {
+                    self.inline.copy_within(i..n, i + 1);
+                    self.inline[i] = u;
+                    self.degree += 1;
+                    true
+                }
+            }
+        } else {
+            match self.inline.binary_search(&u) {
+                Ok(_) => false,
+                Err(i) if i < INLINE_CAP => {
+                    // `u` belongs inline: evict the current inline maximum.
+                    let evicted = self.inline[INLINE_CAP - 1];
+                    self.inline.copy_within(i..INLINE_CAP - 1, i + 1);
+                    self.inline[i] = u;
+                    let spill = self
+                        .spill
+                        .get_or_insert_with(|| Box::new(Spill::Array(Vec::new())));
+                    let added = spill.insert(evicted, cfg);
+                    debug_assert!(added, "evicted inline neighbor was already spilled");
+                    self.degree += 1;
+                    true
+                }
+                Err(_) => {
+                    let spill = self
+                        .spill
+                        .get_or_insert_with(|| Box::new(Spill::Array(Vec::new())));
+                    if spill.insert(u, cfg) {
+                        self.degree += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deletes neighbor `u`; returns whether it was present.
+    pub fn delete(&mut self, u: u32, cfg: &Config) -> bool {
+        let n = self.inline_len();
+        match self.inline[..n].binary_search(&u) {
+            Ok(i) => {
+                self.inline.copy_within(i + 1..n, i);
+                // Refill the inline line from the spill so it keeps holding
+                // the smallest neighbors.
+                let mut emptied = false;
+                if let Some(spill) = self.spill.as_mut() {
+                    if let Some(min) = spill.pop_min(cfg) {
+                        self.inline[n - 1] = min;
+                    }
+                    emptied = spill.is_empty();
+                }
+                if emptied {
+                    self.spill = None;
+                }
+                self.degree -= 1;
+                true
+            }
+            Err(_) => {
+                let Some(spill) = self.spill.as_mut() else {
+                    return false;
+                };
+                if spill.delete(u, cfg) {
+                    if spill.is_empty() {
+                        self.spill = None;
+                    }
+                    self.degree -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Applies `f` to every neighbor in ascending order.
+    pub fn for_each(&self, f: &mut dyn FnMut(u32)) {
+        for &u in self.inline_neighbors() {
+            f(u);
+        }
+        if let Some(spill) = &self.spill {
+            spill.for_each(f);
+        }
+    }
+
+    /// Applies `f` until it returns `false`; returns whether the scan
+    /// completed.
+    pub fn for_each_while(&self, f: &mut dyn FnMut(u32) -> bool) -> bool {
+        for &u in self.inline_neighbors() {
+            if !f(u) {
+                return false;
+            }
+        }
+        match &self.spill {
+            Some(spill) => spill.for_each_while(f),
+            None => true,
+        }
+    }
+
+    /// Collects all neighbors into a sorted vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut v = Vec::with_capacity(self.degree());
+        self.for_each(&mut |x| v.push(x));
+        v
+    }
+
+    /// Iterates neighbors in ascending order (inline line, then spill).
+    pub fn iter(&self) -> NeighborIter<'_> {
+        NeighborIter {
+            inline: self.inline_neighbors().iter(),
+            spill: self.spill.as_deref().map(Spill::iter),
+        }
+    }
+
+    /// Bytes spent beyond the block itself, split payload/index.
+    pub fn spill_footprint(&self) -> Footprint {
+        self.spill.as_ref().map_or(Footprint::default(), |s| s.footprint())
+    }
+
+    /// Verifies the inline/spill invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn check_invariants(&self, cfg: &Config) {
+        let inl = self.inline_neighbors();
+        assert!(inl.windows(2).all(|w| w[0] < w[1]), "inline unsorted");
+        let spill_len = self.spill.as_ref().map_or(0, |s| s.len());
+        assert_eq!(
+            self.degree as usize,
+            inl.len() + spill_len,
+            "degree accounting"
+        );
+        if let Some(spill) = &self.spill {
+            assert!(!spill.is_empty(), "empty spill retained");
+            assert_eq!(inl.len(), INLINE_CAP, "spill with non-full inline line");
+            let sv = spill.to_vec();
+            assert!(sv.windows(2).all(|w| w[0] < w[1]), "spill unsorted");
+            assert!(
+                inl.last().unwrap() < sv.first().unwrap(),
+                "spill overlaps inline range"
+            );
+            if let Spill::Ria(r) = spill.as_ref() {
+                r.check_invariants();
+            }
+            if let Spill::Tree(t) = spill.as_ref() {
+                t.check_invariants(cfg);
+            }
+        }
+    }
+}
+
+/// Ascending iterator over one vertex's neighbors.
+pub struct NeighborIter<'a> {
+    inline: core::slice::Iter<'a, u32>,
+    spill: Option<crate::adjacency::SpillIter<'a>>,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if let Some(&v) = self.inline.next() {
+            return Some(v);
+        }
+        self.spill.as_mut()?.next()
+    }
+}
+
+impl MemoryFootprint for VertexBlock {
+    fn footprint(&self) -> Footprint {
+        Footprint::new(core::mem::size_of::<VertexBlock>(), 0) + self.spill_footprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_is_one_cache_line() {
+        assert_eq!(core::mem::size_of::<VertexBlock>(), 64);
+        assert_eq!(core::mem::align_of::<VertexBlock>(), 64);
+    }
+
+    #[test]
+    fn inline_only_lifecycle() {
+        let cfg = Config::default();
+        let mut vb = VertexBlock::new();
+        for u in [9u32, 1, 5] {
+            assert!(vb.insert(u, &cfg));
+        }
+        assert!(!vb.insert(5, &cfg));
+        assert_eq!(vb.degree(), 3);
+        assert_eq!(vb.to_vec(), vec![1, 5, 9]);
+        assert!(vb.contains(5, &cfg) && !vb.contains(2, &cfg));
+        assert!(vb.delete(5, &cfg));
+        assert!(!vb.delete(5, &cfg));
+        assert_eq!(vb.to_vec(), vec![1, 9]);
+        vb.check_invariants(&cfg);
+    }
+
+    #[test]
+    fn spill_on_overflow_keeps_smallest_inline() {
+        let cfg = Config::default();
+        let mut vb = VertexBlock::new();
+        for u in (0..40u32).rev() {
+            assert!(vb.insert(u, &cfg));
+        }
+        vb.check_invariants(&cfg);
+        assert_eq!(vb.degree(), 40);
+        assert_eq!(vb.inline_neighbors(), &(0..INLINE_CAP as u32).collect::<Vec<_>>()[..]);
+        assert_eq!(vb.to_vec(), (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn insert_small_key_evicts_inline_max() {
+        let cfg = Config::default();
+        // Fill inline with large keys, then insert a smaller one.
+        let mut vb = VertexBlock::from_sorted_neighbors(
+            &(100..100 + INLINE_CAP as u32).collect::<Vec<_>>(),
+            &cfg,
+        );
+        assert!(vb.insert(1, &cfg));
+        vb.check_invariants(&cfg);
+        assert_eq!(vb.inline_neighbors()[0], 1);
+        assert_eq!(vb.degree(), INLINE_CAP + 1);
+        assert!(vb.contains(100 + INLINE_CAP as u32 - 1, &cfg), "evicted key lost");
+    }
+
+    #[test]
+    fn delete_inline_pulls_from_spill() {
+        let cfg = Config::default();
+        let mut vb = VertexBlock::from_sorted_neighbors(&(0..30).collect::<Vec<_>>(), &cfg);
+        assert!(vb.delete(0, &cfg));
+        vb.check_invariants(&cfg);
+        assert_eq!(vb.to_vec(), (1..30).collect::<Vec<_>>());
+        // Inline must still be full (smallest 13 of the remaining 29).
+        assert_eq!(vb.inline_neighbors().len(), INLINE_CAP);
+    }
+
+    #[test]
+    fn delete_down_to_inline_drops_spill() {
+        let cfg = Config::default();
+        let mut vb = VertexBlock::from_sorted_neighbors(&(0..20).collect::<Vec<_>>(), &cfg);
+        for u in 13..20u32 {
+            assert!(vb.delete(u, &cfg));
+        }
+        assert!(vb.spill.is_none(), "spill should be dropped when empty");
+        assert_eq!(vb.to_vec(), (0..13).collect::<Vec<_>>());
+        vb.check_invariants(&cfg);
+    }
+
+    #[test]
+    fn from_sorted_matches_incremental() {
+        let cfg = Config::default();
+        let ns: Vec<u32> = (0..500).map(|i| i * 2).collect();
+        let bulk = VertexBlock::from_sorted_neighbors(&ns, &cfg);
+        let mut inc = VertexBlock::new();
+        for &u in ns.iter().rev() {
+            inc.insert(u, &cfg);
+        }
+        assert_eq!(bulk.to_vec(), inc.to_vec());
+        bulk.check_invariants(&cfg);
+        inc.check_invariants(&cfg);
+    }
+
+    #[test]
+    fn high_degree_reaches_tree_tier() {
+        let cfg = Config { m: 256, ..Config::default() };
+        let vb = VertexBlock::from_sorted_neighbors(&(0..5_000).collect::<Vec<_>>(), &cfg);
+        assert!(matches!(vb.spill.as_deref(), Some(Spill::Tree(_))));
+        assert_eq!(vb.degree(), 5_000);
+        vb.check_invariants(&cfg);
+    }
+
+    #[test]
+    fn random_differential() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let cfg = Config { m: 128, ..Config::default() };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut vb = VertexBlock::new();
+        let mut oracle = std::collections::BTreeSet::new();
+        for _ in 0..20_000 {
+            let u = rng.gen_range(0..1_500u32);
+            if rng.gen_bool(0.6) {
+                assert_eq!(vb.insert(u, &cfg), oracle.insert(u));
+            } else {
+                assert_eq!(vb.delete(u, &cfg), oracle.remove(&u));
+            }
+        }
+        vb.check_invariants(&cfg);
+        assert_eq!(vb.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,33 @@
+//! Graph and update-stream generators plus dataset loaders.
+//!
+//! The paper evaluates on SNAP datasets (LJ, OR, TW, FR), an R-MAT graph,
+//! graph500 Kronecker graphs, and four temporal SNAP streams. Those files are
+//! not redistributable here, so this crate provides (see DESIGN.md's
+//! substitution table):
+//!
+//! * [`rmat`]: the R-MAT generator with the paper's exact parameters
+//!   (a=0.5, b=c=0.1, d=0.3) — used both for the synthetic RM graph and for
+//!   the update batches of every throughput experiment;
+//! * [`graph500`]: the Graph500 Kronecker parameters (a=0.57, b=c=0.19);
+//! * [`profiles`]: power-law graphs whose vertex count and average degree
+//!   match each paper dataset at a configurable scale;
+//! * [`temporal`]: preferential-attachment arrival streams standing in for
+//!   the Table 4 temporal graphs;
+//! * [`chunglu`]: Chung–Lu sampling to match a measured degree profile
+//!   exactly, plus degree-histogram extraction;
+//! * [`loader`]: SNAP-style edge-list text and a compact binary format, so
+//!   real datasets can be dropped in when available;
+//! * [`csr`]: a static CSR snapshot used as the analytics ground truth.
+
+pub mod chunglu;
+pub mod csr;
+pub mod loader;
+pub mod profiles;
+pub mod rmat;
+pub mod temporal;
+
+pub use chunglu::{chung_lu, degree_histogram, degree_sequence};
+pub use csr::Csr;
+pub use profiles::{DatasetProfile, PROFILES};
+pub use rmat::{erdos_renyi, graph500, rmat, RmatParams};
+pub use temporal::temporal_stream;

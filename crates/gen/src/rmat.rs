@@ -1,0 +1,146 @@
+//! R-MAT / Kronecker edge generators (Chakrabarti et al., SDM'04).
+
+use lsgraph_api::Edge;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// R-MAT quadrant probabilities.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The paper's parameters (§6.1, same as Aspen): a=0.5, b=c=0.1, d=0.3.
+    pub fn paper() -> Self {
+        RmatParams { a: 0.5, b: 0.1, c: 0.1 }
+    }
+
+    /// Graph500 Kronecker parameters: a=0.57, b=c=0.19, d=0.05.
+    pub fn graph500() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19 }
+    }
+}
+
+/// Generates one R-MAT edge over `2^scale` vertices.
+#[inline]
+fn rmat_edge(scale: u32, p: RmatParams, rng: &mut SmallRng) -> Edge {
+    let mut src = 0u32;
+    let mut dst = 0u32;
+    for _ in 0..scale {
+        src <<= 1;
+        dst <<= 1;
+        // Add per-level noise so repeated quadrant choices do not produce
+        // exact self-similarity artifacts (standard smoothing).
+        let r: f64 = rng.gen();
+        if r < p.a {
+            // top-left: nothing set
+        } else if r < p.a + p.b {
+            dst |= 1;
+        } else if r < p.a + p.b + p.c {
+            src |= 1;
+        } else {
+            src |= 1;
+            dst |= 1;
+        }
+    }
+    Edge::new(src, dst)
+}
+
+/// Generates `m` R-MAT edges over `2^scale` vertices, in parallel,
+/// deterministically from `seed`.
+///
+/// Duplicates and self-loops are kept, as in the reference generator; the
+/// engines dedup on ingest.
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> Vec<Edge> {
+    const CHUNK: usize = 1 << 16;
+    let chunks = m.div_ceil(CHUNK);
+    (0..chunks)
+        .into_par_iter()
+        .flat_map_iter(|c| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37_79B9));
+            let count = CHUNK.min(m - c * CHUNK);
+            (0..count)
+                .map(move |_| rmat_edge(scale, params, &mut rng))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Graph500-style Kronecker edges over `2^scale` vertices.
+pub fn graph500(scale: u32, m: usize, seed: u64) -> Vec<Edge> {
+    rmat(scale, m, RmatParams::graph500(), seed)
+}
+
+/// Uniform (Erdős–Rényi G(n, m)) edges.
+pub fn erdos_renyi(n: u32, m: usize, seed: u64) -> Vec<Edge> {
+    assert!(n > 0, "need at least one vertex");
+    const CHUNK: usize = 1 << 16;
+    let chunks = m.div_ceil(CHUNK);
+    (0..chunks)
+        .into_par_iter()
+        .flat_map_iter(|c| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0xC2B2_AE35));
+            let count = CHUNK.min(m - c * CHUNK);
+            (0..count)
+                .map(move |_| Edge::new(rng.gen_range(0..n), rng.gen_range(0..n)))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = rmat(12, 10_000, RmatParams::paper(), 7);
+        let b = rmat(12, 10_000, RmatParams::paper(), 7);
+        assert_eq!(a, b);
+        let c = rmat(12, 10_000, RmatParams::paper(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ids_within_range() {
+        for e in rmat(10, 5_000, RmatParams::paper(), 1) {
+            assert!(e.src < 1024 && e.dst < 1024);
+        }
+        for e in erdos_renyi(100, 5_000, 1) {
+            assert!(e.src < 100 && e.dst < 100);
+        }
+    }
+
+    #[test]
+    fn rmat_is_skewed_uniform_is_not() {
+        let n = 1u32 << 12;
+        let m = 200_000;
+        let max_deg = |edges: &[Edge]| {
+            let mut deg = vec![0u32; n as usize];
+            for e in edges {
+                deg[e.src as usize] += 1;
+            }
+            *deg.iter().max().unwrap() as f64
+        };
+        let skewed = max_deg(&rmat(12, m, RmatParams::paper(), 3));
+        let flat = max_deg(&erdos_renyi(n, m, 3));
+        // Power-law max degree dwarfs the uniform one.
+        assert!(
+            skewed > flat * 4.0,
+            "rmat max degree {skewed} vs uniform {flat}"
+        );
+    }
+
+    #[test]
+    fn exact_count() {
+        assert_eq!(rmat(8, 70_001, RmatParams::paper(), 2).len(), 70_001);
+        assert_eq!(erdos_renyi(10, 0, 2).len(), 0);
+    }
+}

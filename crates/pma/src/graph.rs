@@ -1,0 +1,200 @@
+//! PMA-backed whole-graph baseline (PCSR-style).
+//!
+//! Every directed edge `(u, v)` is stored as the packed key `u << 32 | v` in
+//! a single PMA, reproducing the representation whose update behaviour the
+//! paper's motivation section analyzes: one big ordered gapped array where a
+//! burst of inserts into one vertex's range shifts edges belonging to other
+//! vertices (Fig. 2).
+
+use lsgraph_api::{
+    CounterSnapshot, DynamicGraph, Edge, Footprint, Graph, MemoryFootprint, VertexId,
+};
+
+use crate::pma::{Pma, PmaParams};
+
+/// A streaming graph stored as one PMA of packed edge keys.
+pub struct PmaGraph {
+    edges: Pma<u64>,
+    degree: Vec<u32>,
+}
+
+impl PmaGraph {
+    /// Creates an empty graph over `n` vertices with Terrace-like density
+    /// bounds.
+    pub fn new(n: usize) -> Self {
+        PmaGraph {
+            edges: Pma::new(),
+            degree: vec![0; n],
+        }
+    }
+
+    /// Creates an empty graph with explicit PMA density bounds.
+    pub fn with_params(n: usize, params: PmaParams) -> Self {
+        PmaGraph {
+            edges: Pma::with_params(params),
+            degree: vec![0; n],
+        }
+    }
+
+    /// Bulk-loads from an edge list (duplicates and self-loop edges kept as
+    /// given, except duplicate edges which collapse).
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut keys: Vec<u64> = edges.iter().map(|e| e.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut degree = vec![0u32; n];
+        for &k in &keys {
+            degree[(k >> 32) as usize] += 1;
+        }
+        PmaGraph {
+            edges: Pma::from_sorted(&keys, PmaParams::default()),
+            degree,
+        }
+    }
+
+    /// Snapshot of the underlying PMA's search/movement counters (Fig. 4).
+    pub fn counters(&self) -> CounterSnapshot {
+        self.edges.counters.snapshot()
+    }
+
+    /// Verifies PMA invariants and degree accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn check_invariants(&self) {
+        self.edges.check_invariants();
+        let mut deg = vec![0u32; self.degree.len()];
+        self.edges.for_each(|k| deg[(k >> 32) as usize] += 1);
+        assert_eq!(deg, self.degree, "degree accounting mismatch");
+    }
+}
+
+impl Graph for PmaGraph {
+    fn num_vertices(&self) -> usize {
+        self.degree.len()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.degree[v as usize] as usize
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        if self.degree[v as usize] == 0 {
+            return;
+        }
+        let from = (v as u64) << 32;
+        let to = (v as u64 + 1) << 32;
+        self.edges.for_each_range(from, to, |k| f(k as u32));
+    }
+
+    fn for_each_neighbor_while(&self, v: VertexId, f: &mut dyn FnMut(VertexId) -> bool) -> bool {
+        if self.degree[v as usize] == 0 {
+            return true;
+        }
+        let from = (v as u64) << 32;
+        let to = (v as u64 + 1) << 32;
+        self.edges.for_each_range_while(from, to, |k| f(k as u32))
+    }
+
+    fn has_edge(&self, v: VertexId, u: VertexId) -> bool {
+        self.edges.contains(Edge::new(v, u).key())
+    }
+}
+
+impl DynamicGraph for PmaGraph {
+    fn insert_batch(&mut self, batch: &[Edge]) -> usize {
+        let mut keys: Vec<u64> = batch.iter().map(|e| e.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut added = 0;
+        for k in keys {
+            if self.edges.insert(k) {
+                self.degree[(k >> 32) as usize] += 1;
+                added += 1;
+            }
+        }
+        added
+    }
+
+    fn delete_batch(&mut self, batch: &[Edge]) -> usize {
+        let mut keys: Vec<u64> = batch.iter().map(|e| e.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut removed = 0;
+        for k in keys {
+            if self.edges.delete(k) {
+                self.degree[(k >> 32) as usize] -= 1;
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+impl MemoryFootprint for PmaGraph {
+    fn footprint(&self) -> Footprint {
+        self.edges.footprint()
+            + Footprint::new(0, self.degree.len() * core::mem::size_of::<u32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
+        pairs.iter().map(|&(a, b)| Edge::new(a, b)).collect()
+    }
+
+    #[test]
+    fn build_and_read() {
+        let g = PmaGraph::from_edges(4, &edges(&[(0, 1), (0, 2), (1, 3), (3, 0), (0, 1)]));
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), vec![1, 2]);
+        assert_eq!(g.neighbors(2), Vec::<u32>::new());
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(0, 3));
+        g.check_invariants();
+    }
+
+    #[test]
+    fn batch_updates() {
+        let mut g = PmaGraph::new(10);
+        assert_eq!(g.insert_batch(&edges(&[(1, 2), (1, 3), (2, 4), (1, 2)])), 3);
+        assert_eq!(g.insert_batch(&edges(&[(1, 2)])), 0);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.delete_batch(&edges(&[(1, 2), (9, 9)])), 1);
+        assert_eq!(g.neighbors(1), vec![3]);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn neighbors_sorted_after_many_inserts() {
+        let mut g = PmaGraph::new(3);
+        let mut batch = Vec::new();
+        for i in (0..500u32).rev() {
+            batch.push(Edge::new(1, i * 2));
+        }
+        g.insert_batch(&batch);
+        let ns = g.neighbors(1);
+        assert_eq!(ns.len(), 500);
+        assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        g.check_invariants();
+    }
+
+    #[test]
+    fn undirected_helper() {
+        let mut g = PmaGraph::new(5);
+        g.insert_batch_undirected(&edges(&[(0, 1), (2, 3)]));
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(g.has_edge(3, 2));
+        assert_eq!(g.num_edges(), 4);
+    }
+}

@@ -1,0 +1,54 @@
+//! Head-to-head engine comparison on one workload — a miniature of the
+//! paper's Fig. 12 + Fig. 13 story: LSGraph should win updates by a wide
+//! margin and analytics by a smaller one.
+//!
+//! ```text
+//! cargo run --release --example engine_comparison
+//! ```
+
+use std::time::Instant;
+
+use lsgraph::baselines::{AspenGraph, PacGraph, TerraceGraph};
+use lsgraph::{analytics, gen, Config, DynamicGraph, Edge, Graph, LsGraph, MemoryFootprint};
+
+fn run(
+    name: &str,
+    g: &mut (impl DynamicGraph + MemoryFootprint),
+    batch: &[Edge],
+    src: u32,
+) {
+    let t0 = Instant::now();
+    g.insert_batch(batch);
+    let ins = t0.elapsed();
+    let t0 = Instant::now();
+    g.delete_batch(batch);
+    let del = t0.elapsed();
+    let t0 = Instant::now();
+    let parents = analytics::bfs(g, src);
+    let bfs = t0.elapsed();
+    let reached = parents.iter().filter(|&&p| p != u32::MAX).count();
+    println!(
+        "{name:>9}: insert {:>8.1}K e/s   delete {:>8.1}K e/s   BFS {bfs:>9.2?} ({reached} reached)   {:>6} MB",
+        batch.len() as f64 / ins.as_secs_f64() / 1e3,
+        batch.len() as f64 / del.as_secs_f64() / 1e3,
+        g.footprint().total() / (1024 * 1024)
+    );
+}
+
+fn main() {
+    let scale = 14;
+    let n = 1usize << scale;
+    let base: Vec<Edge> = gen::rmat(scale, 400_000, gen::RmatParams::paper(), 42)
+        .iter()
+        .flat_map(|e| [*e, e.reversed()])
+        .collect();
+    let batch = gen::rmat(scale, 100_000, gen::RmatParams::paper(), 9);
+    println!("base |V|={n}, |E|={}, batch {}", base.len(), batch.len());
+
+    let mut ls = LsGraph::from_edges(n, &base, Config::default());
+    let src = (0..n as u32).max_by_key(|&v| ls.degree(v)).expect("non-empty");
+    run("LSGraph", &mut ls, &batch, src);
+    run("Terrace", &mut TerraceGraph::from_edges(n, &base), &batch, src);
+    run("Aspen", &mut AspenGraph::from_edges(n, &base), &batch, src);
+    run("PaC-tree", &mut PacGraph::from_edges(n, &base), &batch, src);
+}

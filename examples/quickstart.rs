@@ -1,0 +1,68 @@
+//! Quickstart: build a streaming graph, apply updates, run analytics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lsgraph::{analytics, gen, Config, DynamicGraph, Edge, Graph, LsGraph, MemoryFootprint};
+
+fn main() {
+    // 1. Generate a small power-law graph with the paper's R-MAT parameters
+    //    and bulk-load it (symmetrized, as the paper evaluates).
+    let scale = 14; // 16k vertices
+    let edges = gen::rmat(scale, 200_000, gen::RmatParams::paper(), 42);
+    let undirected: Vec<Edge> = edges
+        .iter()
+        .flat_map(|e| [*e, e.reversed()])
+        .collect();
+    let mut g = LsGraph::from_edges(1 << scale, &undirected, Config::default());
+    println!(
+        "loaded |V|={} |E|={} ({} MB, {:.1}% index overhead)",
+        g.num_vertices(),
+        g.num_edges(),
+        g.footprint().total() / (1024 * 1024),
+        g.index_overhead() * 100.0
+    );
+
+    // 2. Stream a batch of new edges (filtered against the base graph so
+    //    the delete in step 6 restores it exactly) and analyze the result.
+    let batch: Vec<Edge> = gen::rmat(scale, 50_000, gen::RmatParams::paper(), 7)
+        .into_iter()
+        .filter(|e| !g.has_edge(e.src, e.dst))
+        .collect();
+    let added = g.insert_batch_undirected(&batch);
+    println!("streamed {} edges ({added} new directed edges)", batch.len());
+
+    // 3. BFS from the highest-degree vertex.
+    let hub = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.degree(v))
+        .expect("non-empty graph");
+    let parents = analytics::bfs(&g, hub);
+    let reached = parents.iter().filter(|&&p| p != u32::MAX).count();
+    println!("BFS from hub {hub} (degree {}): reached {reached} vertices", g.degree(hub));
+
+    // 4. PageRank and connected components on the updated snapshot.
+    let pr = analytics::pagerank(&g, 10, 0.85);
+    let mut top: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    top.sort_by(|&a, &b| pr[b as usize].total_cmp(&pr[a as usize]));
+    println!("top-5 PageRank vertices: {:?}", &top[..5]);
+
+    let cc = analytics::connected_components(&g);
+    let mut labels: Vec<u32> = cc.clone();
+    labels.sort_unstable();
+    labels.dedup();
+    println!("{} connected components", labels.len());
+
+    // 5. Triangle counting — the set-intersection workload that motivates
+    //    LSGraph's sorted, locality-friendly adjacency.
+    let tc = analytics::triangle_count(&g);
+    println!(
+        "{} triangles in {:?} (traversal phase: {:?})",
+        tc.triangles, tc.total, tc.traversal
+    );
+
+    // 6. Deleting the batch restores the original graph.
+    let removed = g.delete_batch_undirected(&batch);
+    assert_eq!(added, removed);
+    println!("deleted the batch; back to |E|={}", g.num_edges());
+}

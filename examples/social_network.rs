@@ -1,0 +1,68 @@
+//! Social-network stream: the paper's motivating scenario (§1).
+//!
+//! New follow relationships arrive continuously with preferential
+//! attachment (celebrities gain followers fastest). The engine alternates
+//! ingesting timestamped batches with incremental-style analytics queries —
+//! influencer ranking via PageRank and community structure via connected
+//! components — exactly the update/analyze alternation streaming engines
+//! are built for.
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use lsgraph::{analytics, gen, Config, DynamicGraph, Graph, LsGraph};
+
+fn main() {
+    let users = 20_000;
+    let total_follows = 400_000;
+    // A realistic arrival stream: 70% of endpoints copy earlier interactions.
+    let stream = gen::temporal_stream(users, total_follows, 0.7, 2024);
+
+    let mut g = LsGraph::with_config(users, Config::default());
+    let batch_size = 50_000;
+    for (epoch, batch) in stream.chunks(batch_size).enumerate() {
+        let added = g.insert_batch_undirected(batch);
+        // After each epoch, answer the product questions.
+        let pr = analytics::pagerank(&g, 8, 0.85);
+        let influencer = (0..users as u32)
+            .max_by(|&a, &b| pr[a as usize].total_cmp(&pr[b as usize]))
+            .expect("non-empty");
+        let cc = analytics::connected_components(&g);
+        let mut labels = cc.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        let giant = {
+            let mut counts = std::collections::HashMap::new();
+            for &l in &cc {
+                *counts.entry(l).or_insert(0usize) += 1;
+            }
+            counts.values().copied().max().unwrap_or(0)
+        };
+        println!(
+            "epoch {epoch:>2}: +{added:>6} edges  |E|={:>7}  top influencer: user {influencer} \
+             (degree {:>4}, score {:.5})  communities: {:>5}  giant: {:.1}%",
+            g.num_edges(),
+            g.degree(influencer),
+            pr[influencer as usize],
+            labels.len(),
+            giant as f64 / users as f64 * 100.0
+        );
+    }
+
+    // Account deletion: remove the top influencer's relationships.
+    let influencer = (0..users as u32)
+        .max_by_key(|&v| g.degree(v))
+        .expect("non-empty");
+    let followees = g.neighbors(influencer);
+    let unfollow: Vec<lsgraph::Edge> = followees
+        .iter()
+        .map(|&u| lsgraph::Edge::new(influencer, u))
+        .collect();
+    let removed = g.delete_batch_undirected(&unfollow);
+    println!(
+        "\nuser {influencer} deleted their account: {} directed edges removed, degree now {}",
+        removed,
+        g.degree(influencer)
+    );
+}

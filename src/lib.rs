@@ -1,0 +1,62 @@
+//! LSGraph — a locality-centric high-performance streaming graph engine.
+//!
+//! Rust reproduction of *LSGraph: A Locality-centric High-performance
+//! Streaming Graph Engine* (Qi et al., EuroSys 2024). This facade crate
+//! re-exports the whole workspace:
+//!
+//! * [`LsGraph`] — the paper's engine (vertex blocks + RIA + HITree),
+//! * [`analytics`] — Ligra-style BFS / BC / PageRank / CC / TC over any
+//!   [`Graph`],
+//! * [`gen`] — R-MAT / Kronecker / temporal generators and loaders,
+//! * [`baselines`] — Terrace, Aspen, and PaC-tree re-implementations,
+//! * [`substrates`] — the PMA and B-tree containers the baselines build on.
+//!
+//! # Quick start
+//!
+//! ```
+//! use lsgraph::{LsGraph, Config, Edge, DynamicGraph, Graph, analytics};
+//!
+//! // Build a graph, stream a batch, run analytics on the new snapshot.
+//! let mut g = LsGraph::with_config(5, Config::default());
+//! g.insert_batch_undirected(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)]);
+//! let parents = analytics::bfs(&g, 0);
+//! assert_eq!(parents[3], 2);
+//! g.delete_batch_undirected(&[Edge::new(2, 3)]);
+//! assert_eq!(g.degree(3), 0);
+//! ```
+
+pub use lsgraph_api::{
+    CounterSnapshot, DynamicGraph, Edge, Footprint, Graph, IterableGraph, MemoryFootprint,
+    OpCounters, VertexId,
+};
+pub use lsgraph_core::{
+    Config, ConfigError, HiTree, HighDegreeStore, LiaSearch, LsGraph, MediumStore, Ria, Tier,
+    TierStats,
+};
+
+/// Analytics kernels (BFS, BC, PR, CC, TC) and the `EdgeMap` framework.
+pub mod analytics {
+    pub use lsgraph_analytics::*;
+}
+
+/// Graph generators and dataset loaders.
+pub mod gen {
+    pub use lsgraph_gen::*;
+}
+
+/// The baseline engines the paper compares against (plus Sortledton, which
+/// §6.1 measured against PaC-tree when selecting baselines).
+pub mod baselines {
+    pub use lsgraph_aspen::{AspenGraph, CTreeSet};
+    pub use lsgraph_pactree::{PacGraph, PacSet};
+    pub use lsgraph_sortledton::SortledtonGraph;
+    pub use lsgraph_terrace::TerraceGraph;
+}
+
+/// Ordered-set substrates used by the engines.
+pub mod substrates {
+    pub use lsgraph_aspen::DeltaChunk;
+    pub use lsgraph_btree::BTreeSet32;
+    pub use lsgraph_pma::{Pma, PmaGraph, PmaKey, PmaParams};
+    pub use lsgraph_sortledton::UnrolledSkipList;
+}

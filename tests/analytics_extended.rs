@@ -1,0 +1,101 @@
+//! Extended analytics over live engines: k-core, incremental BFS, and the
+//! full kernel family on the LSGraph engine itself (not just the CSR
+//! oracle).
+
+use lsgraph::analytics::{self, IncrementalBfs};
+use lsgraph::baselines::{AspenGraph, PacGraph, TerraceGraph};
+use lsgraph::gen::{rmat, Csr, RmatParams};
+use lsgraph::{Config, DynamicGraph, Edge, Graph, LsGraph};
+
+const SCALE: u32 = 11;
+const N: usize = 1 << SCALE;
+
+fn sym(edges: &[Edge]) -> Vec<Edge> {
+    edges.iter().flat_map(|e| [*e, e.reversed()]).collect()
+}
+
+#[test]
+fn kcore_agrees_across_engines() {
+    let edges = sym(&rmat(SCALE, 30_000, RmatParams::paper(), 21));
+    let oracle = Csr::from_edges(N, &edges);
+    let want = analytics::kcore(&oracle);
+    assert!(*want.iter().max().expect("vertices") >= 2, "workload too sparse");
+    let ls = LsGraph::from_edges(N, &edges, Config::default());
+    let tr = TerraceGraph::from_edges(N, &edges);
+    let asp = AspenGraph::from_edges(N, &edges);
+    let pac = PacGraph::from_edges(N, &edges);
+    assert_eq!(analytics::kcore(&ls), want, "LSGraph");
+    assert_eq!(analytics::kcore(&tr), want, "Terrace");
+    assert_eq!(analytics::kcore(&asp), want, "Aspen");
+    assert_eq!(analytics::kcore(&pac), want, "PaC-tree");
+    assert_eq!(analytics::degeneracy(&ls), *want.iter().max().expect("nonempty"));
+}
+
+#[test]
+fn incremental_bfs_tracks_live_lsgraph() {
+    let base = sym(&rmat(SCALE, 15_000, RmatParams::paper(), 22));
+    let mut g = LsGraph::from_edges(N, &base, Config::default());
+    let src = (0..N as u32).max_by_key(|&v| g.degree(v)).expect("vertices");
+    let mut inc = IncrementalBfs::new(&g, src);
+    for round in 0..6u64 {
+        let batch = sym(&rmat(SCALE, 4_000, RmatParams::paper(), 30 + round));
+        g.insert_batch(&batch);
+        inc.on_insert(&g, &batch);
+        let fresh = IncrementalBfs::new(&g, src);
+        assert_eq!(inc.distances(), fresh.distances(), "round {round}");
+    }
+    // A deletion round falls back to recomputation.
+    let del = sym(&rmat(SCALE, 4_000, RmatParams::paper(), 30));
+    g.delete_batch(&del);
+    inc.on_delete(&g);
+    let fresh = IncrementalBfs::new(&g, src);
+    assert_eq!(inc.distances(), fresh.distances());
+}
+
+#[test]
+fn full_kernel_family_runs_on_updated_engine() {
+    // Smoke the whole kernel family on a graph that has been mutated past
+    // its bulk-loaded shape (tier transitions included).
+    let mut g = LsGraph::from_edges(N, &sym(&rmat(SCALE, 10_000, RmatParams::paper(), 23)), {
+        Config { m: 256, ..Config::default() }
+    });
+    for round in 0..4u64 {
+        g.insert_batch(&sym(&rmat(SCALE, 8_000, RmatParams::paper(), 40 + round)));
+    }
+    g.check_invariants();
+    let src = (0..N as u32).max_by_key(|&v| g.degree(v)).expect("vertices");
+    let parents = analytics::bfs(&g, src);
+    assert_eq!(parents[src as usize], src);
+    let pr = analytics::pagerank(&g, 10, 0.85);
+    let mass: f64 = pr.iter().sum();
+    assert!((mass - 1.0).abs() < 1e-6, "PR mass {mass}");
+    let cc = analytics::connected_components(&g);
+    assert_eq!(cc.len(), g.num_vertices());
+    let tc = analytics::triangle_count(&g);
+    assert!(tc.triangles > 0);
+    let bc = analytics::betweenness(&g, src);
+    assert!(bc.iter().all(|&d| d >= 0.0));
+    let core = analytics::kcore(&g);
+    for (v, &c) in core.iter().enumerate() {
+        assert!(c as usize <= g.degree(v as u32), "coreness bound at {v}");
+    }
+}
+
+#[test]
+fn tier_stats_expose_hierarchy_on_skewed_graph() {
+    let edges = rmat(SCALE, 120_000, RmatParams::paper(), 24);
+    // Small M: at this scale the duplicate-collapsed hub degree is a few
+    // hundred, so the HITree tier needs a low threshold to be reachable.
+    let cfg = Config { m: 128, ..Config::default() };
+    let g = LsGraph::from_edges(N, &edges, cfg);
+    let s = g.tier_stats();
+    assert_eq!(s.total_vertices(), g.num_vertices());
+    assert_eq!(s.inline_edges + s.spill_edges, g.num_edges());
+    assert!(s.hitree_vertices > 0, "rmat head should reach HITree: {s:?}");
+    assert!(s.inline_vertices > s.hitree_vertices, "tail should dominate: {s:?}");
+    // The heaviest vertex must be in the top tier.
+    let hub = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.degree(v))
+        .expect("vertices");
+    assert_eq!(g.tier(hub), lsgraph::Tier::HiTree);
+}

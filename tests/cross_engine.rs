@@ -1,0 +1,171 @@
+//! Cross-engine differential tests: all four engines (plus the CSR ground
+//! truth) must agree on every read and every analytics result over the same
+//! edge stream.
+
+use lsgraph::baselines::{AspenGraph, PacGraph, TerraceGraph};
+use lsgraph::gen::{rmat, Csr, RmatParams};
+use lsgraph::{analytics, Config, DynamicGraph, Edge, Graph, LsGraph};
+
+const SCALE: u32 = 11;
+const N: usize = 1 << SCALE;
+
+fn sym(edges: &[Edge]) -> Vec<Edge> {
+    edges.iter().flat_map(|e| [*e, e.reversed()]).collect()
+}
+
+struct Engines {
+    ls: LsGraph,
+    terrace: TerraceGraph,
+    aspen: AspenGraph,
+    pac: PacGraph,
+    oracle: Csr,
+}
+
+impl Engines {
+    fn build(edges: &[Edge]) -> Self {
+        Engines {
+            ls: LsGraph::from_edges(N, edges, Config::default()),
+            terrace: TerraceGraph::from_edges(N, edges),
+            aspen: AspenGraph::from_edges(N, edges),
+            pac: PacGraph::from_edges(N, edges),
+            oracle: Csr::from_edges(N, edges),
+        }
+    }
+
+    fn each(&self) -> [(&str, &dyn Graph); 4] {
+        [
+            ("LSGraph", &self.ls),
+            ("Terrace", &self.terrace),
+            ("Aspen", &self.aspen),
+            ("PaC-tree", &self.pac),
+        ]
+    }
+}
+
+#[test]
+fn neighbors_match_oracle_after_bulk_load() {
+    let edges = sym(&rmat(SCALE, 60_000, RmatParams::paper(), 1));
+    let e = Engines::build(&edges);
+    for (name, g) in e.each() {
+        assert_eq!(g.num_edges(), e.oracle.num_edges(), "{name}");
+        for v in 0..N as u32 {
+            assert_eq!(g.neighbors(v), e.oracle.neighbors_slice(v), "{name} vertex {v}");
+        }
+    }
+}
+
+#[test]
+fn neighbors_match_after_update_rounds() {
+    let base = sym(&rmat(SCALE, 30_000, RmatParams::paper(), 2));
+    let mut e = Engines::build(&base);
+    let mut all = base.clone();
+    // Three insert rounds and one delete round.
+    let mut deleted: Vec<Edge> = Vec::new();
+    for round in 0..4u64 {
+        if round == 3 {
+            let del = sym(&rmat(SCALE, 8_000, RmatParams::paper(), 2)); // subset of base seed
+            e.ls.delete_batch(&del);
+            e.terrace.delete_batch(&del);
+            e.aspen.delete_batch(&del);
+            e.pac.delete_batch(&del);
+            deleted = del;
+        } else {
+            let batch = sym(&rmat(SCALE, 10_000, RmatParams::paper(), 10 + round));
+            e.ls.insert_batch(&batch);
+            e.terrace.insert_batch(&batch);
+            e.aspen.insert_batch(&batch);
+            e.pac.insert_batch(&batch);
+            all.extend_from_slice(&batch);
+        }
+    }
+    let remaining: Vec<Edge> = {
+        let del: std::collections::HashSet<u64> = deleted.iter().map(|e| e.key()).collect();
+        all.iter().filter(|e| !del.contains(&e.key())).copied().collect()
+    };
+    let oracle = Csr::from_edges(N, &remaining);
+    for (name, g) in [
+        ("LSGraph", &e.ls as &dyn Graph),
+        ("Terrace", &e.terrace),
+        ("Aspen", &e.aspen),
+        ("PaC-tree", &e.pac),
+    ] {
+        assert_eq!(g.num_edges(), oracle.num_edges(), "{name}");
+        for v in 0..N as u32 {
+            assert_eq!(g.neighbors(v), oracle.neighbors_slice(v), "{name} vertex {v}");
+        }
+    }
+}
+
+#[test]
+fn bfs_distances_agree() {
+    let edges = sym(&rmat(SCALE, 40_000, RmatParams::paper(), 3));
+    let e = Engines::build(&edges);
+    let src = (0..N as u32).max_by_key(|&v| e.oracle.degree(v)).expect("vertices");
+    let want = {
+        let p = analytics::bfs(&e.oracle, src);
+        analytics::bfs::distances_from_parents(&e.oracle, src, &p)
+    };
+    for (name, g) in e.each() {
+        let p = analytics::bfs(g, src);
+        let d = analytics::bfs::distances_from_parents(g, src, &p);
+        assert_eq!(d, want, "{name}");
+    }
+}
+
+#[test]
+fn connected_components_agree() {
+    let edges = sym(&rmat(SCALE, 20_000, RmatParams::paper(), 4));
+    let e = Engines::build(&edges);
+    let want = analytics::connected_components(&e.oracle);
+    for (name, g) in e.each() {
+        assert_eq!(analytics::connected_components(g), want, "{name}");
+    }
+}
+
+#[test]
+fn pagerank_agrees_within_epsilon() {
+    let edges = sym(&rmat(SCALE, 40_000, RmatParams::paper(), 5));
+    let e = Engines::build(&edges);
+    let want = analytics::pagerank(&e.oracle, 15, 0.85);
+    for (name, g) in e.each() {
+        let got = analytics::pagerank(g, 15, 0.85);
+        for v in 0..N {
+            assert!(
+                (got[v] - want[v]).abs() < 1e-10,
+                "{name} vertex {v}: {} vs {}",
+                got[v],
+                want[v]
+            );
+        }
+    }
+}
+
+#[test]
+fn triangle_counts_agree() {
+    let edges = sym(&rmat(SCALE, 30_000, RmatParams::paper(), 6));
+    let e = Engines::build(&edges);
+    let want = analytics::triangle_count(&e.oracle).triangles;
+    assert!(want > 0, "workload should contain triangles");
+    for (name, g) in e.each() {
+        assert_eq!(analytics::triangle_count(g).triangles, want, "{name}");
+    }
+}
+
+#[test]
+fn betweenness_agrees_within_epsilon() {
+    let edges = sym(&rmat(SCALE, 25_000, RmatParams::paper(), 7));
+    let e = Engines::build(&edges);
+    let src = (0..N as u32).max_by_key(|&v| e.oracle.degree(v)).expect("vertices");
+    let want = analytics::betweenness(&e.oracle, src);
+    for (name, g) in e.each() {
+        let got = analytics::betweenness(g, src);
+        for v in 0..N {
+            assert!(
+                (got[v] - want[v]).abs() < 1e-6 * (1.0 + want[v].abs()),
+                "{name} vertex {v}: {} vs {}",
+                got[v],
+                want[v]
+            );
+        }
+    }
+}

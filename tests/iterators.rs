@@ -1,0 +1,76 @@
+//! Lazy neighbor iteration across the stack: iterator results must match
+//! callback traversal on every tier, and the streaming triangle count must
+//! agree with the materialized kernel on a live engine.
+
+use lsgraph::analytics::{triangle_count, triangle_count_streaming};
+use lsgraph::gen::{rmat, RmatParams};
+use lsgraph::{Config, DynamicGraph, Edge, Graph, IterableGraph, LsGraph};
+
+#[test]
+fn neighbor_iter_matches_for_each_on_every_tier() {
+    let cfg = Config { m: 256, ..Config::default() };
+    let mut g = LsGraph::with_config(5, cfg);
+    // Vertex 0: inline; 1: array; 2: RIA; 3: HITree; 4: empty.
+    for (v, d) in [(0u32, 5u32), (1, 40), (2, 200), (3, 2_000)] {
+        let batch: Vec<Edge> = (0..d).map(|i| Edge::new(v, i * 2 + 1)).collect();
+        g.insert_batch(&batch);
+    }
+    for v in 0..5u32 {
+        let via_iter: Vec<u32> = g.neighbor_iter(v).collect();
+        assert_eq!(via_iter, g.neighbors(v), "vertex {v}");
+    }
+}
+
+#[test]
+fn neighbor_iter_under_pma_ablation() {
+    use lsgraph::MediumStore;
+    let cfg = Config { m: 512, medium: MediumStore::Pma, ..Config::default() };
+    let mut g = LsGraph::with_config(2, cfg);
+    let batch: Vec<Edge> = (0..300u32).map(|i| Edge::new(0, i * 3)).collect();
+    g.insert_batch(&batch);
+    let via_iter: Vec<u32> = g.neighbor_iter(0).collect();
+    assert_eq!(via_iter, g.neighbors(0));
+}
+
+#[test]
+fn streaming_tc_on_live_engine() {
+    let scale = 11;
+    let edges: Vec<Edge> = rmat(scale, 40_000, RmatParams::paper(), 9)
+        .iter()
+        .flat_map(|e| [*e, e.reversed()])
+        .collect();
+    let mut g = LsGraph::from_edges(1 << scale, &edges, Config { m: 256, ..Config::default() });
+    let want = triangle_count(&g).triangles;
+    assert!(want > 0);
+    assert_eq!(triangle_count_streaming(&g), want);
+    // Still agrees after mutation.
+    let batch: Vec<Edge> = rmat(scale, 10_000, RmatParams::paper(), 10)
+        .iter()
+        .flat_map(|e| [*e, e.reversed()])
+        .collect();
+    g.insert_batch(&batch);
+    assert_eq!(triangle_count_streaming(&g), triangle_count(&g).triangles);
+}
+
+#[test]
+fn iterator_is_sorted_on_random_mutations() {
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(3);
+    let cfg = Config { a: 8, m: 64, ..Config::default() };
+    let mut g = LsGraph::with_config(4, cfg);
+    for _ in 0..60 {
+        let batch: Vec<Edge> = (0..200)
+            .map(|_| Edge::new(rng.gen_range(0..4), rng.gen_range(0..3_000)))
+            .collect();
+        if rng.gen_bool(0.7) {
+            g.insert_batch(&batch);
+        } else {
+            g.delete_batch(&batch);
+        }
+        for v in 0..4u32 {
+            let it: Vec<u32> = g.neighbor_iter(v).collect();
+            assert!(it.windows(2).all(|w| w[0] < w[1]), "vertex {v} unsorted");
+            assert_eq!(it.len(), g.degree(v));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Property-based tests: every engine behaves as an adjacency-set oracle
+//! under arbitrary interleaved batch streams, and the core ordered-set
+//! structures behave as `BTreeSet` under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use lsgraph::baselines::{AspenGraph, PacGraph, TerraceGraph};
+use lsgraph::substrates::{BTreeSet32, Pma, PmaParams};
+use lsgraph::{Config, DynamicGraph, Edge, HiTree, LsGraph, Ria};
+
+/// A batched update stream over a small id space (dense collisions on
+/// purpose).
+fn batches() -> impl Strategy<Value = Vec<(bool, Vec<(u32, u32)>)>> {
+    prop::collection::vec(
+        (
+            any::<bool>(),
+            prop::collection::vec((0u32..60, 0u32..60), 1..80),
+        ),
+        1..12,
+    )
+}
+
+/// Applies a stream to an engine and an oracle, asserting counts and final
+/// adjacency equality.
+fn check_engine<G: DynamicGraph>(mut g: G, stream: &[(bool, Vec<(u32, u32)>)]) {
+    let mut oracle: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); 60];
+    for (is_insert, pairs) in stream {
+        let batch: Vec<Edge> = pairs.iter().map(|&(a, b)| Edge::new(a, b)).collect();
+        // Dedup the way engines must: by (src, dst).
+        let mut uniq = batch.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        if *is_insert {
+            let expect: usize = uniq
+                .iter()
+                .filter(|e| oracle[e.src as usize].insert(e.dst))
+                .count();
+            assert_eq!(g.insert_batch(&batch), expect);
+        } else {
+            let expect: usize = uniq
+                .iter()
+                .filter(|e| oracle[e.src as usize].remove(&e.dst))
+                .count();
+            assert_eq!(g.delete_batch(&batch), expect);
+        }
+    }
+    let total: usize = oracle.iter().map(|s| s.len()).sum();
+    assert_eq!(g.num_edges(), total);
+    for v in 0..60u32 {
+        assert_eq!(
+            g.neighbors(v),
+            oracle[v as usize].iter().copied().collect::<Vec<_>>(),
+            "vertex {v}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lsgraph_matches_oracle(stream in batches()) {
+        check_engine(LsGraph::with_config(60, Config::default()), &stream);
+    }
+
+    #[test]
+    fn lsgraph_small_tiers_match_oracle(stream in batches()) {
+        // Tiny thresholds force RIA/HITree tiers even on small degrees.
+        let cfg = Config { a: 4, m: 16, ..Config::default() };
+        check_engine(LsGraph::with_config(60, cfg), &stream);
+    }
+
+    #[test]
+    fn terrace_matches_oracle(stream in batches()) {
+        check_engine(TerraceGraph::new(60), &stream);
+    }
+
+    #[test]
+    fn aspen_matches_oracle(stream in batches()) {
+        check_engine(AspenGraph::new(60), &stream);
+    }
+
+    #[test]
+    fn pactree_matches_oracle(stream in batches()) {
+        check_engine(PacGraph::new(60), &stream);
+    }
+
+    #[test]
+    fn ria_behaves_as_sorted_set(ops in prop::collection::vec((any::<bool>(), 0u32..500), 1..400)) {
+        let mut r = Ria::new(1.2);
+        let mut oracle = std::collections::BTreeSet::new();
+        for (ins, k) in ops {
+            if ins {
+                prop_assert_eq!(r.insert(k).inserted(), oracle.insert(k));
+            } else {
+                prop_assert_eq!(r.delete(k), oracle.remove(&k));
+            }
+        }
+        r.check_invariants();
+        prop_assert_eq!(r.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hitree_behaves_as_sorted_set(ops in prop::collection::vec((any::<bool>(), 0u32..500), 1..400)) {
+        let cfg = Config { a: 8, m: 64, ..Config::default() };
+        let mut t = HiTree::new(&cfg);
+        let mut oracle = std::collections::BTreeSet::new();
+        for (ins, k) in ops {
+            if ins {
+                prop_assert_eq!(t.insert(k, &cfg), oracle.insert(k));
+            } else {
+                prop_assert_eq!(t.delete(k, &cfg), oracle.remove(&k));
+            }
+        }
+        t.check_invariants(&cfg);
+        prop_assert_eq!(t.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pma_behaves_as_sorted_set(ops in prop::collection::vec((any::<bool>(), 0u64..500), 1..400)) {
+        let mut p = Pma::<u64>::with_params(PmaParams::dense());
+        let mut oracle = std::collections::BTreeSet::new();
+        for (ins, k) in ops {
+            if ins {
+                prop_assert_eq!(p.insert(k), oracle.insert(k));
+            } else {
+                prop_assert_eq!(p.delete(k), oracle.remove(&k));
+            }
+        }
+        p.check_invariants();
+        prop_assert_eq!(p.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn btree_behaves_as_sorted_set(ops in prop::collection::vec((any::<bool>(), 0u32..500), 1..400)) {
+        let mut t = BTreeSet32::new();
+        let mut oracle = std::collections::BTreeSet::new();
+        for (ins, k) in ops {
+            if ins {
+                prop_assert_eq!(t.insert(k), oracle.insert(k));
+            } else {
+                prop_assert_eq!(t.delete(k), oracle.remove(&k));
+            }
+        }
+        t.check_invariants();
+        prop_assert_eq!(t.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn delta_chunk_roundtrips(mut keys in prop::collection::vec(any::<u32>(), 0..300)) {
+        use lsgraph::substrates::DeltaChunk;
+        keys.sort_unstable();
+        keys.dedup();
+        let c = DeltaChunk::encode(&keys);
+        prop_assert_eq!(c.decode(), keys.clone());
+        prop_assert_eq!(c.len(), keys.len());
+        for probe in keys.iter().take(20) {
+            prop_assert!(c.contains(*probe));
+        }
+    }
+
+    #[test]
+    fn skiplist_behaves_as_sorted_set(ops in prop::collection::vec((any::<bool>(), 0u32..400), 1..500)) {
+        use lsgraph::substrates::UnrolledSkipList;
+        let mut l = UnrolledSkipList::new();
+        let mut oracle = std::collections::BTreeSet::new();
+        for (ins, k) in ops {
+            if ins {
+                prop_assert_eq!(l.insert(k), oracle.insert(k));
+            } else {
+                prop_assert_eq!(l.delete(k), oracle.remove(&k));
+            }
+        }
+        l.check_invariants();
+        prop_assert_eq!(l.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ctree_and_pacset_behave_as_sorted_sets(ops in prop::collection::vec((any::<bool>(), 0u32..400), 1..300)) {
+        use lsgraph::baselines::{CTreeSet, PacSet};
+        let mut ct = CTreeSet::new();
+        let mut pt = PacSet::new();
+        let mut oracle = std::collections::BTreeSet::new();
+        for (ins, k) in ops {
+            if ins {
+                let want = oracle.insert(k);
+                let cn = ct.inserted(k);
+                let pn = pt.inserted(k);
+                prop_assert_eq!(cn.is_some(), want);
+                prop_assert_eq!(pn.is_some(), want);
+                if let Some(n) = cn { ct = n; }
+                if let Some(n) = pn { pt = n; }
+            } else {
+                let want = oracle.remove(&k);
+                let cn = ct.deleted(k);
+                let pn = pt.deleted(k);
+                prop_assert_eq!(cn.is_some(), want);
+                prop_assert_eq!(pn.is_some(), want);
+                if let Some(n) = cn { ct = n; }
+                if let Some(n) = pn { pt = n; }
+            }
+        }
+        ct.check_invariants();
+        pt.check_invariants();
+        let want: Vec<u32> = oracle.into_iter().collect();
+        prop_assert_eq!(ct.to_vec(), want.clone());
+        prop_assert_eq!(pt.to_vec(), want);
+    }
+
+    #[test]
+    fn neighbor_iter_equals_callback_traversal(stream in batches()) {
+        use lsgraph::IterableGraph;
+        let cfg = Config { a: 4, m: 16, ..Config::default() };
+        let mut g = LsGraph::with_config(60, cfg);
+        for (is_insert, pairs) in &stream {
+            let batch: Vec<Edge> = pairs.iter().map(|&(a, b)| Edge::new(a, b)).collect();
+            if *is_insert {
+                g.insert_batch(&batch);
+            } else {
+                g.delete_batch(&batch);
+            }
+        }
+        for v in 0..60u32 {
+            let it: Vec<u32> = g.neighbor_iter(v).collect();
+            prop_assert_eq!(it, g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn extreme_keys_survive(keys in prop::collection::vec(any::<u32>(), 1..200)) {
+        // u32 boundary values must round-trip through every tier.
+        let cfg = Config { a: 8, m: 32, ..Config::default() };
+        let mut t = HiTree::new(&cfg);
+        let mut oracle = std::collections::BTreeSet::new();
+        for k in keys {
+            prop_assert_eq!(t.insert(k, &cfg), oracle.insert(k));
+        }
+        t.check_invariants(&cfg);
+        prop_assert_eq!(t.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+    }
+}
