@@ -119,9 +119,11 @@ mod tests {
         let next = edge_map(
             &g,
             &VertexSubset::single(0),
-            |s, d| visited[d as usize]
-                .compare_exchange(u32::MAX, s, Ordering::Relaxed, Ordering::Relaxed)
-                .is_ok(),
+            |s, d| {
+                visited[d as usize]
+                    .compare_exchange(u32::MAX, s, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            },
             |d| visited[d as usize].load(Ordering::Relaxed) == u32::MAX,
         );
         let mut ids = next.to_sparse();

@@ -224,7 +224,9 @@ mod tests {
     #[test]
     fn clique_metrics() {
         let g = complete(6);
-        assert!(clustering_coefficients(&g).iter().all(|&c| (c - 1.0).abs() < 1e-12));
+        assert!(clustering_coefficients(&g)
+            .iter()
+            .all(|&c| (c - 1.0).abs() < 1e-12));
         // K6: C(6,4) = 15 four-cliques; rectangles = 3 * C(6,4) = 45.
         assert_eq!(count_4cliques(&g), 15);
         assert_eq!(count_4cycles(&g), 45);

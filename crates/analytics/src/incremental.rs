@@ -250,7 +250,12 @@ mod tests {
     #[test]
     fn incremental_cc_rebuild_after_delete() {
         // Two components joined by a bridge, then the bridge is removed.
-        let full = [Edge::new(0, 1), Edge::new(1, 0), Edge::new(1, 2), Edge::new(2, 1)];
+        let full = [
+            Edge::new(0, 1),
+            Edge::new(1, 0),
+            Edge::new(1, 2),
+            Edge::new(2, 1),
+        ];
         let g_full = Csr::from_edges(3, &full);
         let mut cc = IncrementalCc::new(&g_full);
         assert_eq!(cc.labels(), vec![0, 0, 0]);

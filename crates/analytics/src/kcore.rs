@@ -18,8 +18,9 @@ pub fn kcore<G: Graph + ?Sized>(g: &G) -> Vec<u32> {
         .map(|v| AtomicU32::new(g.degree(v) as u32))
         .collect();
     let core: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-    let alive: Vec<std::sync::atomic::AtomicBool> =
-        (0..n).map(|_| std::sync::atomic::AtomicBool::new(true)).collect();
+    let alive: Vec<std::sync::atomic::AtomicBool> = (0..n)
+        .map(|_| std::sync::atomic::AtomicBool::new(true))
+        .collect();
     let mut remaining = n;
     let mut k = 0u32;
     while remaining > 0 {

@@ -25,7 +25,9 @@ pub use bc::betweenness;
 pub use bfs::bfs;
 pub use cc::connected_components;
 pub use edge_map::edge_map;
-pub use gpm::{average_clustering, clustering_coefficients, count_4cliques, count_4cycles, local_triangles};
+pub use gpm::{
+    average_clustering, clustering_coefficients, count_4cliques, count_4cycles, local_triangles,
+};
 pub use incremental::{IncrementalBfs, IncrementalCc};
 pub use kcore::{degeneracy, kcore};
 pub use pagerank::pagerank;

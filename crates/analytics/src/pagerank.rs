@@ -1,6 +1,6 @@
 //! Pull-based PageRank (paper Table 2).
 
-use lsgraph_api::Graph;
+use lsgraph_api::{Graph, Phase, StructStats};
 use rayon::prelude::*;
 
 /// Runs `iters` synchronous PageRank iterations with damping `d` on a
@@ -9,6 +9,7 @@ use rayon::prelude::*;
 ///
 /// Dangling vertices redistribute uniformly, the standard correction.
 pub fn pagerank<G: Graph + ?Sized>(g: &G, iters: usize, d: f64) -> Vec<f64> {
+    let _k = StructStats::global().time(Phase::Kernel);
     let n = g.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -20,15 +21,18 @@ pub fn pagerank<G: Graph + ?Sized>(g: &G, iters: usize, d: f64) -> Vec<f64> {
         // Dangling mass is shared evenly.
         let dangling: f64 = (0..n as u32)
             .into_par_iter()
-            .map(|v| if g.degree(v) == 0 { score[v as usize] } else { 0.0 })
+            .map(|v| {
+                if g.degree(v) == 0 {
+                    score[v as usize]
+                } else {
+                    0.0
+                }
+            })
             .sum();
-        contrib
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(v, c)| {
-                let deg = g.degree(v as u32);
-                *c = if deg > 0 { score[v] / deg as f64 } else { 0.0 };
-            });
+        contrib.par_iter_mut().enumerate().for_each(|(v, c)| {
+            let deg = g.degree(v as u32);
+            *c = if deg > 0 { score[v] / deg as f64 } else { 0.0 };
+        });
         let contrib_ref = &contrib;
         let next: Vec<f64> = (0..n as u32)
             .into_par_iter()

@@ -65,9 +65,7 @@ pub fn triangle_count_streaming<G: lsgraph_api::IterableGraph + Sync>(g: &G) -> 
                 // Merge-join N(v) with N(u), restricted to higher-ranked
                 // third vertices.
                 let mut a = g.neighbor_iter(v).filter(|&w| w != v && rank(w) > rv);
-                let mut b = g
-                    .neighbor_iter(u)
-                    .filter(|&w| w != u && rank(w) > rank(u));
+                let mut b = g.neighbor_iter(u).filter(|&w| w != u && rank(w) > rank(u));
                 let mut x = a.next();
                 let mut y = b.next();
                 while let (Some(xa), Some(yb)) = (x, y) {

@@ -39,7 +39,11 @@ pub fn runs_by_src(keys: &[u64]) -> Vec<SrcRun> {
         while j < keys.len() && (keys[j] >> 32) as u32 == src {
             j += 1;
         }
-        runs.push(SrcRun { src, start: i, end: j });
+        runs.push(SrcRun {
+            src,
+            start: i,
+            end: j,
+        });
         i = j;
     }
     runs
@@ -67,7 +71,12 @@ mod tests {
         let edges: Vec<Edge> = keys.iter().map(|&k| Edge::from_key(k)).collect();
         assert_eq!(
             edges,
-            vec![Edge::new(0, 9), Edge::new(1, 5), Edge::new(2, 0), Edge::new(2, 1)]
+            vec![
+                Edge::new(0, 9),
+                Edge::new(1, 5),
+                Edge::new(2, 0),
+                Edge::new(2, 1)
+            ]
         );
     }
 
@@ -83,8 +92,16 @@ mod tests {
         assert_eq!(
             runs,
             vec![
-                SrcRun { src: 1, start: 0, end: 2 },
-                SrcRun { src: 3, start: 2, end: 4 }
+                SrcRun {
+                    src: 1,
+                    start: 0,
+                    end: 2
+                },
+                SrcRun {
+                    src: 3,
+                    start: 2,
+                    end: 4
+                }
             ]
         );
     }
@@ -98,6 +115,9 @@ mod tests {
 
     #[test]
     fn max_vertex() {
-        assert_eq!(max_vertex_id(&[Edge::new(3, 9), Edge::new(12, 0)]), Some(12));
+        assert_eq!(
+            max_vertex_id(&[Edge::new(3, 9), Edge::new(12, 0)]),
+            Some(12)
+        );
     }
 }

@@ -1,11 +1,27 @@
-//! Instrumentation counters for the motivation experiments (paper Fig. 4).
+//! Instrumentation counters for the motivation experiments (paper Fig. 4)
+//! and the structural observability layer.
 //!
-//! The paper attributes Terrace's slow inserts to PMA search cost and data
-//! movement. To regenerate Fig. 4 we count, per structure, how many element
-//! slots were examined while searching and how many elements were moved,
-//! plus wall-clock nanoseconds attributed to each phase.
+//! Two families live here:
+//!
+//! - [`OpCounters`]: coarse per-structure search/movement totals, used by the
+//!   PMA-based baselines to regenerate Fig. 4.
+//! - [`StructStats`]: per-container-class counters for LSGraph's own
+//!   structures — vertex blocks, the sorted-array spill tier, the RIA, and
+//!   the HITree/LIA — plus wall-clock phase timers for the batch-update
+//!   pipeline (sort / group / apply) and analytics kernels. These make the
+//!   paper's §4 bounded-movement claims checkable: every horizontal ripple
+//!   records its span against the `log2(num_blocks)` bound, and every
+//!   vertical (child-creating) move records whether a block overflow
+//!   preceded it.
+//!
+//! All counters are updated with `Ordering::Relaxed`: they are statistics,
+//! not synchronization. Because LSGraph partitions a batch into disjoint
+//! per-source runs, each structural event happens exactly once regardless of
+//! thread interleaving, so *count* fields are deterministic across runs and
+//! thread counts; only the `*_nanos` fields vary.
 
 use core::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Cheap relaxed-atomic counters shared by instrumented structures.
 ///
@@ -115,6 +131,622 @@ impl CounterSnapshot {
             rebuilds: self.rebuilds.saturating_sub(earlier.rebuilds),
         }
     }
+
+    /// `(field name, value)` pairs in a fixed order — the serialization
+    /// schema. Report writers and schema-stability tests both read this, so
+    /// renaming a field here is a deliberate schema change.
+    pub fn fields(self) -> [(&'static str, u64); 5] {
+        [
+            ("search_steps", self.search_steps),
+            ("elements_moved", self.elements_moved),
+            ("search_nanos", self.search_nanos),
+            ("move_nanos", self.move_nanos),
+            ("rebuilds", self.rebuilds),
+        ]
+    }
+
+    /// The count fields that must be identical across reruns with the same
+    /// input — every field except wall-clock nanos.
+    pub fn deterministic_fields(self) -> Vec<(&'static str, u64)> {
+        self.fields()
+            .into_iter()
+            .filter(|(name, _)| !name.ends_with("_nanos"))
+            .collect()
+    }
+
+    /// Rebuilds a snapshot from `(field name, value)` pairs, the inverse of
+    /// [`CounterSnapshot::fields`]. Unknown names are rejected; missing
+    /// names stay zero.
+    pub fn from_fields<'a>(
+        pairs: impl IntoIterator<Item = (&'a str, u64)>,
+    ) -> Result<CounterSnapshot, String> {
+        let mut s = CounterSnapshot::default();
+        for (name, v) in pairs {
+            match name {
+                "search_steps" => s.search_steps = v,
+                "elements_moved" => s.elements_moved = v,
+                "search_nanos" => s.search_nanos = v,
+                "move_nanos" => s.move_nanos = v,
+                "rebuilds" => s.rebuilds = v,
+                other => return Err(format!("unknown CounterSnapshot field: {other}")),
+            }
+        }
+        Ok(s)
+    }
+}
+
+/// Pipeline phase attributed by a [`PhaseTimer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Batch key sort + dedup.
+    Sort,
+    /// Grouping sorted keys into per-source runs.
+    Group,
+    /// Applying runs to the per-vertex structures.
+    Apply,
+    /// Analytics kernel execution (BFS, PageRank, ...).
+    Kernel,
+}
+
+/// Structure-level counters for LSGraph's container classes.
+///
+/// Field groups mirror the paper's structures: `vb_*` for the 64-byte vertex
+/// blocks (§4.1), `arr_*`/`tier_*` for the sorted-array spill tier and its
+/// tier transitions, `ria_*` for the Redundant Indexed Array (§3.1/§4.2),
+/// `lia_*`/`hitree_*` for the Learned Index Array and HITree (§4.3), and
+/// `phase_*_nanos` for the batch pipeline.
+#[derive(Debug, Default)]
+pub struct StructStats {
+    /// Inserts satisfied entirely inside a vertex block's inline array.
+    pub vb_inline_hits: AtomicU64,
+    /// Elements shifted within inline arrays to make room.
+    pub vb_inline_shifts: AtomicU64,
+    /// Inline maxima evicted into a spill structure by an inline insert.
+    pub vb_spill_evictions: AtomicU64,
+    /// Inserts routed directly to a vertex block's spill structure.
+    pub vb_spill_inserts: AtomicU64,
+    /// Spill minima pulled back inline after an inline delete.
+    pub vb_spill_refills: AtomicU64,
+
+    /// Elements shifted inside sorted-array spill tiers (`Spill::Array`).
+    pub arr_shifts: AtomicU64,
+    /// Spill tier upgrades (Array → RIA/PMA, RIA/PMA → HITree).
+    pub tier_upgrades: AtomicU64,
+    /// Spill tier downgrades after heavy deletion.
+    pub tier_downgrades: AtomicU64,
+
+    /// Elements shifted inside one RIA block (within-block horizontal move).
+    pub ria_within_block_shifts: AtomicU64,
+    /// Elements carried across RIA block boundaries by ripple inserts
+    /// (cross-block horizontal move).
+    pub ria_cross_block_moves: AtomicU64,
+    /// Ripple-insert events (one per insert that crossed block boundaries).
+    pub ria_ripples: AtomicU64,
+    /// Largest ripple span observed, in blocks (gauge, not a sum).
+    pub ria_max_ripple_span: AtomicU64,
+    /// Most recent `log2(num_blocks) + 1` locality bound in effect when a
+    /// ripple was recorded (gauge, not a sum).
+    pub ria_bound: AtomicU64,
+    /// Ripples whose span exceeded the locality bound. The paper's §4.2
+    /// movement bound says this must stay zero; tests assert it.
+    pub ria_bound_exceeded: AtomicU64,
+    /// RIA rebuild events (α-expansion, shrink, or delete-refill rebuild).
+    pub ria_rebuilds: AtomicU64,
+
+    /// LIA within-block shifts while packing into a partially-filled block.
+    pub lia_within_block_shifts: AtomicU64,
+    /// Horizontal packing events: an overflowing LIA block re-packed in
+    /// place because the merged contents still fit `BKS` slots.
+    pub lia_horizontal_packs: AtomicU64,
+    /// Vertical movement events: an overflowing LIA block delegated to a
+    /// newly created child node.
+    pub lia_vertical_child_creates: AtomicU64,
+    /// Vertical moves NOT preceded by a block overflow. The paper's §4.3
+    /// horizontal-then-vertical policy says this must stay zero; tests
+    /// assert it.
+    pub lia_vertical_premature: AtomicU64,
+    /// LIA model retrain events (node rebuilt with a fresh linear model).
+    pub lia_model_retrains: AtomicU64,
+    /// HITree node tier upgrades (Arr → RIA → LIA).
+    pub hitree_node_upgrades: AtomicU64,
+
+    /// Nanoseconds in the batch sort+dedup phase.
+    pub phase_sort_nanos: AtomicU64,
+    /// Nanoseconds grouping keys into per-source runs.
+    pub phase_group_nanos: AtomicU64,
+    /// Nanoseconds applying runs to vertex structures.
+    pub phase_apply_nanos: AtomicU64,
+    /// Nanoseconds inside analytics kernels timed via [`Phase::Kernel`].
+    pub phase_kernel_nanos: AtomicU64,
+}
+
+/// Process-wide default sink for un-instrumented call paths.
+static GLOBAL_STRUCT_STATS: StructStats = StructStats::new();
+
+impl StructStats {
+    /// Creates zeroed stats.
+    pub const fn new() -> Self {
+        StructStats {
+            vb_inline_hits: AtomicU64::new(0),
+            vb_inline_shifts: AtomicU64::new(0),
+            vb_spill_evictions: AtomicU64::new(0),
+            vb_spill_inserts: AtomicU64::new(0),
+            vb_spill_refills: AtomicU64::new(0),
+            arr_shifts: AtomicU64::new(0),
+            tier_upgrades: AtomicU64::new(0),
+            tier_downgrades: AtomicU64::new(0),
+            ria_within_block_shifts: AtomicU64::new(0),
+            ria_cross_block_moves: AtomicU64::new(0),
+            ria_ripples: AtomicU64::new(0),
+            ria_max_ripple_span: AtomicU64::new(0),
+            ria_bound: AtomicU64::new(0),
+            ria_bound_exceeded: AtomicU64::new(0),
+            ria_rebuilds: AtomicU64::new(0),
+            lia_within_block_shifts: AtomicU64::new(0),
+            lia_horizontal_packs: AtomicU64::new(0),
+            lia_vertical_child_creates: AtomicU64::new(0),
+            lia_vertical_premature: AtomicU64::new(0),
+            lia_model_retrains: AtomicU64::new(0),
+            hitree_node_upgrades: AtomicU64::new(0),
+            phase_sort_nanos: AtomicU64::new(0),
+            phase_group_nanos: AtomicU64::new(0),
+            phase_apply_nanos: AtomicU64::new(0),
+            phase_kernel_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide default sink, used by convenience entry points that
+    /// are not wired to a per-graph instance (e.g. direct `Ria::insert`
+    /// calls in tests).
+    pub fn global() -> &'static StructStats {
+        &GLOBAL_STRUCT_STATS
+    }
+
+    /// Records an insert satisfied inline, shifting `shifted` elements.
+    #[inline]
+    pub fn record_vb_inline_insert(&self, shifted: u64) {
+        self.vb_inline_hits.fetch_add(1, Ordering::Relaxed);
+        self.vb_inline_shifts.fetch_add(shifted, Ordering::Relaxed);
+    }
+
+    /// Records `n` elements shifted in an inline array without an insert
+    /// (the delete compaction path).
+    #[inline]
+    pub fn record_vb_inline_shift(&self, n: u64) {
+        self.vb_inline_shifts.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records an inline max evicted to the spill structure.
+    #[inline]
+    pub fn record_vb_spill_eviction(&self) {
+        self.vb_spill_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an insert routed directly to the spill structure.
+    #[inline]
+    pub fn record_vb_spill_insert(&self) {
+        self.vb_spill_inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a spill minimum refilled inline after a delete.
+    #[inline]
+    pub fn record_vb_spill_refill(&self) {
+        self.vb_spill_refills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` elements shifted in a sorted-array spill tier.
+    #[inline]
+    pub fn record_arr_shift(&self, n: u64) {
+        self.arr_shifts.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one spill tier upgrade.
+    #[inline]
+    pub fn record_tier_upgrade(&self) {
+        self.tier_upgrades.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one spill tier downgrade.
+    #[inline]
+    pub fn record_tier_downgrade(&self) {
+        self.tier_downgrades.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` elements shifted within a single RIA block.
+    #[inline]
+    pub fn record_ria_within_shift(&self, n: u64) {
+        self.ria_within_block_shifts.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a cross-block ripple insert spanning `span` blocks under
+    /// locality bound `bound`, carrying `moved` elements across boundaries.
+    #[inline]
+    pub fn record_ria_ripple(&self, span: u64, moved: u64, bound: u64) {
+        self.ria_ripples.fetch_add(1, Ordering::Relaxed);
+        self.ria_cross_block_moves
+            .fetch_add(moved, Ordering::Relaxed);
+        self.ria_max_ripple_span.fetch_max(span, Ordering::Relaxed);
+        self.ria_bound.store(bound, Ordering::Relaxed);
+        if span > bound {
+            self.ria_bound_exceeded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one RIA rebuild.
+    #[inline]
+    pub fn record_ria_rebuild(&self) {
+        self.ria_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` elements shifted within one LIA block.
+    #[inline]
+    pub fn record_lia_within_shift(&self, n: u64) {
+        self.lia_within_block_shifts.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records an overflowing LIA block re-packed horizontally.
+    #[inline]
+    pub fn record_lia_pack(&self) {
+        self.lia_horizontal_packs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a vertical child creation; `overflowed` says whether a block
+    /// overflow forced it (the only legal reason).
+    #[inline]
+    pub fn record_lia_vertical(&self, overflowed: bool) {
+        self.lia_vertical_child_creates
+            .fetch_add(1, Ordering::Relaxed);
+        if !overflowed {
+            self.lia_vertical_premature.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one LIA model retrain.
+    #[inline]
+    pub fn record_lia_retrain(&self) {
+        self.lia_model_retrains.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one HITree node tier upgrade.
+    #[inline]
+    pub fn record_node_upgrade(&self) {
+        self.hitree_node_upgrades.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts a scoped timer attributing wall-clock time to `phase`; the
+    /// elapsed nanoseconds are added when the returned guard drops.
+    #[inline]
+    pub fn time(&self, phase: Phase) -> PhaseTimer<'_> {
+        let target = match phase {
+            Phase::Sort => &self.phase_sort_nanos,
+            Phase::Group => &self.phase_group_nanos,
+            Phase::Apply => &self.phase_apply_nanos,
+            Phase::Kernel => &self.phase_kernel_nanos,
+        };
+        PhaseTimer {
+            target,
+            start: Instant::now(),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        let zeroed = StructSnapshot::default();
+        self.load_snapshot(zeroed);
+    }
+
+    fn load_snapshot(&self, s: StructSnapshot) {
+        self.vb_inline_hits
+            .store(s.vb_inline_hits, Ordering::Relaxed);
+        self.vb_inline_shifts
+            .store(s.vb_inline_shifts, Ordering::Relaxed);
+        self.vb_spill_evictions
+            .store(s.vb_spill_evictions, Ordering::Relaxed);
+        self.vb_spill_inserts
+            .store(s.vb_spill_inserts, Ordering::Relaxed);
+        self.vb_spill_refills
+            .store(s.vb_spill_refills, Ordering::Relaxed);
+        self.arr_shifts.store(s.arr_shifts, Ordering::Relaxed);
+        self.tier_upgrades.store(s.tier_upgrades, Ordering::Relaxed);
+        self.tier_downgrades
+            .store(s.tier_downgrades, Ordering::Relaxed);
+        self.ria_within_block_shifts
+            .store(s.ria_within_block_shifts, Ordering::Relaxed);
+        self.ria_cross_block_moves
+            .store(s.ria_cross_block_moves, Ordering::Relaxed);
+        self.ria_ripples.store(s.ria_ripples, Ordering::Relaxed);
+        self.ria_max_ripple_span
+            .store(s.ria_max_ripple_span, Ordering::Relaxed);
+        self.ria_bound.store(s.ria_bound, Ordering::Relaxed);
+        self.ria_bound_exceeded
+            .store(s.ria_bound_exceeded, Ordering::Relaxed);
+        self.ria_rebuilds.store(s.ria_rebuilds, Ordering::Relaxed);
+        self.lia_within_block_shifts
+            .store(s.lia_within_block_shifts, Ordering::Relaxed);
+        self.lia_horizontal_packs
+            .store(s.lia_horizontal_packs, Ordering::Relaxed);
+        self.lia_vertical_child_creates
+            .store(s.lia_vertical_child_creates, Ordering::Relaxed);
+        self.lia_vertical_premature
+            .store(s.lia_vertical_premature, Ordering::Relaxed);
+        self.lia_model_retrains
+            .store(s.lia_model_retrains, Ordering::Relaxed);
+        self.hitree_node_upgrades
+            .store(s.hitree_node_upgrades, Ordering::Relaxed);
+        self.phase_sort_nanos
+            .store(s.phase_sort_nanos, Ordering::Relaxed);
+        self.phase_group_nanos
+            .store(s.phase_group_nanos, Ordering::Relaxed);
+        self.phase_apply_nanos
+            .store(s.phase_apply_nanos, Ordering::Relaxed);
+        self.phase_kernel_nanos
+            .store(s.phase_kernel_nanos, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the current values.
+    pub fn snapshot(&self) -> StructSnapshot {
+        StructSnapshot {
+            vb_inline_hits: self.vb_inline_hits.load(Ordering::Relaxed),
+            vb_inline_shifts: self.vb_inline_shifts.load(Ordering::Relaxed),
+            vb_spill_evictions: self.vb_spill_evictions.load(Ordering::Relaxed),
+            vb_spill_inserts: self.vb_spill_inserts.load(Ordering::Relaxed),
+            vb_spill_refills: self.vb_spill_refills.load(Ordering::Relaxed),
+            arr_shifts: self.arr_shifts.load(Ordering::Relaxed),
+            tier_upgrades: self.tier_upgrades.load(Ordering::Relaxed),
+            tier_downgrades: self.tier_downgrades.load(Ordering::Relaxed),
+            ria_within_block_shifts: self.ria_within_block_shifts.load(Ordering::Relaxed),
+            ria_cross_block_moves: self.ria_cross_block_moves.load(Ordering::Relaxed),
+            ria_ripples: self.ria_ripples.load(Ordering::Relaxed),
+            ria_max_ripple_span: self.ria_max_ripple_span.load(Ordering::Relaxed),
+            ria_bound: self.ria_bound.load(Ordering::Relaxed),
+            ria_bound_exceeded: self.ria_bound_exceeded.load(Ordering::Relaxed),
+            ria_rebuilds: self.ria_rebuilds.load(Ordering::Relaxed),
+            lia_within_block_shifts: self.lia_within_block_shifts.load(Ordering::Relaxed),
+            lia_horizontal_packs: self.lia_horizontal_packs.load(Ordering::Relaxed),
+            lia_vertical_child_creates: self.lia_vertical_child_creates.load(Ordering::Relaxed),
+            lia_vertical_premature: self.lia_vertical_premature.load(Ordering::Relaxed),
+            lia_model_retrains: self.lia_model_retrains.load(Ordering::Relaxed),
+            hitree_node_upgrades: self.hitree_node_upgrades.load(Ordering::Relaxed),
+            phase_sort_nanos: self.phase_sort_nanos.load(Ordering::Relaxed),
+            phase_group_nanos: self.phase_group_nanos.load(Ordering::Relaxed),
+            phase_apply_nanos: self.phase_apply_nanos.load(Ordering::Relaxed),
+            phase_kernel_nanos: self.phase_kernel_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Scoped phase timer returned by [`StructStats::time`]; accumulates elapsed
+/// nanoseconds into its target counter on drop.
+#[must_use = "the timer records on drop; binding it to `_` drops immediately"]
+pub struct PhaseTimer<'a> {
+    target: &'a AtomicU64,
+    start: Instant,
+}
+
+impl PhaseTimer<'_> {
+    /// Stops the timer early, recording the elapsed time now.
+    pub fn stop(self) {}
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        self.target.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of [`StructStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StructSnapshot {
+    /// See [`StructStats::vb_inline_hits`].
+    pub vb_inline_hits: u64,
+    /// See [`StructStats::vb_inline_shifts`].
+    pub vb_inline_shifts: u64,
+    /// See [`StructStats::vb_spill_evictions`].
+    pub vb_spill_evictions: u64,
+    /// See [`StructStats::vb_spill_inserts`].
+    pub vb_spill_inserts: u64,
+    /// See [`StructStats::vb_spill_refills`].
+    pub vb_spill_refills: u64,
+    /// See [`StructStats::arr_shifts`].
+    pub arr_shifts: u64,
+    /// See [`StructStats::tier_upgrades`].
+    pub tier_upgrades: u64,
+    /// See [`StructStats::tier_downgrades`].
+    pub tier_downgrades: u64,
+    /// See [`StructStats::ria_within_block_shifts`].
+    pub ria_within_block_shifts: u64,
+    /// See [`StructStats::ria_cross_block_moves`].
+    pub ria_cross_block_moves: u64,
+    /// See [`StructStats::ria_ripples`].
+    pub ria_ripples: u64,
+    /// See [`StructStats::ria_max_ripple_span`] (gauge).
+    pub ria_max_ripple_span: u64,
+    /// See [`StructStats::ria_bound`] (gauge).
+    pub ria_bound: u64,
+    /// See [`StructStats::ria_bound_exceeded`].
+    pub ria_bound_exceeded: u64,
+    /// See [`StructStats::ria_rebuilds`].
+    pub ria_rebuilds: u64,
+    /// See [`StructStats::lia_within_block_shifts`].
+    pub lia_within_block_shifts: u64,
+    /// See [`StructStats::lia_horizontal_packs`].
+    pub lia_horizontal_packs: u64,
+    /// See [`StructStats::lia_vertical_child_creates`].
+    pub lia_vertical_child_creates: u64,
+    /// See [`StructStats::lia_vertical_premature`].
+    pub lia_vertical_premature: u64,
+    /// See [`StructStats::lia_model_retrains`].
+    pub lia_model_retrains: u64,
+    /// See [`StructStats::hitree_node_upgrades`].
+    pub hitree_node_upgrades: u64,
+    /// See [`StructStats::phase_sort_nanos`].
+    pub phase_sort_nanos: u64,
+    /// See [`StructStats::phase_group_nanos`].
+    pub phase_group_nanos: u64,
+    /// See [`StructStats::phase_apply_nanos`].
+    pub phase_apply_nanos: u64,
+    /// See [`StructStats::phase_kernel_nanos`].
+    pub phase_kernel_nanos: u64,
+}
+
+impl StructSnapshot {
+    /// Difference `self - earlier` for monotonic counters, saturating at
+    /// zero. The gauges `ria_max_ripple_span` and `ria_bound` keep `self`'s
+    /// value (a max and a most-recent value do not subtract meaningfully).
+    pub fn since(self, earlier: StructSnapshot) -> StructSnapshot {
+        StructSnapshot {
+            vb_inline_hits: self.vb_inline_hits.saturating_sub(earlier.vb_inline_hits),
+            vb_inline_shifts: self
+                .vb_inline_shifts
+                .saturating_sub(earlier.vb_inline_shifts),
+            vb_spill_evictions: self
+                .vb_spill_evictions
+                .saturating_sub(earlier.vb_spill_evictions),
+            vb_spill_inserts: self
+                .vb_spill_inserts
+                .saturating_sub(earlier.vb_spill_inserts),
+            vb_spill_refills: self
+                .vb_spill_refills
+                .saturating_sub(earlier.vb_spill_refills),
+            arr_shifts: self.arr_shifts.saturating_sub(earlier.arr_shifts),
+            tier_upgrades: self.tier_upgrades.saturating_sub(earlier.tier_upgrades),
+            tier_downgrades: self.tier_downgrades.saturating_sub(earlier.tier_downgrades),
+            ria_within_block_shifts: self
+                .ria_within_block_shifts
+                .saturating_sub(earlier.ria_within_block_shifts),
+            ria_cross_block_moves: self
+                .ria_cross_block_moves
+                .saturating_sub(earlier.ria_cross_block_moves),
+            ria_ripples: self.ria_ripples.saturating_sub(earlier.ria_ripples),
+            ria_max_ripple_span: self.ria_max_ripple_span,
+            ria_bound: self.ria_bound,
+            ria_bound_exceeded: self
+                .ria_bound_exceeded
+                .saturating_sub(earlier.ria_bound_exceeded),
+            ria_rebuilds: self.ria_rebuilds.saturating_sub(earlier.ria_rebuilds),
+            lia_within_block_shifts: self
+                .lia_within_block_shifts
+                .saturating_sub(earlier.lia_within_block_shifts),
+            lia_horizontal_packs: self
+                .lia_horizontal_packs
+                .saturating_sub(earlier.lia_horizontal_packs),
+            lia_vertical_child_creates: self
+                .lia_vertical_child_creates
+                .saturating_sub(earlier.lia_vertical_child_creates),
+            lia_vertical_premature: self
+                .lia_vertical_premature
+                .saturating_sub(earlier.lia_vertical_premature),
+            lia_model_retrains: self
+                .lia_model_retrains
+                .saturating_sub(earlier.lia_model_retrains),
+            hitree_node_upgrades: self
+                .hitree_node_upgrades
+                .saturating_sub(earlier.hitree_node_upgrades),
+            phase_sort_nanos: self
+                .phase_sort_nanos
+                .saturating_sub(earlier.phase_sort_nanos),
+            phase_group_nanos: self
+                .phase_group_nanos
+                .saturating_sub(earlier.phase_group_nanos),
+            phase_apply_nanos: self
+                .phase_apply_nanos
+                .saturating_sub(earlier.phase_apply_nanos),
+            phase_kernel_nanos: self
+                .phase_kernel_nanos
+                .saturating_sub(earlier.phase_kernel_nanos),
+        }
+    }
+
+    /// Total horizontal RIA movement (within-block + cross-block).
+    pub fn ria_horizontal_moves(self) -> u64 {
+        self.ria_within_block_shifts + self.ria_cross_block_moves
+    }
+
+    /// `(field name, value)` pairs in a fixed order — the serialization
+    /// schema. Report writers and schema-stability tests both read this, so
+    /// renaming a field here is a deliberate schema change.
+    pub fn fields(self) -> [(&'static str, u64); 25] {
+        [
+            ("vb_inline_hits", self.vb_inline_hits),
+            ("vb_inline_shifts", self.vb_inline_shifts),
+            ("vb_spill_evictions", self.vb_spill_evictions),
+            ("vb_spill_inserts", self.vb_spill_inserts),
+            ("vb_spill_refills", self.vb_spill_refills),
+            ("arr_shifts", self.arr_shifts),
+            ("tier_upgrades", self.tier_upgrades),
+            ("tier_downgrades", self.tier_downgrades),
+            ("ria_within_block_shifts", self.ria_within_block_shifts),
+            ("ria_cross_block_moves", self.ria_cross_block_moves),
+            ("ria_ripples", self.ria_ripples),
+            ("ria_max_ripple_span", self.ria_max_ripple_span),
+            ("ria_bound", self.ria_bound),
+            ("ria_bound_exceeded", self.ria_bound_exceeded),
+            ("ria_rebuilds", self.ria_rebuilds),
+            ("lia_within_block_shifts", self.lia_within_block_shifts),
+            ("lia_horizontal_packs", self.lia_horizontal_packs),
+            (
+                "lia_vertical_child_creates",
+                self.lia_vertical_child_creates,
+            ),
+            ("lia_vertical_premature", self.lia_vertical_premature),
+            ("lia_model_retrains", self.lia_model_retrains),
+            ("hitree_node_upgrades", self.hitree_node_upgrades),
+            ("phase_sort_nanos", self.phase_sort_nanos),
+            ("phase_group_nanos", self.phase_group_nanos),
+            ("phase_apply_nanos", self.phase_apply_nanos),
+            ("phase_kernel_nanos", self.phase_kernel_nanos),
+        ]
+    }
+
+    /// The count fields that must be identical across reruns with the same
+    /// input — every field except wall-clock nanos and the two gauges.
+    pub fn deterministic_fields(self) -> Vec<(&'static str, u64)> {
+        self.fields()
+            .into_iter()
+            .filter(|(name, _)| !name.ends_with("_nanos"))
+            .collect()
+    }
+
+    /// Rebuilds a snapshot from `(field name, value)` pairs, the inverse of
+    /// [`StructSnapshot::fields`]. Unknown names are rejected; missing names
+    /// stay zero.
+    pub fn from_fields<'a>(
+        pairs: impl IntoIterator<Item = (&'a str, u64)>,
+    ) -> Result<StructSnapshot, String> {
+        let mut s = StructSnapshot::default();
+        for (name, v) in pairs {
+            match name {
+                "vb_inline_hits" => s.vb_inline_hits = v,
+                "vb_inline_shifts" => s.vb_inline_shifts = v,
+                "vb_spill_evictions" => s.vb_spill_evictions = v,
+                "vb_spill_inserts" => s.vb_spill_inserts = v,
+                "vb_spill_refills" => s.vb_spill_refills = v,
+                "arr_shifts" => s.arr_shifts = v,
+                "tier_upgrades" => s.tier_upgrades = v,
+                "tier_downgrades" => s.tier_downgrades = v,
+                "ria_within_block_shifts" => s.ria_within_block_shifts = v,
+                "ria_cross_block_moves" => s.ria_cross_block_moves = v,
+                "ria_ripples" => s.ria_ripples = v,
+                "ria_max_ripple_span" => s.ria_max_ripple_span = v,
+                "ria_bound" => s.ria_bound = v,
+                "ria_bound_exceeded" => s.ria_bound_exceeded = v,
+                "ria_rebuilds" => s.ria_rebuilds = v,
+                "lia_within_block_shifts" => s.lia_within_block_shifts = v,
+                "lia_horizontal_packs" => s.lia_horizontal_packs = v,
+                "lia_vertical_child_creates" => s.lia_vertical_child_creates = v,
+                "lia_vertical_premature" => s.lia_vertical_premature = v,
+                "lia_model_retrains" => s.lia_model_retrains = v,
+                "hitree_node_upgrades" => s.hitree_node_upgrades = v,
+                "phase_sort_nanos" => s.phase_sort_nanos = v,
+                "phase_group_nanos" => s.phase_group_nanos = v,
+                "phase_apply_nanos" => s.phase_apply_nanos = v,
+                "phase_kernel_nanos" => s.phase_kernel_nanos = v,
+                other => return Err(format!("unknown StructSnapshot field: {other}")),
+            }
+        }
+        Ok(s)
+    }
 }
 
 #[cfg(test)]
@@ -146,5 +778,105 @@ mod tests {
         let d = c.snapshot().since(a);
         assert_eq!(d.elements_moved, 5);
         assert_eq!(d.search_steps, 1);
+    }
+
+    #[test]
+    fn struct_stats_record_and_reset() {
+        let s = StructStats::new();
+        s.record_vb_inline_insert(3);
+        s.record_vb_inline_insert(0);
+        s.record_vb_spill_eviction();
+        s.record_arr_shift(9);
+        s.record_ria_within_shift(4);
+        s.record_ria_ripple(2, 2, 5);
+        s.record_ria_rebuild();
+        s.record_lia_pack();
+        s.record_lia_vertical(true);
+        s.record_lia_retrain();
+        s.record_node_upgrade();
+        let snap = s.snapshot();
+        assert_eq!(snap.vb_inline_hits, 2);
+        assert_eq!(snap.vb_inline_shifts, 3);
+        assert_eq!(snap.vb_spill_evictions, 1);
+        assert_eq!(snap.arr_shifts, 9);
+        assert_eq!(snap.ria_within_block_shifts, 4);
+        assert_eq!(snap.ria_cross_block_moves, 2);
+        assert_eq!(snap.ria_ripples, 1);
+        assert_eq!(snap.ria_max_ripple_span, 2);
+        assert_eq!(snap.ria_bound, 5);
+        assert_eq!(snap.ria_bound_exceeded, 0);
+        assert_eq!(snap.ria_rebuilds, 1);
+        assert_eq!(snap.lia_horizontal_packs, 1);
+        assert_eq!(snap.lia_vertical_child_creates, 1);
+        assert_eq!(snap.lia_vertical_premature, 0);
+        assert_eq!(snap.lia_model_retrains, 1);
+        assert_eq!(snap.hitree_node_upgrades, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StructSnapshot::default());
+    }
+
+    #[test]
+    fn ripple_past_bound_flags_violation() {
+        let s = StructStats::new();
+        s.record_ria_ripple(7, 7, 5);
+        let snap = s.snapshot();
+        assert_eq!(snap.ria_bound_exceeded, 1);
+        assert_eq!(snap.ria_max_ripple_span, 7);
+    }
+
+    #[test]
+    fn premature_vertical_flags_violation() {
+        let s = StructStats::new();
+        s.record_lia_vertical(false);
+        assert_eq!(s.snapshot().lia_vertical_premature, 1);
+    }
+
+    #[test]
+    fn struct_snapshot_since_diffs_counters_keeps_gauges() {
+        let s = StructStats::new();
+        s.record_ria_within_shift(10);
+        s.record_ria_ripple(3, 3, 6);
+        let a = s.snapshot();
+        s.record_ria_within_shift(5);
+        s.record_ria_ripple(2, 2, 6);
+        let d = s.snapshot().since(a);
+        assert_eq!(d.ria_within_block_shifts, 5);
+        assert_eq!(d.ria_ripples, 1);
+        assert_eq!(d.ria_cross_block_moves, 2);
+        // Gauges keep the later absolute value.
+        assert_eq!(d.ria_max_ripple_span, 3);
+        assert_eq!(d.ria_bound, 6);
+    }
+
+    #[test]
+    fn phase_timer_attributes_time() {
+        let s = StructStats::new();
+        {
+            let _t = s.time(Phase::Sort);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        {
+            let t = s.time(Phase::Apply);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            t.stop();
+        }
+        let snap = s.snapshot();
+        assert!(snap.phase_sort_nanos >= 1_000_000);
+        assert!(snap.phase_apply_nanos >= 500_000);
+        assert_eq!(snap.phase_group_nanos, 0);
+    }
+
+    #[test]
+    fn fields_are_schema_stable() {
+        let names: Vec<&str> = StructSnapshot::default()
+            .fields()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(names.len(), 25);
+        // A rename here must be an intentional schema change.
+        assert!(names.contains(&"ria_cross_block_moves"));
+        assert!(names.contains(&"lia_vertical_child_creates"));
+        assert!(names.contains(&"phase_apply_nanos"));
     }
 }

@@ -10,7 +10,7 @@ pub mod counters;
 pub mod edge;
 pub mod footprint;
 
-pub use counters::{CounterSnapshot, OpCounters};
+pub use counters::{CounterSnapshot, OpCounters, Phase, PhaseTimer, StructSnapshot, StructStats};
 pub use edge::{Edge, VertexId};
 pub use footprint::{Footprint, MemoryFootprint};
 
@@ -123,6 +123,24 @@ pub trait DynamicGraph: Graph {
         }
         self.delete_batch(&both)
     }
+
+    /// Snapshot of this engine's coarse search/movement counters, if it is
+    /// instrumented with [`OpCounters`]. Baselines (Terrace, Aspen,
+    /// PaC-tree, PCSR) override this.
+    fn op_counters(&self) -> Option<CounterSnapshot> {
+        None
+    }
+
+    /// Snapshot of this engine's per-container-class structural counters, if
+    /// it is instrumented with [`StructStats`]. LSGraph overrides this.
+    fn struct_stats(&self) -> Option<StructSnapshot> {
+        None
+    }
+
+    /// Zeroes whatever instrumentation this engine carries. Benchmarks call
+    /// this after the build phase so reported counters cover only the
+    /// measured updates.
+    fn reset_instrumentation(&mut self) {}
 }
 
 #[cfg(test)]

@@ -29,7 +29,9 @@ pub use varint::DeltaChunk;
 use std::sync::Arc;
 
 use lsgraph_api::batch::{max_vertex_id, runs_by_src, sorted_dedup_keys};
-use lsgraph_api::{DynamicGraph, Edge, Footprint, Graph, MemoryFootprint, VertexId};
+use lsgraph_api::{
+    CounterSnapshot, DynamicGraph, Edge, Footprint, Graph, MemoryFootprint, OpCounters, VertexId,
+};
 use rayon::prelude::*;
 
 /// Expected chunk size: one in this many elements is a head.
@@ -86,10 +88,16 @@ fn split(t: &Link, key: u32) -> (Link, Link) {
             debug_assert_ne!(n.head, key);
             if key < n.head {
                 let (l, r) = split(&n.left, key);
-                (l, Some(node(n.head, n.chunk.clone(), n.prio, r, n.right.clone())))
+                (
+                    l,
+                    Some(node(n.head, n.chunk.clone(), n.prio, r, n.right.clone())),
+                )
             } else {
                 let (l, r) = split(&n.right, key);
-                (Some(node(n.head, n.chunk.clone(), n.prio, n.left.clone(), l)), r)
+                (
+                    Some(node(n.head, n.chunk.clone(), n.prio, n.left.clone(), l)),
+                    r,
+                )
             }
         }
     }
@@ -178,9 +186,17 @@ fn delete_head(t: &Link, key: u32) -> Link {
 
 /// Node with the greatest head `<= x`.
 fn find_pred(t: &Link, x: u32) -> Option<&CNode> {
+    find_pred_steps(t, x).0
+}
+
+/// Like [`find_pred`], also returning the number of treap nodes visited
+/// (the pointer-chasing cost the paper charges Aspen for).
+fn find_pred_steps(t: &Link, x: u32) -> (Option<&CNode>, u64) {
     let mut cur = t;
     let mut best: Option<&CNode> = None;
+    let mut steps = 0;
     while let Some(n) = cur {
+        steps += 1;
         if n.head <= x {
             best = Some(n);
             cur = &n.right;
@@ -188,7 +204,7 @@ fn find_pred(t: &Link, x: u32) -> Option<&CNode> {
             cur = &n.left;
         }
     }
-    best
+    (best, steps)
 }
 
 /// Path-copies to head `key` and replaces its chunk (key must be present).
@@ -313,6 +329,12 @@ impl CTreeSet {
 
     /// Returns a new set with `x` inserted, or `None` if already present.
     pub fn inserted(&self, x: u32) -> Option<CTreeSet> {
+        self.inserted_with(x, &OpCounters::new())
+    }
+
+    /// Like [`CTreeSet::inserted`], recording treap descent steps and
+    /// chunk re-encode element counts into `c`.
+    pub fn inserted_with(&self, x: u32, c: &OpCounters) -> Option<CTreeSet> {
         if self.contains(x) {
             return None;
         }
@@ -320,10 +342,13 @@ impl CTreeSet {
         out.len += 1;
         if is_head(x) {
             // Elements after x in the covering chunk move into x's chunk.
-            match find_pred(&self.root, x) {
+            let (pred, steps) = find_pred_steps(&self.root, x);
+            c.add_search(steps);
+            match pred {
                 None => {
                     let pre = self.prefix.decode();
                     let cut = pre.partition_point(|&y| y < x);
+                    c.add_moves(pre.len() as u64);
                     out.prefix = Arc::new(DeltaChunk::encode(&pre[..cut]));
                     out.root =
                         insert_head(&self.root, x, Arc::new(DeltaChunk::encode(&pre[cut..])));
@@ -331,24 +356,28 @@ impl CTreeSet {
                 Some(p) => {
                     let chunk = p.chunk.decode();
                     let cut = chunk.partition_point(|&y| y < x);
+                    c.add_moves(chunk.len() as u64);
                     let kept = Arc::new(DeltaChunk::encode(&chunk[..cut]));
                     let pruned = with_chunk(&self.root, p.head, kept);
-                    out.root =
-                        insert_head(&pruned, x, Arc::new(DeltaChunk::encode(&chunk[cut..])));
+                    out.root = insert_head(&pruned, x, Arc::new(DeltaChunk::encode(&chunk[cut..])));
                 }
             }
         } else {
-            match find_pred(&self.root, x) {
+            let (pred, steps) = find_pred_steps(&self.root, x);
+            c.add_search(steps);
+            match pred {
                 None => {
                     let mut pre = self.prefix.decode();
                     let i = pre.partition_point(|&y| y < x);
                     pre.insert(i, x);
+                    c.add_moves(pre.len() as u64);
                     out.prefix = Arc::new(DeltaChunk::encode(&pre));
                 }
                 Some(p) => {
                     let mut chunk = p.chunk.decode();
                     let i = chunk.partition_point(|&y| y < x);
                     chunk.insert(i, x);
+                    c.add_moves(chunk.len() as u64);
                     out.root = with_chunk(&self.root, p.head, Arc::new(DeltaChunk::encode(&chunk)));
                 }
             }
@@ -358,12 +387,21 @@ impl CTreeSet {
 
     /// Returns a new set with `x` removed, or `None` if absent.
     pub fn deleted(&self, x: u32) -> Option<CTreeSet> {
+        self.deleted_with(x, &OpCounters::new())
+    }
+
+    /// Like [`CTreeSet::deleted`], recording treap descent steps and chunk
+    /// re-encode element counts into `c`.
+    pub fn deleted_with(&self, x: u32, c: &OpCounters) -> Option<CTreeSet> {
         let mut out = self.clone();
-        match find_pred(&self.root, x) {
+        let (pred, steps) = find_pred_steps(&self.root, x);
+        c.add_search(steps);
+        match pred {
             None => {
                 let mut pre = self.prefix.decode();
                 let i = pre.binary_search(&x).ok()?;
                 pre.remove(i);
+                c.add_moves(pre.len() as u64);
                 out.prefix = Arc::new(DeltaChunk::encode(&pre));
             }
             Some(p) if p.head == x => {
@@ -371,17 +409,22 @@ impl CTreeSet {
                 // the prefix when x was the first head).
                 let orphan = p.chunk.decode();
                 let removed = delete_head(&self.root, x);
-                match find_pred(&removed, x) {
+                let (pred2, steps2) = find_pred_steps(&removed, x);
+                c.add_search(steps2);
+                match pred2 {
                     None => {
                         let mut pre = self.prefix.decode();
                         pre.extend_from_slice(&orphan);
+                        c.add_moves(pre.len() as u64);
                         out.prefix = Arc::new(DeltaChunk::encode(&pre));
                         out.root = removed;
                     }
                     Some(q) => {
                         let mut chunk = q.chunk.decode();
                         chunk.extend_from_slice(&orphan);
-                        out.root = with_chunk(&removed, q.head, Arc::new(DeltaChunk::encode(&chunk)));
+                        c.add_moves(chunk.len() as u64);
+                        out.root =
+                            with_chunk(&removed, q.head, Arc::new(DeltaChunk::encode(&chunk)));
                     }
                 }
             }
@@ -389,6 +432,7 @@ impl CTreeSet {
                 let mut chunk = p.chunk.decode();
                 let i = chunk.binary_search(&x).ok()?;
                 chunk.remove(i);
+                c.add_moves(chunk.len() as u64);
                 out.root = with_chunk(&self.root, p.head, Arc::new(DeltaChunk::encode(&chunk)));
             }
         }
@@ -511,6 +555,7 @@ impl MemoryFootprint for CTreeSet {
 pub struct AspenGraph {
     vertices: Vec<CTreeSet>,
     num_edges: usize,
+    counters: OpCounters,
 }
 
 impl AspenGraph {
@@ -519,7 +564,18 @@ impl AspenGraph {
         AspenGraph {
             vertices: vec![CTreeSet::new(); n],
             num_edges: 0,
+            counters: OpCounters::new(),
         }
+    }
+
+    /// Snapshot of the update-path operation counters.
+    pub fn counters(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Resets the operation counters to zero.
+    pub fn reset_counters(&mut self) {
+        self.counters.reset();
     }
 
     /// Bulk-loads from an edge list in parallel.
@@ -541,6 +597,7 @@ impl AspenGraph {
         AspenGraph {
             vertices,
             num_edges: keys.len(),
+            counters: OpCounters::new(),
         }
     }
 
@@ -549,6 +606,7 @@ impl AspenGraph {
         AspenGraph {
             vertices: self.vertices.clone(),
             num_edges: self.num_edges,
+            counters: OpCounters::new(),
         }
     }
 
@@ -610,24 +668,27 @@ impl DynamicGraph for AspenGraph {
         }
         let runs = runs_by_src(&keys);
         let vertices = &self.vertices;
+        let counters = &self.counters;
         // Functional updates: build new per-vertex sets in parallel, then
         // swap them in.
         let built: Vec<(u32, CTreeSet, usize)> = runs
             .par_iter()
             .map(|run| {
                 let set = &vertices[run.src as usize];
-                let items: Vec<u32> =
-                    keys[run.start..run.end].iter().map(|&k| k as u32).collect();
+                let items: Vec<u32> = keys[run.start..run.end].iter().map(|&k| k as u32).collect();
                 // Bulk union when the run is a sizeable fraction of the set;
                 // per-element path copying for point updates.
                 if items.len() * 4 >= set.len().max(8) {
                     let (next, added) = set.merged_with_sorted(&items);
+                    counters.add_rebuild();
+                    counters.add_search(items.len() as u64);
+                    counters.add_moves(next.len() as u64);
                     (run.src, next, added)
                 } else {
                     let mut set = set.clone();
                     let mut added = 0;
                     for u in items {
-                        if let Some(next) = set.inserted(u) {
+                        if let Some(next) = set.inserted_with(u, counters) {
                             set = next;
                             added += 1;
                         }
@@ -654,20 +715,23 @@ impl DynamicGraph for AspenGraph {
         let keys: Vec<u64> = keys.into_iter().filter(|&k| (k >> 32) < n).collect();
         let runs = runs_by_src(&keys);
         let vertices = &self.vertices;
+        let counters = &self.counters;
         let built: Vec<(u32, CTreeSet, usize)> = runs
             .par_iter()
             .map(|run| {
                 let set = &vertices[run.src as usize];
-                let items: Vec<u32> =
-                    keys[run.start..run.end].iter().map(|&k| k as u32).collect();
+                let items: Vec<u32> = keys[run.start..run.end].iter().map(|&k| k as u32).collect();
                 if items.len() * 4 >= set.len().max(8) {
                     let (next, removed) = set.minus_sorted(&items);
+                    counters.add_rebuild();
+                    counters.add_search(items.len() as u64);
+                    counters.add_moves(next.len() as u64);
                     (run.src, next, removed)
                 } else {
                     let mut set = set.clone();
                     let mut removed = 0;
                     for u in items {
-                        if let Some(next) = set.deleted(u) {
+                        if let Some(next) = set.deleted_with(u, counters) {
                             set = next;
                             removed += 1;
                         }
@@ -684,6 +748,14 @@ impl DynamicGraph for AspenGraph {
         self.num_edges -= total;
         total
     }
+
+    fn op_counters(&self) -> Option<CounterSnapshot> {
+        Some(self.counters.snapshot())
+    }
+
+    fn reset_instrumentation(&mut self) {
+        self.counters.reset();
+    }
 }
 
 impl MemoryFootprint for AspenGraph {
@@ -692,10 +764,7 @@ impl MemoryFootprint for AspenGraph {
             .par_iter()
             .map(|s| s.footprint())
             .reduce(Footprint::default, Footprint::add)
-            + Footprint::new(
-                0,
-                self.vertices.len() * core::mem::size_of::<CTreeSet>(),
-            )
+            + Footprint::new(0, self.vertices.len() * core::mem::size_of::<CTreeSet>())
     }
 }
 

@@ -90,8 +90,6 @@ fn bench_pagerank(c: &mut Criterion) {
     g.finish();
 }
 
-
-
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);

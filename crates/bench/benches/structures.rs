@@ -26,7 +26,9 @@ fn bench_inserts(c: &mut Criterion) {
     let base = keys(n, 1);
     let extra: Vec<u32> = {
         let mut rng = SmallRng::seed_from_u64(2);
-        (0..10_000).map(|_| rng.gen_range(0..n as u32 * 8)).collect()
+        (0..10_000)
+            .map(|_| rng.gen_range(0..n as u32 * 8))
+            .collect()
     };
     let mut g = c.benchmark_group("insert_10k_into_50k");
     g.throughput(Throughput::Elements(extra.len() as u64));
@@ -90,7 +92,10 @@ fn bench_search(c: &mut Criterion) {
     let pma = Pma::<u32>::from_sorted(&base, PmaParams::dense());
     let bt = BTreeSet32::from_sorted(&base);
     let cfg = Config::default();
-    let cfg_bin = Config { lia_search: LiaSearch::Binary, ..Config::default() };
+    let cfg_bin = Config {
+        lia_search: LiaSearch::Binary,
+        ..Config::default()
+    };
     let tree = HiTree::from_sorted(&base, &cfg);
     let mut g = c.benchmark_group("search_1k_in_100k");
     g.throughput(Throughput::Elements(probes.len() as u64));
@@ -107,7 +112,12 @@ fn bench_search(c: &mut Criterion) {
         b.iter(|| probes.iter().filter(|&&k| tree.contains(k, &cfg)).count())
     });
     g.bench_function("hitree_binary", |b| {
-        b.iter(|| probes.iter().filter(|&&k| tree.contains(k, &cfg_bin)).count())
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&k| tree.contains(k, &cfg_bin))
+                .count()
+        })
     });
     g.finish();
 }

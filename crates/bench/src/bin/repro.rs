@@ -1,23 +1,40 @@
 //! Reproduction harness: one subcommand per paper table/figure.
 //!
 //! ```text
-//! cargo run -p lsgraph-bench --release --bin repro -- <experiment>
+//! cargo run -p lsgraph-bench --release --bin repro -- <experiment> [--json]
 //! ```
 //!
 //! Experiments: `fig3 fig4 fig12 small ablation fig13 table2 table3 fig14
 //! fig15 fig16 fig17 table4 g500 all`. Sizes scale with `REPRO_SCALE` (extra
 //! powers of two), `REPRO_BASE` (log2 base vertex count, default 15), and
 //! `REPRO_TRIALS` (default 3).
+//!
+//! With `--json`, experiments that support it (`fig12`, `small`) write a
+//! schema-stable `BENCH_<experiment>.json` with per-engine throughput,
+//! phase timings, and instrumentation counter snapshots instead of printing
+//! a table (see EXPERIMENTS.md for the schema).
 
 use lsgraph_bench::experiments;
-use lsgraph_bench::Scale;
+use lsgraph_bench::{BenchReport, Scale};
+
+fn emit(report: &BenchReport) {
+    match report.write() {
+        Ok(path) => eprintln!("[repro] wrote {path}"),
+        Err(e) => {
+            eprintln!("[repro] failed to write {}: {e}", report.file_name());
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     let scale = Scale::from_env();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig3|fig4|fig12|small|ablation|fig13|table2|table3|fig14|fig15|fig16|fig17|table4|g500|all>"
+            "usage: repro <fig3|fig4|fig12|small|ablation|fig13|table2|table3|fig14|fig15|fig16|fig17|table4|g500|all> [--json]"
         );
         std::process::exit(2);
     }
@@ -26,6 +43,21 @@ fn main() {
         scale.base, scale.shift, scale.trials
     );
     for arg in &args {
+        if json {
+            match arg.as_str() {
+                "fig12" | "del" => {
+                    emit(&experiments::fig12_report(&scale));
+                    continue;
+                }
+                "small" => {
+                    emit(&experiments::small_batches_report(&scale));
+                    continue;
+                }
+                other => {
+                    eprintln!("[repro] no JSON mode for '{other}'; printing the table");
+                }
+            }
+        }
         match arg.as_str() {
             "fig3" => experiments::fig3(&scale),
             "fig4" => experiments::fig4(&scale),

@@ -10,7 +10,10 @@ use lsgraph_gen::{rmat, temporal::TEMPORAL_PROFILES, DatasetProfile, RmatParams}
 use lsgraph_pactree::PacGraph;
 use lsgraph_terrace::TerraceGraph;
 
-use crate::runner::{build_engine, engines, fmt_tput, time, time_avg, EngineKind, Scale};
+use crate::report::{BenchReport, EngineReport, SCHEMA_VERSION};
+use crate::runner::{
+    build_engine, build_engine_scaled, engines, fmt_tput, time, time_avg, EngineKind, Scale,
+};
 
 /// Datasets used at the current scale (TW/FR only at higher scales: their
 /// stand-ins are large even scaled).
@@ -62,7 +65,7 @@ pub fn fig12(scale: &Scale) {
         println!();
         let mut built: Vec<(EngineKind, Box<dyn crate::Engine>)> = engines()
             .iter()
-            .map(|&k| (k, build_engine(k, n, &base)))
+            .map(|&k| (k, build_engine_scaled(k, n, &base, shift)))
             .collect();
         for bs in scale.batch_sizes() {
             print!("{bs:>10}");
@@ -90,6 +93,92 @@ pub fn fig12(scale: &Scale) {
     }
 }
 
+/// Measures one engine on one (dataset, batch size) cell: `trials`
+/// insert+delete rounds with fixed seeds, instrumentation reset first so
+/// the counters cover exactly this cell.
+fn measure_cell(
+    g: &mut Box<dyn crate::Engine>,
+    kind: EngineKind,
+    dataset: &str,
+    gscale: u32,
+    bs: usize,
+    trials: usize,
+) -> EngineReport {
+    g.reset_instrumentation();
+    let mut ins = Duration::ZERO;
+    let mut del = Duration::ZERO;
+    for t in 0..trials {
+        let batch = update_batch(gscale, bs, 1_000 + t as u64);
+        let (_, ti) = time(|| g.insert_batch(&batch));
+        let (_, td) = time(|| g.delete_batch(&batch));
+        ins += ti;
+        del += td;
+    }
+    let edges = (bs * trials) as f64;
+    EngineReport {
+        engine: kind.name().to_string(),
+        dataset: dataset.to_string(),
+        batch_size: bs,
+        insert_eps: edges / ins.as_secs_f64().max(1e-12),
+        delete_eps: edges / del.as_secs_f64().max(1e-12),
+        insert_nanos: ins.as_nanos() as u64,
+        delete_nanos: del.as_nanos() as u64,
+        counters: g.op_counters(),
+        struct_stats: g.struct_stats(),
+    }
+}
+
+/// Fig. 12 as a machine-readable report: every engine × dataset × batch
+/// size, with throughput plus the instrumentation counters for each cell.
+pub fn fig12_report(scale: &Scale) -> BenchReport {
+    let mut out = Vec::new();
+    for p in datasets(scale) {
+        let shift = shift_for(&p, scale);
+        let n = p.scaled_vertices(shift);
+        let gscale = p.log_vertices - shift;
+        let base = p.generate(shift, 42);
+        let mut built: Vec<(EngineKind, Box<dyn crate::Engine>)> = engines()
+            .iter()
+            .map(|&k| (k, build_engine_scaled(k, n, &base, shift)))
+            .collect();
+        for bs in scale.batch_sizes() {
+            for (k, g) in built.iter_mut() {
+                out.push(measure_cell(g, *k, p.name, gscale, bs, scale.trials));
+            }
+        }
+    }
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        experiment: "fig12".to_string(),
+        base: scale.base,
+        shift: scale.shift,
+        trials: scale.trials,
+        engines: out,
+    }
+}
+
+/// §6.2 small batches as a machine-readable report (batch size 10 on OR).
+pub fn small_batches_report(scale: &Scale) -> BenchReport {
+    let p = DatasetProfile::by_name("OR").expect("profile exists");
+    let shift = shift_for(&p, scale);
+    let gscale = p.log_vertices - shift;
+    let base = p.generate(shift, 42);
+    let n = p.scaled_vertices(shift);
+    let mut out = Vec::new();
+    for k in engines() {
+        let mut g = build_engine_scaled(k, n, &base, shift);
+        out.push(measure_cell(&mut g, k, p.name, gscale, 10, 200));
+    }
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        experiment: "small".to_string(),
+        base: scale.base,
+        shift: scale.shift,
+        trials: scale.trials,
+        engines: out,
+    }
+}
+
 /// §6.2 small batches: latency at batch size 10.
 pub fn small_batches(scale: &Scale) {
     println!("# §6.2: batch-size-10 updates (throughput, edges/s)");
@@ -100,7 +189,7 @@ pub fn small_batches(scale: &Scale) {
     let n = p.scaled_vertices(shift);
     let rounds = 2_000;
     for k in engines() {
-        let mut g = build_engine(k, n, &base);
+        let mut g = build_engine_scaled(k, n, &base, shift);
         let batches: Vec<Vec<Edge>> = (0..rounds)
             .map(|i| update_batch(gscale, 10, 7_000 + i as u64))
             .collect();
@@ -144,7 +233,10 @@ pub fn fig3(scale: &Scale) {
     let mut terrace = TerraceGraph::from_edges(n, &base);
     let mut aspen = AspenGraph::from_edges(n, &base);
     let mut pcsr = lsgraph_pma::PmaGraph::from_edges(n, &base);
-    println!("{:>10}{:>12}{:>12}{:>12}", "batch", "Terrace", "Aspen", "PCSR");
+    println!(
+        "{:>10}{:>12}{:>12}{:>12}",
+        "batch", "Terrace", "Aspen", "PCSR"
+    );
     for bs in scale.batch_sizes() {
         let batch = update_batch(gscale, bs, 11);
         let (_, tt) = time(|| terrace.insert_batch(&batch));
@@ -331,9 +423,27 @@ pub fn ablation(scale: &Scale) {
     let bs = base.len();
     let variants: [(&str, Config); 4] = [
         ("LSGraph (full)", Config::default()),
-        ("PMA instead of RIA", Config { medium: MediumStore::Pma, ..Config::default() }),
-        ("RIA instead of HITree", Config { high: HighDegreeStore::RiaOnly, ..Config::default() }),
-        ("binary search in LIA", Config { lia_search: LiaSearch::Binary, ..Config::default() }),
+        (
+            "PMA instead of RIA",
+            Config {
+                medium: MediumStore::Pma,
+                ..Config::default()
+            },
+        ),
+        (
+            "RIA instead of HITree",
+            Config {
+                high: HighDegreeStore::RiaOnly,
+                ..Config::default()
+            },
+        ),
+        (
+            "binary search in LIA",
+            Config {
+                lia_search: LiaSearch::Binary,
+                ..Config::default()
+            },
+        ),
     ];
     let mut baseline = None;
     for (name, cfg) in variants {
@@ -382,7 +492,9 @@ fn sensitivity(scale: &Scale, pagerank: bool) {
         };
         // The paper's Fig. 14 inserts a batch comparable to the whole graph
         // (10^8 edges on LJ); match that ratio so the α effect is visible.
-        let bs = base.len().max(*scale.batch_sizes().last().expect("nonempty"));
+        let bs = base
+            .len()
+            .max(*scale.batch_sizes().last().expect("nonempty"));
         println!("\n## {}", p.name);
         print!("{:>8}", "alpha\\M");
         for m in ms {
@@ -493,7 +605,11 @@ pub fn fig17(scale: &Scale) {
 /// final 10% streamed as timestamped batches.
 pub fn table4(scale: &Scale) {
     println!("# Table 4 / §6.5: streaming the last 10% of temporal graphs (edges/s)");
-    let div = if scale.shift >= 3 { 1 } else { 10 >> scale.shift.min(3) };
+    let div = if scale.shift >= 3 {
+        1
+    } else {
+        10 >> scale.shift.min(3)
+    };
     print!("{:>6}", "graph");
     for k in engines() {
         print!("{:>12}", k.name());
@@ -532,7 +648,10 @@ pub fn sortledton(scale: &Scale) {
     let base = p.generate(shift, 42);
     let mut pac = PacGraph::from_edges(n, &base);
     let mut sl = SortledtonGraph::from_edges(n, &base);
-    println!("{:>10}{:>12}{:>12}{:>8}", "batch", "PaC-tree", "Sortledton", "P/S");
+    println!(
+        "{:>10}{:>12}{:>12}{:>8}",
+        "batch", "PaC-tree", "Sortledton", "P/S"
+    );
     for bs in scale.batch_sizes() {
         let batch = update_batch(gscale, bs, 61);
         let (_, tp) = time(|| pac.insert_batch(&batch));
@@ -567,7 +686,10 @@ pub fn g500(scale: &Scale) {
 /// Artifact-evaluation style correctness pass: every engine must agree with
 /// a CSR oracle on reads and analytics at the configured scale.
 pub fn verify(scale: &Scale) {
-    println!("# verify: cross-engine agreement at base 2^{}", scale.graph_scale());
+    println!(
+        "# verify: cross-engine agreement at base 2^{}",
+        scale.graph_scale()
+    );
     let p = DatasetProfile::by_name("LJ").expect("profile exists");
     let shift = shift_for(&p, scale);
     let n = p.scaled_vertices(shift);

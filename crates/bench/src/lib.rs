@@ -7,9 +7,13 @@
 //! artifact and the expected qualitative result.
 
 pub mod experiments;
+pub mod report;
 pub mod runner;
 
-pub use runner::{build_engine, engines, time, EngineKind, Scale};
+pub use report::{BenchReport, EngineReport, SCHEMA_VERSION};
+pub use runner::{
+    build_engine, build_engine_scaled, engines, scaled_config, time, EngineKind, Scale,
+};
 
 use lsgraph_api::{DynamicGraph, MemoryFootprint};
 

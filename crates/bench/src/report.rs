@@ -1,0 +1,606 @@
+//! Machine-readable benchmark reports (`BENCH_<experiment>.json`).
+//!
+//! The schema is pinned by [`CounterSnapshot::fields`] and
+//! [`StructSnapshot::fields`]: the writer emits exactly those names in
+//! exactly that order, so downstream trajectory tooling can diff reports
+//! across commits. Count fields are deterministic for a fixed RMAT seed
+//! (batch application partitions work into disjoint per-source runs);
+//! `*_nanos` fields and throughput are wall-clock and vary run to run.
+//!
+//! No serde in the dependency tree, so serialization is hand-rolled: a
+//! writer with a fixed field order plus a small recursive-descent JSON
+//! parser for round-tripping in tests and external tooling.
+
+use lsgraph_api::{CounterSnapshot, StructSnapshot};
+
+/// Report schema version; bump when renaming or removing fields.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One engine × dataset × batch-size measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineReport {
+    /// Engine display name (`EngineKind::name`).
+    pub engine: String,
+    /// Dataset profile name.
+    pub dataset: String,
+    /// Edges per update batch.
+    pub batch_size: usize,
+    /// Insert throughput, edges per second.
+    pub insert_eps: f64,
+    /// Delete throughput, edges per second.
+    pub delete_eps: f64,
+    /// Wall-clock insert time across all trials, nanoseconds.
+    pub insert_nanos: u64,
+    /// Wall-clock delete time across all trials, nanoseconds.
+    pub delete_nanos: u64,
+    /// Update-path operation counters (None when the engine records none).
+    pub counters: Option<CounterSnapshot>,
+    /// Structural counters (LSGraph only).
+    pub struct_stats: Option<StructSnapshot>,
+}
+
+/// A full experiment report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Experiment id (`fig12`, `small`, ...).
+    pub experiment: String,
+    /// log2 of the base-graph vertex count.
+    pub base: u32,
+    /// Extra powers of two applied to sizes.
+    pub shift: u32,
+    /// Trials per measurement.
+    pub trials: usize,
+    /// One entry per engine × dataset × batch size.
+    pub engines: Vec<EngineReport>,
+}
+
+impl BenchReport {
+    /// File name the report is written to (`BENCH_<experiment>.json`).
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.experiment)
+    }
+
+    /// Serializes with the pinned field order.
+    pub fn to_json(&self) -> String {
+        let mut w = Writer::new();
+        w.open('{');
+        w.field("schema_version");
+        w.raw(&self.schema_version.to_string());
+        w.field("experiment");
+        w.string(&self.experiment);
+        w.field("base");
+        w.raw(&self.base.to_string());
+        w.field("shift");
+        w.raw(&self.shift.to_string());
+        w.field("trials");
+        w.raw(&self.trials.to_string());
+        w.field("engines");
+        w.open('[');
+        for e in &self.engines {
+            w.item();
+            w.open('{');
+            w.field("engine");
+            w.string(&e.engine);
+            w.field("dataset");
+            w.string(&e.dataset);
+            w.field("batch_size");
+            w.raw(&e.batch_size.to_string());
+            w.field("insert_eps");
+            w.raw(&fmt_f64(e.insert_eps));
+            w.field("delete_eps");
+            w.raw(&fmt_f64(e.delete_eps));
+            w.field("insert_nanos");
+            w.raw(&e.insert_nanos.to_string());
+            w.field("delete_nanos");
+            w.raw(&e.delete_nanos.to_string());
+            w.field("counters");
+            match e.counters {
+                None => w.raw("null"),
+                Some(c) => {
+                    w.open('{');
+                    for (name, v) in c.fields() {
+                        w.field(name);
+                        w.raw(&v.to_string());
+                    }
+                    w.close('}');
+                }
+            }
+            w.field("struct_stats");
+            match e.struct_stats {
+                None => w.raw("null"),
+                Some(s) => {
+                    w.open('{');
+                    for (name, v) in s.fields() {
+                        w.field(name);
+                        w.raw(&v.to_string());
+                    }
+                    w.close('}');
+                }
+            }
+            w.close('}');
+        }
+        w.close(']');
+        w.close('}');
+        w.finish()
+    }
+
+    /// Parses a report previously produced by [`BenchReport::to_json`].
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let v = parse_json(text)?;
+        let top = v.as_object("top level")?;
+        let engines = get(top, "engines")?
+            .as_array("engines")?
+            .iter()
+            .map(|e| {
+                let o = e.as_object("engine entry")?;
+                Ok(EngineReport {
+                    engine: get(o, "engine")?.as_str("engine")?.to_string(),
+                    dataset: get(o, "dataset")?.as_str("dataset")?.to_string(),
+                    batch_size: get(o, "batch_size")?.as_u64("batch_size")? as usize,
+                    insert_eps: get(o, "insert_eps")?.as_f64("insert_eps")?,
+                    delete_eps: get(o, "delete_eps")?.as_f64("delete_eps")?,
+                    insert_nanos: get(o, "insert_nanos")?.as_u64("insert_nanos")?,
+                    delete_nanos: get(o, "delete_nanos")?.as_u64("delete_nanos")?,
+                    counters: match get(o, "counters")? {
+                        Json::Null => None,
+                        c => Some(CounterSnapshot::from_fields(u64_pairs(
+                            c.as_object("counters")?,
+                        )?)?),
+                    },
+                    struct_stats: match get(o, "struct_stats")? {
+                        Json::Null => None,
+                        s => Some(StructSnapshot::from_fields(u64_pairs(
+                            s.as_object("struct_stats")?,
+                        )?)?),
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchReport {
+            schema_version: get(top, "schema_version")?.as_u64("schema_version")? as u32,
+            experiment: get(top, "experiment")?.as_str("experiment")?.to_string(),
+            base: get(top, "base")?.as_u64("base")? as u32,
+            shift: get(top, "shift")?.as_u64("shift")? as u32,
+            trials: get(top, "trials")?.as_u64("trials")? as usize,
+            engines,
+        })
+    }
+
+    /// Writes the report to `BENCH_<experiment>.json` in the current
+    /// directory, returning the path written.
+    pub fn write(&self) -> std::io::Result<String> {
+        let name = self.file_name();
+        std::fs::write(&name, self.to_json())?;
+        Ok(name)
+    }
+}
+
+/// f64 via Rust's shortest-round-trip `Display`, with an explicit decimal
+/// point so the value parses back as a float everywhere.
+fn fmt_f64(x: f64) -> String {
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Pretty-printing JSON writer with two-space indentation.
+struct Writer {
+    out: String,
+    depth: usize,
+    /// Whether the current container already holds an element.
+    populated: Vec<bool>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer {
+            out: String::new(),
+            depth: 0,
+            populated: Vec::new(),
+        }
+    }
+
+    fn newline(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn separate(&mut self) {
+        if let Some(p) = self.populated.last_mut() {
+            if *p {
+                self.out.push(',');
+            }
+            *p = true;
+        }
+        if self.depth > 0 {
+            self.newline();
+        }
+    }
+
+    fn open(&mut self, c: char) {
+        self.out.push(c);
+        self.depth += 1;
+        self.populated.push(false);
+    }
+
+    fn close(&mut self, c: char) {
+        self.depth -= 1;
+        if self.populated.pop() == Some(true) {
+            self.newline();
+        }
+        self.out.push(c);
+    }
+
+    /// Starts an object field: separator, key, colon.
+    fn field(&mut self, name: &str) {
+        self.separate();
+        self.out.push('"');
+        self.out.push_str(name);
+        self.out.push_str("\": ");
+    }
+
+    /// Starts an array element.
+    fn item(&mut self) {
+        self.separate();
+    }
+
+    fn raw(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
+/// Minimal JSON value model; objects keep insertion order so tests can
+/// assert on schema field order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (lossy for integers above 2^53).
+    Num(f64),
+    /// String
+    Str(String),
+    /// Array
+    Arr(Vec<Json>),
+    /// Object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(m) => Ok(m),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("{what}: expected string, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(x) => Ok(*x),
+            other => Err(format!("{what}: expected number, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        let x = self.as_f64(what)?;
+        if x < 0.0 || x.fract() != 0.0 {
+            return Err(format!("{what}: expected unsigned integer, got {x}"));
+        }
+        Ok(x as u64)
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field: {key}"))
+}
+
+fn u64_pairs(obj: &[(String, Json)]) -> Result<Vec<(&str, u64)>, String> {
+    obj.iter()
+        .map(|(k, v)| Ok((k.as_str(), v.as_u64(k)?)))
+        .collect()
+}
+
+/// Parses a JSON document (objects, arrays, strings, numbers, booleans,
+/// null; `\uXXXX` escapes are not supported — the writer never emits them).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut out = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(out));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                out.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(out));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut out = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(out));
+            }
+            loop {
+                out.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(out));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number '{s}' at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out).map_err(|e| e.to_string());
+            }
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                out.push(match esc {
+                    b'n' => b'\n',
+                    b't' => b'\t',
+                    b'r' => b'\r',
+                    other => other,
+                });
+            }
+            other => out.push(other),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            experiment: "fig12".to_string(),
+            base: 10,
+            shift: 0,
+            trials: 1,
+            engines: vec![
+                EngineReport {
+                    engine: "LSGraph".to_string(),
+                    dataset: "LJ".to_string(),
+                    batch_size: 1024,
+                    insert_eps: 1.25e6,
+                    delete_eps: 3.5e5,
+                    insert_nanos: 800_000,
+                    delete_nanos: 2_900_000,
+                    counters: None,
+                    struct_stats: Some(StructSnapshot {
+                        ria_ripples: 7,
+                        ria_bound: 5,
+                        phase_apply_nanos: 123,
+                        ..StructSnapshot::default()
+                    }),
+                },
+                EngineReport {
+                    engine: "Aspen".to_string(),
+                    dataset: "LJ".to_string(),
+                    batch_size: 1024,
+                    insert_eps: 9.0e5,
+                    delete_eps: 8.0e5,
+                    insert_nanos: 1_100_000,
+                    delete_nanos: 1_250_000,
+                    counters: Some(CounterSnapshot {
+                        search_steps: 42,
+                        elements_moved: 99,
+                        rebuilds: 3,
+                        ..CounterSnapshot::default()
+                    }),
+                    struct_stats: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = sample();
+        let text = r.to_json();
+        let back = BenchReport::from_json(&text).expect("parse");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn schema_field_order_is_pinned() {
+        let text = sample().to_json();
+        let v = parse_json(&text).expect("parse");
+        let top = v.as_object("top").unwrap();
+        let top_keys: Vec<&str> = top.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            top_keys,
+            [
+                "schema_version",
+                "experiment",
+                "base",
+                "shift",
+                "trials",
+                "engines"
+            ]
+        );
+        let engines = get(top, "engines").unwrap().as_array("engines").unwrap();
+        let e0 = engines[0].as_object("e0").unwrap();
+        let e0_keys: Vec<&str> = e0.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            e0_keys,
+            [
+                "engine",
+                "dataset",
+                "batch_size",
+                "insert_eps",
+                "delete_eps",
+                "insert_nanos",
+                "delete_nanos",
+                "counters",
+                "struct_stats"
+            ]
+        );
+        // Struct-stats field names come verbatim from StructSnapshot::fields.
+        let ss = get(e0, "struct_stats").unwrap().as_object("ss").unwrap();
+        let want: Vec<&str> = StructSnapshot::default()
+            .fields()
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
+        let got: Vec<&str> = ss.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(got, want);
+        // Counter field names come verbatim from CounterSnapshot::fields.
+        let e1 = engines[1].as_object("e1").unwrap();
+        let c = get(e1, "counters").unwrap().as_object("c").unwrap();
+        let want: Vec<&str> = CounterSnapshot::default()
+            .fields()
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
+        let got: Vec<&str> = c.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "{\"a\":1}x", "nul"] {
+            assert!(parse_json(bad).is_err(), "accepted: {bad:?}");
+        }
+        assert!(BenchReport::from_json("{\"schema_version\": 1}").is_err());
+    }
+
+    #[test]
+    fn floats_survive_round_trip() {
+        for x in [0.0f64, 1.0, 1.5e9, 123456.789, 3.0e-7] {
+            let s = fmt_f64(x);
+            assert_eq!(s.parse::<f64>().unwrap(), x, "{s}");
+        }
+    }
+}

@@ -61,6 +61,34 @@ pub fn build_engine(kind: EngineKind, n: usize, edges: &[Edge]) -> Box<dyn Engin
     }
 }
 
+/// LSGraph tier thresholds scaled down with a dataset's shift.
+///
+/// The harness shrinks each dataset's vertex count (and with it the head
+/// degrees) by `2^shift` relative to the real graph, so the medium-tier
+/// ceiling `M` shrinks by the same factor. The floor of 128 (= 8 blocks)
+/// keeps the RIA tier multi-block; at `shift == 0` this is exactly the
+/// paper's `M = 4096`, so full-scale runs are unaffected.
+pub fn scaled_config(shift: u32) -> Config {
+    let m = (Config::default().m >> shift.min(16)).clamp(128, 4096);
+    Config::default().with_m(m)
+}
+
+/// Like [`build_engine`], but LSGraph's tier thresholds track the dataset
+/// shift (see [`scaled_config`]) so the HITree tier is exercised even on
+/// laptop-scale stand-ins. Other engines have no such knob and build
+/// identically.
+pub fn build_engine_scaled(
+    kind: EngineKind,
+    n: usize,
+    edges: &[Edge],
+    shift: u32,
+) -> Box<dyn Engine> {
+    match kind {
+        EngineKind::LsGraph => Box::new(LsGraph::from_edges(n, edges, scaled_config(shift))),
+        other => build_engine(other, n, edges),
+    }
+}
+
 /// Experiment sizing, controlled by `REPRO_SCALE` / `REPRO_TRIALS` /
 /// `REPRO_BASE`.
 #[derive(Clone, Copy, Debug)]
@@ -78,7 +106,10 @@ impl Scale {
     /// environment.
     pub fn from_env() -> Self {
         let get = |k: &str, d: usize| {
-            std::env::var(k).ok().and_then(|s| s.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(d)
         };
         Scale {
             base: get("REPRO_BASE", 15) as u32,
@@ -89,7 +120,11 @@ impl Scale {
 
     /// A tiny configuration for smoke tests.
     pub fn tiny() -> Self {
-        Scale { base: 10, shift: 0, trials: 1 }
+        Scale {
+            base: 10,
+            shift: 0,
+            trials: 1,
+        }
     }
 
     /// log2 of the default base-graph vertex count at this scale.
@@ -146,7 +181,6 @@ pub fn fmt_tput(edges: usize, d: Duration) -> String {
 mod tests {
     use super::*;
 
-
     #[test]
     fn build_all_engines() {
         let edges = [Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)];
@@ -161,7 +195,11 @@ mod tests {
 
     #[test]
     fn scale_batches_are_increasing() {
-        let s = Scale { base: 15, shift: 0, trials: 1 };
+        let s = Scale {
+            base: 15,
+            shift: 0,
+            trials: 1,
+        };
         let b = s.batch_sizes();
         assert_eq!(b.len(), 5);
         assert!(b.windows(2).all(|w| w[0] < w[1]));

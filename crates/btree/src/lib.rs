@@ -136,8 +136,14 @@ impl BNode {
                 }
             }
             (
-                BNode::Internal { keys: lk, children: lc },
-                BNode::Internal { keys: rk, children: rc },
+                BNode::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                BNode::Internal {
+                    keys: rk,
+                    children: rc,
+                },
             ) => {
                 if lc.len() + rc.len() <= FANOUT {
                     lk.push(keys[l]);
@@ -513,6 +519,9 @@ mod tests {
         }
         t.check_invariants();
         assert_eq!(t.len(), 5_000);
-        assert_eq!(t.to_vec(), (0..5_000).map(|i| i * 4 + 2).collect::<Vec<_>>());
+        assert_eq!(
+            t.to_vec(),
+            (0..5_000).map(|i| i * 4 + 2).collect::<Vec<_>>()
+        );
     }
 }

@@ -11,7 +11,7 @@
 //! Containers upgrade eagerly when they outgrow their tier and downgrade
 //! with 2× hysteresis on deletion so oscillating workloads do not thrash.
 
-use lsgraph_api::{Footprint, MemoryFootprint};
+use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 use lsgraph_pma::{Pma, PmaParams};
 
 use crate::config::{Config, HighDegreeStore, MediumStore};
@@ -72,40 +72,52 @@ impl Spill {
     }
 
     /// Inserts `u`, upgrading the tier if needed; returns whether it was
-    /// added.
+    /// added. Records into the process-global [`StructStats`] sink.
     pub fn insert(&mut self, u: u32, cfg: &Config) -> bool {
-        self.maybe_upgrade(cfg);
+        self.insert_with(u, cfg, StructStats::global())
+    }
+
+    /// Inserts `u`, recording structural movement into `stats`.
+    pub fn insert_with(&mut self, u: u32, cfg: &Config, stats: &StructStats) -> bool {
+        self.maybe_upgrade(cfg, stats);
         match self {
             Spill::Array(v) => match v.binary_search(&u) {
                 Ok(_) => false,
                 Err(i) => {
+                    stats.record_arr_shift((v.len() - i) as u64);
                     v.insert(i, u);
                     true
                 }
             },
-            Spill::Ria(r) => r.insert(u).inserted(),
+            Spill::Ria(r) => r.insert_with(u, stats).inserted(),
             Spill::Pma(p) => p.insert(u),
-            Spill::Tree(t) => t.insert(u, cfg),
+            Spill::Tree(t) => t.insert_with(u, cfg, stats),
         }
     }
 
     /// Deletes `u`, downgrading the tier with hysteresis; returns whether it
-    /// was present.
+    /// was present. Records into the process-global [`StructStats`] sink.
     pub fn delete(&mut self, u: u32, cfg: &Config) -> bool {
+        self.delete_with(u, cfg, StructStats::global())
+    }
+
+    /// Deletes `u`, recording structural movement into `stats`.
+    pub fn delete_with(&mut self, u: u32, cfg: &Config, stats: &StructStats) -> bool {
         let removed = match self {
             Spill::Array(v) => match v.binary_search(&u) {
                 Ok(i) => {
                     v.remove(i);
+                    stats.record_arr_shift((v.len() - i) as u64);
                     true
                 }
                 Err(_) => false,
             },
-            Spill::Ria(r) => r.delete(u),
+            Spill::Ria(r) => r.delete_with(u, stats),
             Spill::Pma(p) => p.delete(u),
-            Spill::Tree(t) => t.delete(u, cfg),
+            Spill::Tree(t) => t.delete_with(u, cfg, stats),
         };
         if removed {
-            self.maybe_downgrade(cfg);
+            self.maybe_downgrade(cfg, stats);
         }
         removed
     }
@@ -113,6 +125,11 @@ impl Spill {
     /// Removes and returns the smallest neighbor (used to refill a vertex
     /// block's inline line after an inline delete).
     pub fn pop_min(&mut self, cfg: &Config) -> Option<u32> {
+        self.pop_min_with(cfg, StructStats::global())
+    }
+
+    /// [`Spill::pop_min`] recording structural movement into `stats`.
+    pub fn pop_min_with(&mut self, cfg: &Config, stats: &StructStats) -> Option<u32> {
         let min = match self {
             Spill::Array(v) => v.first().copied(),
             Spill::Ria(r) => {
@@ -140,7 +157,7 @@ impl Spill {
                 m
             }
         }?;
-        let removed = self.delete(min, cfg);
+        let removed = self.delete_with(min, cfg, stats);
         debug_assert!(removed);
         Some(min)
     }
@@ -195,7 +212,7 @@ impl Spill {
     }
 
     /// Upgrades to the next tier ahead of an insert when this one is full.
-    fn maybe_upgrade(&mut self, cfg: &Config) {
+    fn maybe_upgrade(&mut self, cfg: &Config, stats: &StructStats) {
         let next = match self {
             Spill::Array(v) if v.len() >= cfg.a => true,
             Spill::Ria(r) if r.len() >= cfg.m && cfg.high == HighDegreeStore::HiTree => true,
@@ -212,11 +229,12 @@ impl Spill {
                 Spill::Ria(_) | Spill::Pma(_) => Spill::Tree(HiTree::from_sorted(&ns, cfg)),
                 Spill::Tree(_) => unreachable!(),
             };
+            stats.record_tier_upgrade();
         }
     }
 
     /// Downgrades with 2× hysteresis after deletions.
-    fn maybe_downgrade(&mut self, cfg: &Config) {
+    fn maybe_downgrade(&mut self, cfg: &Config, stats: &StructStats) {
         let rebuild = match self {
             Spill::Array(_) => false,
             Spill::Ria(r) => r.len() * 2 < cfg.a,
@@ -226,6 +244,7 @@ impl Spill {
         if rebuild {
             let ns = self.to_vec();
             *self = Spill::from_sorted(&ns, cfg);
+            stats.record_tier_downgrade();
         }
     }
 }
@@ -332,7 +351,8 @@ mod tests {
     fn pop_min_across_tiers() {
         let cfg = cfg();
         for n in [10usize, 100, 600] {
-            let mut s = Spill::from_sorted(&(0..n as u32).map(|i| i * 2 + 4).collect::<Vec<_>>(), &cfg);
+            let mut s =
+                Spill::from_sorted(&(0..n as u32).map(|i| i * 2 + 4).collect::<Vec<_>>(), &cfg);
             assert_eq!(s.pop_min(&cfg), Some(4));
             assert_eq!(s.pop_min(&cfg), Some(6));
             assert_eq!(s.len(), n - 2);

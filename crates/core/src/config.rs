@@ -83,7 +83,10 @@ impl Config {
             return Err(ConfigError::InvalidAlpha(self.alpha));
         }
         if self.a == 0 || self.m < self.a {
-            return Err(ConfigError::InvalidThresholds { a: self.a, m: self.m });
+            return Err(ConfigError::InvalidThresholds {
+                a: self.a,
+                m: self.m,
+            });
         }
         Ok(())
     }
@@ -119,7 +122,10 @@ impl core::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             ConfigError::InvalidAlpha(a) => {
-                write!(f, "space amplification factor must be finite and > 1.0, got {a}")
+                write!(
+                    f,
+                    "space amplification factor must be finite and > 1.0, got {a}"
+                )
             }
             ConfigError::InvalidThresholds { a, m } => {
                 write!(f, "thresholds must satisfy 0 < a <= m, got a={a}, m={m}")
@@ -148,12 +154,18 @@ mod tests {
         assert!(Config::default().with_alpha(1.0).validate().is_err());
         assert!(Config::default().with_alpha(0.5).validate().is_err());
         assert!(Config::default().with_alpha(f64::NAN).validate().is_err());
-        assert!(Config::default().with_alpha(f64::INFINITY).validate().is_err());
+        assert!(Config::default()
+            .with_alpha(f64::INFINITY)
+            .validate()
+            .is_err());
     }
 
     #[test]
     fn rejects_misordered_thresholds() {
-        let mut c = Config { m: 8, ..Config::default() };
+        let mut c = Config {
+            m: 8,
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
         c.a = 0;
         assert!(c.validate().is_err());

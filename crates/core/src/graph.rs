@@ -2,7 +2,10 @@
 //! the parallel batch-update pipeline (paper §5, Fig. 11).
 
 use lsgraph_api::batch::{max_vertex_id, runs_by_src, sorted_dedup_keys, SrcRun};
-use lsgraph_api::{DynamicGraph, Edge, Footprint, Graph, IterableGraph, MemoryFootprint, VertexId};
+use lsgraph_api::{
+    DynamicGraph, Edge, Footprint, Graph, IterableGraph, MemoryFootprint, Phase, StructSnapshot,
+    StructStats, VertexId,
+};
 use rayon::prelude::*;
 
 use crate::config::Config;
@@ -25,6 +28,9 @@ pub struct LsGraph {
     vertices: Vec<VertexBlock>,
     cfg: Config,
     num_edges: usize,
+    /// Structural observability counters; shared by the parallel apply tasks
+    /// (relaxed atomics, see [`StructStats`]).
+    stats: StructStats,
 }
 
 /// Raw pointer to the vertex table, shared across the batch-apply tasks.
@@ -72,6 +78,7 @@ impl LsGraph {
             vertices: (0..n).map(|_| VertexBlock::new()).collect(),
             cfg,
             num_edges: 0,
+            stats: StructStats::new(),
         }
     }
 
@@ -84,6 +91,7 @@ impl LsGraph {
             vertices: (0..n).map(|_| VertexBlock::new()).collect(),
             cfg,
             num_edges: keys.len(),
+            stats: StructStats::new(),
         };
         let runs = runs_by_src(&keys);
         let ptr = TablePtr(g.vertices.as_mut_ptr());
@@ -104,6 +112,17 @@ impl LsGraph {
         &self.cfg
     }
 
+    /// The engine's structural counters (live handle; snapshot with
+    /// [`StructStats::snapshot`]).
+    pub fn stats(&self) -> &StructStats {
+        &self.stats
+    }
+
+    /// Snapshot of the structural counters.
+    pub fn struct_snapshot(&self) -> StructSnapshot {
+        self.stats.snapshot()
+    }
+
     /// The vertex block of `v` (introspection for tier statistics).
     #[inline]
     pub(crate) fn vertex(&self, v: VertexId) -> &VertexBlock {
@@ -113,7 +132,8 @@ impl LsGraph {
     /// Ensures the vertex table covers ids up to `max_id`.
     fn grow_to(&mut self, max_id: u32) {
         if max_id as usize >= self.vertices.len() {
-            self.vertices.resize_with(max_id as usize + 1, VertexBlock::new);
+            self.vertices
+                .resize_with(max_id as usize + 1, VertexBlock::new);
         }
     }
 
@@ -123,17 +143,19 @@ impl LsGraph {
         &mut self,
         keys: &[u64],
         runs: &[SrcRun],
-        op: impl Fn(&mut VertexBlock, &[u64], &Config) -> usize + Sync,
+        op: impl Fn(&mut VertexBlock, &[u64], &Config, &StructStats) -> usize + Sync,
     ) -> usize {
         let ptr = TablePtr(self.vertices.as_mut_ptr());
         let cfg = &self.cfg;
+        let stats = &self.stats;
+        let _apply = stats.time(Phase::Apply);
         runs.par_iter()
             .map(|run| {
                 // SAFETY: runs are grouped by distinct source ids and the
                 // table has been grown to cover every id in the batch, so
                 // each block is mutated by exactly one task.
                 let vb = unsafe { ptr.at(run.src as usize) };
-                op(vb, &keys[run.start..run.end], cfg)
+                op(vb, &keys[run.start..run.end], cfg, stats)
             })
             .sum()
     }
@@ -219,15 +241,21 @@ impl DynamicGraph for LsGraph {
         if batch.is_empty() {
             return 0;
         }
-        let keys = sorted_dedup_keys(batch);
+        let keys = {
+            let _t = self.stats.time(Phase::Sort);
+            sorted_dedup_keys(batch)
+        };
         if let Some(max_id) = max_vertex_id(batch) {
             self.grow_to(max_id);
         }
-        let runs = runs_by_src(&keys);
-        let added = self.apply_runs(&keys, &runs, |vb, run_keys, cfg| {
+        let runs = {
+            let _t = self.stats.time(Phase::Group);
+            runs_by_src(&keys)
+        };
+        let added = self.apply_runs(&keys, &runs, |vb, run_keys, cfg, stats| {
             let mut n = 0;
             for &k in run_keys {
-                if vb.insert(k as u32, cfg) {
+                if vb.insert_with(k as u32, cfg, stats) {
                     n += 1;
                 }
             }
@@ -241,16 +269,22 @@ impl DynamicGraph for LsGraph {
         if batch.is_empty() {
             return 0;
         }
-        let keys = sorted_dedup_keys(batch);
+        let keys = {
+            let _t = self.stats.time(Phase::Sort);
+            sorted_dedup_keys(batch)
+        };
         // Ignore runs for vertices beyond the table; those edges cannot
         // exist.
         let n = self.vertices.len() as u64;
         let keys: Vec<u64> = keys.into_iter().filter(|&k| (k >> 32) < n).collect();
-        let runs = runs_by_src(&keys);
-        let removed = self.apply_runs(&keys, &runs, |vb, run_keys, cfg| {
+        let runs = {
+            let _t = self.stats.time(Phase::Group);
+            runs_by_src(&keys)
+        };
+        let removed = self.apply_runs(&keys, &runs, |vb, run_keys, cfg, stats| {
             let mut n = 0;
             for &k in run_keys {
-                if vb.delete(k as u32, cfg) {
+                if vb.delete_with(k as u32, cfg, stats) {
                     n += 1;
                 }
             }
@@ -259,14 +293,19 @@ impl DynamicGraph for LsGraph {
         self.num_edges -= removed;
         removed
     }
+
+    fn struct_stats(&self) -> Option<StructSnapshot> {
+        Some(self.stats.snapshot())
+    }
+
+    fn reset_instrumentation(&mut self) {
+        self.stats.reset();
+    }
 }
 
 impl MemoryFootprint for LsGraph {
     fn footprint(&self) -> Footprint {
-        let blocks = Footprint::new(
-            self.vertices.len() * core::mem::size_of::<VertexBlock>(),
-            0,
-        );
+        let blocks = Footprint::new(self.vertices.len() * core::mem::size_of::<VertexBlock>(), 0);
         let spills: Footprint = self
             .vertices
             .par_iter()
@@ -369,7 +408,10 @@ mod tests {
 
     #[test]
     fn high_degree_vertex_lifecycle() {
-        let cfg = Config { m: 512, ..Config::default() };
+        let cfg = Config {
+            m: 512,
+            ..Config::default()
+        };
         let mut g = LsGraph::with_config(10, cfg);
         let batch: Vec<Edge> = (0..8_000u32).map(|i| Edge::new(0, i + 1)).collect();
         assert_eq!(g.insert_batch(&batch), 8_000);
@@ -395,7 +437,10 @@ mod tests {
     #[test]
     fn differential_against_adjacency_map_random_stream() {
         let mut rng = SmallRng::seed_from_u64(77);
-        let cfg = Config { m: 128, ..Config::default() };
+        let cfg = Config {
+            m: 128,
+            ..Config::default()
+        };
         let mut g = LsGraph::with_config(300, cfg);
         let mut oracle: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); 300];
         for round in 0..30 {
@@ -461,7 +506,11 @@ mod tests {
 
     #[test]
     fn clear_vertex_directed() {
-        let mut g = LsGraph::from_edges(4, &edges(&[(0, 1), (0, 2), (1, 0), (2, 3)]), Config::default());
+        let mut g = LsGraph::from_edges(
+            4,
+            &edges(&[(0, 1), (0, 2), (1, 0), (2, 3)]),
+            Config::default(),
+        );
         assert_eq!(g.clear_vertex(0), 2);
         assert_eq!(g.degree(0), 0);
         assert_eq!(g.num_edges(), 2);

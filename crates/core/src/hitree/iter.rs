@@ -76,7 +76,10 @@ mod tests {
     use rand::{rngs::SmallRng, Rng, SeedableRng};
 
     fn cfg() -> Config {
-        Config { m: 128, ..Config::default() }
+        Config {
+            m: 128,
+            ..Config::default()
+        }
     }
 
     #[test]

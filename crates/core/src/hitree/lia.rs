@@ -19,10 +19,11 @@
 //! blocks, which both the learned and the binary (ablation) search paths rely
 //! on.
 
-use lsgraph_api::{Footprint, MemoryFootprint};
+use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 
 use super::node::Node;
 use super::typevec::{SlotType, TypeVec};
+use super::SlotOccupancy;
 use crate::config::{Config, LiaSearch, BKS};
 use crate::model::{LinearModel, PositionModel};
 
@@ -157,8 +158,12 @@ impl Lia {
         for (b0, b1, s, e) in merged {
             let sub = &ns[s..e];
             let idx = lia.children.len() as u32;
-            lia.children
-                .push(Some(Box::new(Node::from_sorted_child(sub, cfg, depth + 1, ns.len()))));
+            lia.children.push(Some(Box::new(Node::from_sorted_child(
+                sub,
+                cfg,
+                depth + 1,
+                ns.len(),
+            ))));
             for b in b0..=b1 {
                 lia.child_of_block[b] = idx;
                 lia.types.set_range(b * BKS..(b + 1) * BKS, SlotType::Child);
@@ -214,8 +219,10 @@ impl Lia {
         debug_assert!(group.len() <= BKS);
         let base = b * BKS;
         self.slots[base..base + group.len()].copy_from_slice(group);
-        self.types.set_range(base..base + group.len(), SlotType::Block);
-        self.types.set_range(base + group.len()..base + BKS, SlotType::Unused);
+        self.types
+            .set_range(base..base + group.len(), SlotType::Block);
+        self.types
+            .set_range(base + group.len()..base + BKS, SlotType::Unused);
     }
 
     /// Returns whether `key` is present (learned search path).
@@ -256,8 +263,10 @@ impl Lia {
             .expect("delegated block must have a live child")
     }
 
-    /// Inserts `key` (Algorithm 2, LIA branch). Returns whether it was added.
-    pub fn insert(&mut self, key: u32, cfg: &Config, depth: usize) -> bool {
+    /// Inserts `key` (Algorithm 2, LIA branch). Returns whether it was
+    /// added. Horizontal packs, within-block shifts, and vertical child
+    /// creations are recorded into `stats`.
+    pub fn insert(&mut self, key: u32, cfg: &Config, depth: usize, stats: &StructStats) -> bool {
         if cfg.lia_search == LiaSearch::Binary {
             // Ablation §6.2: locate by binary search instead of the model.
             // Placement below still follows the model (the structure is
@@ -271,7 +280,7 @@ impl Lia {
         let base = b * BKS;
         match self.kind(b) {
             BlockKind::Delegated => {
-                let inserted = self.child_mut(b).insert(key, cfg, depth + 1);
+                let inserted = self.child_mut(b).insert(key, cfg, depth + 1, stats);
                 if inserted {
                     self.len += 1;
                 }
@@ -298,7 +307,7 @@ impl Lia {
                     }
                     let at = merged.partition_point(|&x| x < key);
                     merged.insert(at, key);
-                    self.settle_block(b, merged, cfg, depth);
+                    self.settle_block(b, merged, cfg, depth, stats);
                     self.len += 1;
                     true
                 }
@@ -316,15 +325,17 @@ impl Lia {
                 if plen < BKS {
                     // Horizontal movement within the block: shift the packed
                     // suffix right by one slot.
-                    self.slots.copy_within(base + at..base + plen, base + at + 1);
+                    self.slots
+                        .copy_within(base + at..base + plen, base + at + 1);
                     self.slots[base + at] = key;
                     self.types.set(base + plen, SlotType::Block);
+                    stats.record_lia_within_shift((plen - at) as u64);
                 } else {
                     // Block full: vertical movement (Fig. 10 case 3).
                     let mut merged = Vec::with_capacity(BKS + 1);
                     merged.extend_from_slice(&self.slots[base..base + plen]);
                     merged.insert(at, key);
-                    self.settle_block(b, merged, cfg, depth);
+                    self.settle_block(b, merged, cfg, depth, stats);
                 }
                 self.len += 1;
                 true
@@ -334,13 +345,29 @@ impl Lia {
 
     /// Stores `merged` (sorted, len may exceed BKS) into block `b`, packing
     /// horizontally when it fits and creating a child otherwise.
-    fn settle_block(&mut self, b: usize, merged: Vec<u32>, cfg: &Config, depth: usize) {
+    fn settle_block(
+        &mut self,
+        b: usize,
+        merged: Vec<u32>,
+        cfg: &Config,
+        depth: usize,
+        stats: &StructStats,
+    ) {
         if merged.len() <= BKS {
             self.write_packed_block(b, &merged);
+            stats.record_lia_pack();
         } else {
+            // Vertical movement is only reached when the merged contents
+            // overflow the block's BKS slots; `record_lia_vertical(false)`
+            // would flag a policy violation.
+            stats.record_lia_vertical(merged.len() > BKS);
             let idx = self.children.len() as u32;
-            self.children
-                .push(Some(Box::new(Node::from_sorted_child(&merged, cfg, depth + 1, usize::MAX))));
+            self.children.push(Some(Box::new(Node::from_sorted_child(
+                &merged,
+                cfg,
+                depth + 1,
+                usize::MAX,
+            ))));
             self.child_of_block[b] = idx;
             self.types
                 .set_range(b * BKS..(b + 1) * BKS, SlotType::Child);
@@ -348,17 +375,20 @@ impl Lia {
     }
 
     /// Deletes `key`; returns whether it was present.
-    pub fn delete(&mut self, key: u32, cfg: &Config, depth: usize) -> bool {
+    pub fn delete(&mut self, key: u32, cfg: &Config, depth: usize, stats: &StructStats) -> bool {
         let pos = self.model.predict(key);
         let b = pos / BKS;
         let base = b * BKS;
         match self.kind(b) {
             BlockKind::Delegated => {
                 let idx = self.child_of_block[b];
-                let removed = self.child_mut(b).delete(key, cfg, depth + 1);
+                let removed = self.child_mut(b).delete(key, cfg, depth + 1, stats);
                 if removed {
                     self.len -= 1;
-                    if self.children[idx as usize].as_ref().is_some_and(|c| c.is_empty()) {
+                    if self.children[idx as usize]
+                        .as_ref()
+                        .is_some_and(|c| c.is_empty())
+                    {
                         self.remove_child(idx);
                     }
                 }
@@ -380,6 +410,7 @@ impl Lia {
                     Ok(i) => {
                         self.slots.copy_within(base + i + 1..base + plen, base + i);
                         self.types.set(base + plen - 1, SlotType::Unused);
+                        stats.record_lia_within_shift((plen - i - 1) as u64);
                         self.len -= 1;
                         true
                     }
@@ -395,7 +426,8 @@ impl Lia {
         for b in 0..self.num_blocks() {
             if self.child_of_block[b] == idx {
                 self.child_of_block[b] = NO_CHILD;
-                self.types.set_range(b * BKS..(b + 1) * BKS, SlotType::Unused);
+                self.types
+                    .set_range(b * BKS..(b + 1) * BKS, SlotType::Unused);
             }
         }
     }
@@ -576,6 +608,22 @@ impl Lia {
         LiaStep::Done
     }
 
+    /// Adds this node's (and recursively its children's) slot-type counts
+    /// into `occ`.
+    pub(super) fn add_slot_occupancy(&self, occ: &mut SlotOccupancy) {
+        for i in 0..self.types.len() {
+            match self.types.get(i) {
+                SlotType::Unused => occ.unused += 1,
+                SlotType::Edge => occ.edge += 1,
+                SlotType::Block => occ.block += 1,
+                SlotType::Child => occ.child += 1,
+            }
+        }
+        for c in self.children.iter().flatten() {
+            c.add_slot_occupancy(occ);
+        }
+    }
+
     /// Verifies the placement invariant and internal accounting.
     ///
     /// # Panics
@@ -608,9 +656,16 @@ impl Lia {
                     let plen = self.packed_len(b);
                     assert!(plen > 0);
                     let blk = &self.slots[base..base + plen];
-                    assert!(blk.windows(2).all(|w| w[0] < w[1]), "packed prefix unsorted");
+                    assert!(
+                        blk.windows(2).all(|w| w[0] < w[1]),
+                        "packed prefix unsorted"
+                    );
                     for &x in blk {
-                        assert_eq!(self.model.predict(x) / BKS, b, "packed element in wrong block");
+                        assert_eq!(
+                            self.model.predict(x) / BKS,
+                            b,
+                            "packed element in wrong block"
+                        );
                     }
                     for i in base + plen..base + BKS {
                         assert_eq!(self.types.get(i), SlotType::Unused, "non-U after prefix");
@@ -687,7 +742,10 @@ mod tests {
         let lia = Lia::build(&ns, &cfg(), 0);
         lia.check_invariants(&cfg());
         assert_eq!(lia.len(), 1_000);
-        assert!(lia.children.is_empty(), "uniform keys should not need children");
+        assert!(
+            lia.children.is_empty(),
+            "uniform keys should not need children"
+        );
         assert_eq!(lia.to_vec(), ns);
     }
 
@@ -701,7 +759,10 @@ mod tests {
         ns.dedup();
         let lia = Lia::build(&ns, &cfg(), 0);
         lia.check_invariants(&cfg());
-        assert!(!lia.children.is_empty(), "cluster should delegate to children");
+        assert!(
+            !lia.children.is_empty(),
+            "cluster should delegate to children"
+        );
         assert_eq!(lia.to_vec(), ns);
     }
 
@@ -712,7 +773,10 @@ mod tests {
         let ns: Vec<u32> = (0..200).map(|i| i * 1_000).collect();
         let mut lia = Lia::build(&ns, &cfg(), 0);
         for k in 100_001..100_100u32 {
-            assert!(lia.insert(k, &cfg(), 0), "insert {k}");
+            assert!(
+                lia.insert(k, &cfg(), 0, StructStats::global()),
+                "insert {k}"
+            );
         }
         lia.check_invariants(&cfg());
         assert!(lia.contains(100_050, &cfg()));
@@ -724,7 +788,10 @@ mod tests {
         let ns: Vec<u32> = (0..500).map(|i| i * 7).collect();
         let mut lia = Lia::build(&ns, &cfg(), 0);
         for &k in &ns {
-            assert!(!lia.insert(k, &cfg(), 0), "duplicate {k}");
+            assert!(
+                !lia.insert(k, &cfg(), 0, StructStats::global()),
+                "duplicate {k}"
+            );
         }
         assert_eq!(lia.len(), 500);
     }
@@ -737,8 +804,14 @@ mod tests {
         ns.dedup();
         let mut lia = Lia::build(&ns, &cfg(), 0);
         for &k in &ns {
-            assert!(lia.delete(k, &cfg(), 0), "delete {k}");
-            assert!(!lia.delete(k, &cfg(), 0), "double delete {k}");
+            assert!(
+                lia.delete(k, &cfg(), 0, StructStats::global()),
+                "delete {k}"
+            );
+            assert!(
+                !lia.delete(k, &cfg(), 0, StructStats::global()),
+                "double delete {k}"
+            );
         }
         assert!(lia.is_empty());
         lia.check_invariants(&cfg());
@@ -759,13 +832,20 @@ mod tests {
     fn binary_find_block_agrees_with_model_for_present_keys() {
         let ns: Vec<u32> = (0..2_000).map(|i| i * 5 + 1).collect();
         let lia = Lia::build(&ns, &cfg(), 0);
-        let bcfg = Config { lia_search: LiaSearch::Binary, ..Config::default() };
+        let bcfg = Config {
+            lia_search: LiaSearch::Binary,
+            ..Config::default()
+        };
         for &k in ns.iter().step_by(37) {
             assert!(lia.contains(k, &bcfg), "binary lookup {k}");
             assert!(lia.contains(k, &cfg()), "learned lookup {k}");
         }
         for k in [0u32, 2, 4, 10_001] {
-            assert_eq!(lia.contains(k, &bcfg), lia.contains(k, &cfg()), "absent {k}");
+            assert_eq!(
+                lia.contains(k, &bcfg),
+                lia.contains(k, &cfg()),
+                "absent {k}"
+            );
         }
     }
 

@@ -14,9 +14,30 @@ pub use iter::HiTreeIter;
 pub use lia::Lia;
 pub use node::Node;
 
-use lsgraph_api::{Footprint, MemoryFootprint};
+use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 
 use crate::config::Config;
+
+/// LIA slot occupancy by slot type, aggregated over a subtree (the paper's
+/// §3.2 U/E/B/C entries).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlotOccupancy {
+    /// Unused (free) slots.
+    pub unused: usize,
+    /// Exact-placed edge slots.
+    pub edge: usize,
+    /// Slots inside packed sorted prefixes.
+    pub block: usize,
+    /// Slots of blocks delegated to children.
+    pub child: usize,
+}
+
+impl SlotOccupancy {
+    /// Total slots counted.
+    pub fn total(&self) -> usize {
+        self.unused + self.edge + self.block + self.child
+    }
+}
 
 /// An ordered `u32` set stored as a hybrid indexed tree.
 #[derive(Clone, Debug)]
@@ -53,13 +74,32 @@ impl HiTree {
     }
 
     /// Inserts `key`; returns whether it was added (false = duplicate).
+    /// Records into the process-global [`StructStats`] sink.
     pub fn insert(&mut self, key: u32, cfg: &Config) -> bool {
-        self.root.insert(key, cfg, 0)
+        self.insert_with(key, cfg, StructStats::global())
     }
 
-    /// Deletes `key`; returns whether it was present.
+    /// Inserts `key`, recording structural movement into `stats`.
+    pub fn insert_with(&mut self, key: u32, cfg: &Config, stats: &StructStats) -> bool {
+        self.root.insert(key, cfg, 0, stats)
+    }
+
+    /// Deletes `key`; returns whether it was present. Records into the
+    /// process-global [`StructStats`] sink.
     pub fn delete(&mut self, key: u32, cfg: &Config) -> bool {
-        self.root.delete(key, cfg, 0)
+        self.delete_with(key, cfg, StructStats::global())
+    }
+
+    /// Deletes `key`, recording structural movement into `stats`.
+    pub fn delete_with(&mut self, key: u32, cfg: &Config, stats: &StructStats) -> bool {
+        self.root.delete(key, cfg, 0, stats)
+    }
+
+    /// LIA slot occupancy aggregated over every LIA node in the tree.
+    pub fn slot_occupancy(&self) -> SlotOccupancy {
+        let mut occ = SlotOccupancy::default();
+        self.root.add_slot_occupancy(&mut occ);
+        occ
     }
 
     /// Applies `f` to every element in ascending order (the paper's
@@ -108,7 +148,10 @@ mod tests {
 
     fn small_cfg() -> Config {
         // Small M so tests exercise LIA nodes without huge inputs.
-        Config { m: 128, ..Config::default() }
+        Config {
+            m: 128,
+            ..Config::default()
+        }
     }
 
     #[test]
@@ -219,7 +262,10 @@ mod tests {
         }
         t.check_invariants(&cfg);
         assert_eq!(t.len(), 2_000);
-        assert!(matches!(t.root, Node::Lia(_)), "should have upgraded to LIA");
+        assert!(
+            matches!(t.root, Node::Lia(_)),
+            "should have upgraded to LIA"
+        );
     }
 
     #[test]

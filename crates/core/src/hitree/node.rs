@@ -1,8 +1,9 @@
 //! HITree nodes: small sorted arrays, RIA leaves, and LIA internal nodes.
 
-use lsgraph_api::{Footprint, MemoryFootprint};
+use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 
 use super::lia::{Lia, MAX_DEPTH};
+use super::SlotOccupancy;
 use crate::config::Config;
 use crate::ria::Ria;
 
@@ -74,39 +75,42 @@ impl Node {
     /// Inserts `key`, upgrading the node representation when it outgrows its
     /// kind (Arr → RIA at the array threshold, RIA → LIA past `M`, LIA
     /// retrain once it doubles). Returns whether the key was added.
-    pub fn insert(&mut self, key: u32, cfg: &Config, depth: usize) -> bool {
-        self.maybe_upgrade(cfg, depth);
+    pub fn insert(&mut self, key: u32, cfg: &Config, depth: usize, stats: &StructStats) -> bool {
+        self.maybe_upgrade(cfg, depth, stats);
         match self {
             Node::Arr(v) => match v.binary_search(&key) {
                 Ok(_) => false,
                 Err(i) => {
+                    stats.record_arr_shift((v.len() - i) as u64);
                     v.insert(i, key);
                     true
                 }
             },
-            Node::Ria(r) => r.insert(key).inserted(),
-            Node::Lia(l) => l.insert(key, cfg, depth),
+            Node::Ria(r) => r.insert_with(key, stats).inserted(),
+            Node::Lia(l) => l.insert(key, cfg, depth, stats),
         }
     }
 
     /// Deletes `key`; returns whether it was present.
-    pub fn delete(&mut self, key: u32, cfg: &Config, depth: usize) -> bool {
+    pub fn delete(&mut self, key: u32, cfg: &Config, depth: usize, stats: &StructStats) -> bool {
         match self {
             Node::Arr(v) => match v.binary_search(&key) {
                 Ok(i) => {
                     v.remove(i);
+                    stats.record_arr_shift((v.len() - i) as u64);
                     true
                 }
                 Err(_) => false,
             },
-            Node::Ria(r) => r.delete(key),
-            Node::Lia(l) => l.delete(key, cfg, depth),
+            Node::Ria(r) => r.delete_with(key, stats),
+            Node::Lia(l) => l.delete(key, cfg, depth, stats),
         }
     }
 
     /// Upgrades the representation ahead of an insert when thresholds are
     /// crossed.
-    fn maybe_upgrade(&mut self, cfg: &Config, depth: usize) {
+    fn maybe_upgrade(&mut self, cfg: &Config, depth: usize, stats: &StructStats) {
+        let retrain = matches!(self, Node::Lia(_));
         let rebuild = match self {
             Node::Arr(v) => v.len() >= cfg.a + cfg.a / 2,
             Node::Ria(r) => r.len() > cfg.m && depth < MAX_DEPTH,
@@ -117,6 +121,18 @@ impl Node {
             // Route through `from_sorted` so the right kind is chosen for the
             // new size; `depth >= MAX_DEPTH` RIAs intentionally stay RIAs.
             *self = Node::from_sorted(&all, cfg, depth);
+            if retrain {
+                stats.record_lia_retrain();
+            } else {
+                stats.record_node_upgrade();
+            }
+        }
+    }
+
+    /// Adds this subtree's LIA slot-type counts into `occ`.
+    pub(super) fn add_slot_occupancy(&self, occ: &mut SlotOccupancy) {
+        if let Node::Lia(l) = self {
+            l.add_slot_occupancy(occ);
         }
     }
 

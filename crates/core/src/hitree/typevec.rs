@@ -102,7 +102,12 @@ mod tests {
     #[test]
     fn set_get_roundtrip_all_types() {
         let mut tv = TypeVec::new(100);
-        let kinds = [SlotType::Unused, SlotType::Edge, SlotType::Block, SlotType::Child];
+        let kinds = [
+            SlotType::Unused,
+            SlotType::Edge,
+            SlotType::Block,
+            SlotType::Child,
+        ];
         for i in 0..100 {
             tv.set(i, kinds[i % 4]);
         }

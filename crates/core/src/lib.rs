@@ -46,6 +46,7 @@ pub use config::{Config, ConfigError, HighDegreeStore, LiaSearch, MediumStore, B
 pub use graph::LsGraph;
 pub use hitree::HiTree;
 pub use hitree::HiTreeIter;
+pub use hitree::SlotOccupancy;
 pub use ria::{Ria, RiaIter};
-pub use vertex::NeighborIter;
 pub use stats::{Tier, TierStats};
+pub use vertex::NeighborIter;

@@ -95,7 +95,10 @@ mod tests {
         for (i, &k) in keys.iter().enumerate() {
             let target = (i as f64 * 2047.0 / 1023.0) as isize;
             let got = m.predict(k) as isize;
-            assert!((got - target).abs() <= 1, "key {k}: got {got}, want ~{target}");
+            assert!(
+                (got - target).abs() <= 1,
+                "key {k}: got {got}, want ~{target}"
+            );
         }
     }
 

@@ -86,7 +86,9 @@ impl PlrModel {
                 intercept: y0 - slope * x0,
             });
             let last = end - 1;
-            model.max_slot.push(((last as f64 * scale) as usize + max_error).min(slots - 1));
+            model
+                .max_slot
+                .push(((last as f64 * scale) as usize + max_error).min(slots - 1));
             seg_start = end;
         }
         model
@@ -118,7 +120,11 @@ impl PositionModel for PlrModel {
         let clamped = if p <= 0.0 { 0 } else { p as usize };
         // Cap at the segment's slot ceiling so predictions stay monotone
         // across segment boundaries.
-        let lo = if s > 0 { self.max_slot[s - 1].saturating_sub(0) } else { 0 };
+        let lo = if s > 0 {
+            self.max_slot[s - 1].saturating_sub(0)
+        } else {
+            0
+        };
         clamped.clamp(lo.min(self.slots - 1), self.max_slot[s])
     }
 

@@ -15,7 +15,7 @@
 //! are single-threaded in LSGraph, §5) and **no empty blocks** (elements are
 //! distributed evenly at build time), so it is memory-efficient.
 
-use lsgraph_api::{Footprint, MemoryFootprint};
+use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 
 use crate::config::BKS;
 use crate::search::{linear_lower_bound, rightmost_le};
@@ -130,8 +130,15 @@ impl Ria {
         i < blk.len() && blk[i] == key
     }
 
-    /// Inserts `key`, returning what happened.
+    /// Inserts `key`, returning what happened. Structural events are
+    /// recorded into the process-global [`StructStats`] sink; instrumented
+    /// callers use [`Ria::insert_with`].
     pub fn insert(&mut self, key: u32) -> InsertOutcome {
+        self.insert_with(key, StructStats::global())
+    }
+
+    /// Inserts `key`, recording structural movement into `stats`.
+    pub fn insert_with(&mut self, key: u32, stats: &StructStats) -> InsertOutcome {
         if self.len == 0 {
             self.data[0] = key;
             self.counts[0] = 1;
@@ -146,13 +153,17 @@ impl Ria {
             return InsertOutcome::Duplicate;
         }
         if (self.counts[b] as usize) < BKS {
-            self.insert_into_block(b, i, key);
+            self.insert_into_block(b, i, key, stats);
             self.len += 1;
             return InsertOutcome::Inserted;
         }
         // Position conflict with a full block: bounded horizontal movement.
         if let Some(donor) = self.find_donor(b) {
-            self.ripple_insert(b, i, key, donor);
+            let bound = self.counts.len().ilog2() as u64 + 1;
+            let span = donor.abs_diff(b) as u64;
+            self.ripple_insert(b, i, key, donor, stats);
+            // One element crosses each block boundary between b and donor.
+            stats.record_ria_ripple(span, span, bound);
             self.len += 1;
             return InsertOutcome::Inserted;
         }
@@ -162,11 +173,19 @@ impl Ria {
         let pos = all.partition_point(|&x| x < key);
         all.insert(pos, key);
         self.rebuild_from(&all);
+        stats.record_ria_rebuild();
         InsertOutcome::InsertedWithRebuild
     }
 
-    /// Deletes `key`; returns whether it was present.
+    /// Deletes `key`; returns whether it was present. Structural events go
+    /// to the process-global [`StructStats`] sink; instrumented callers use
+    /// [`Ria::delete_with`].
     pub fn delete(&mut self, key: u32) -> bool {
+        self.delete_with(key, StructStats::global())
+    }
+
+    /// Deletes `key`, recording structural movement into `stats`.
+    pub fn delete_with(&mut self, key: u32, stats: &StructStats) -> bool {
         if self.len == 0 {
             return false;
         }
@@ -177,15 +196,17 @@ impl Ria {
         if i >= cnt || blk[i] != key {
             return false;
         }
-        self.data.copy_within(b * BKS + i + 1..b * BKS + cnt, b * BKS + i);
+        self.data
+            .copy_within(b * BKS + i + 1..b * BKS + cnt, b * BKS + i);
+        stats.record_ria_within_shift((cnt - i - 1) as u64);
         self.counts[b] -= 1;
         self.len -= 1;
         if self.counts[b] == 0 {
-            self.refill_empty_block(b);
+            self.refill_empty_block(b, stats);
         } else if i == 0 {
             self.index[b] = self.data[b * BKS];
         }
-        self.maybe_shrink();
+        self.maybe_shrink(stats);
         true
     }
 
@@ -229,11 +250,12 @@ impl Ria {
     }
 
     /// Inserts `key` at in-block position `i` of block `b`, which has space.
-    fn insert_into_block(&mut self, b: usize, i: usize, key: u32) {
+    fn insert_into_block(&mut self, b: usize, i: usize, key: u32, stats: &StructStats) {
         let cnt = self.counts[b] as usize;
         debug_assert!(cnt < BKS && i <= cnt);
         let base = b * BKS;
         self.data.copy_within(base + i..base + cnt, base + i + 1);
+        stats.record_ria_within_shift((cnt - i) as u64);
         self.data[base + i] = key;
         self.counts[b] += 1;
         if i == 0 {
@@ -261,7 +283,7 @@ impl Ria {
     /// by carrying the displaced boundary element block-by-block to `donor`,
     /// which has a free slot. Each intermediate block moves exactly one
     /// element, so the movement distance is bounded by `|donor - b|` blocks.
-    fn ripple_insert(&mut self, b: usize, i: usize, key: u32, donor: usize) {
+    fn ripple_insert(&mut self, b: usize, i: usize, key: u32, donor: usize, stats: &StructStats) {
         debug_assert_eq!(self.counts[b] as usize, BKS);
         debug_assert!((self.counts[donor] as usize) < BKS);
         if donor > b {
@@ -270,7 +292,7 @@ impl Ria {
                 key
             } else {
                 let max = self.pop_back(b);
-                self.insert_into_block(b, i, key);
+                self.insert_into_block(b, i, key, stats);
                 max
             };
             for k in b + 1..donor {
@@ -285,7 +307,7 @@ impl Ria {
                 key
             } else {
                 let min = self.pop_front(b);
-                self.insert_into_block(b, i - 1, key);
+                self.insert_into_block(b, i - 1, key, stats);
                 min
             };
             for k in (donor + 1..b).rev() {
@@ -342,7 +364,7 @@ impl Ria {
     /// horizontal move, paper §4.2 "Delete"), or rebuild when both neighbors
     /// are down to a single element — a state only reachable at very low
     /// occupancy, where the shrink path would rebuild shortly anyway.
-    fn refill_empty_block(&mut self, b: usize) {
+    fn refill_empty_block(&mut self, b: usize, stats: &StructStats) {
         debug_assert_eq!(self.counts[b], 0);
         if self.len == 0 {
             self.rebuild_from(&[]);
@@ -351,12 +373,15 @@ impl Ria {
         if b + 1 < self.counts.len() && self.counts[b + 1] >= 2 {
             let v = self.pop_front(b + 1);
             self.push_back(b, v);
+            stats.record_ria_within_shift(1);
         } else if b > 0 && self.counts[b - 1] >= 2 {
             let v = self.pop_back(b - 1);
             self.push_front(b, v);
+            stats.record_ria_within_shift(1);
         } else {
             let all = self.to_vec();
             self.rebuild_from(&all);
+            stats.record_ria_rebuild();
         }
     }
 
@@ -391,11 +416,12 @@ impl Ria {
     }
 
     /// Shrinks after heavy deletion (occupancy below 25%) to bound memory.
-    fn maybe_shrink(&mut self) {
+    fn maybe_shrink(&mut self, stats: &StructStats) {
         let capacity = self.counts.len() * BKS;
         if self.counts.len() > 1 && self.len * 4 < capacity {
             let all = self.to_vec();
             self.rebuild_from(&all);
+            stats.record_ria_rebuild();
         }
     }
 

@@ -67,7 +67,11 @@ mod tests {
     fn lower_bound_matches_std() {
         let a = [2u32, 4, 4, 7, 9, 9, 9, 12];
         for key in 0..15 {
-            assert_eq!(lower_bound(&a, key), a.partition_point(|&x| x < key), "key {key}");
+            assert_eq!(
+                lower_bound(&a, key),
+                a.partition_point(|&x| x < key),
+                "key {key}"
+            );
         }
         assert_eq!(lower_bound(&[], 5), 0);
     }

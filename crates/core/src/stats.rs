@@ -7,6 +7,7 @@
 
 use crate::adjacency::Spill;
 use crate::graph::LsGraph;
+use crate::hitree::SlotOccupancy;
 use lsgraph_api::Graph;
 
 /// Which container currently stores a vertex's spill.
@@ -67,6 +68,22 @@ impl LsGraph {
         }
     }
 
+    /// LIA slot occupancy aggregated over every HITree spill in the graph
+    /// (the paper's §3.2 U/E/B/C slot types).
+    pub fn lia_slot_occupancy(&self) -> SlotOccupancy {
+        let mut occ = SlotOccupancy::default();
+        for v in 0..self.num_vertices() as u32 {
+            if let Some(Spill::Tree(t)) = self.vertex(v).spill() {
+                let o = t.slot_occupancy();
+                occ.unused += o.unused;
+                occ.edge += o.edge;
+                occ.block += o.block;
+                occ.child += o.child;
+            }
+        }
+        occ
+    }
+
     /// Tier population statistics across the whole graph.
     pub fn tier_stats(&self) -> TierStats {
         let mut s = TierStats::default();
@@ -96,7 +113,10 @@ mod tests {
 
     #[test]
     fn tiers_reflect_degrees() {
-        let cfg = Config { m: 256, ..Config::default() };
+        let cfg = Config {
+            m: 256,
+            ..Config::default()
+        };
         let mut g = LsGraph::with_config(4, cfg);
         let mk = |v: u32, d: u32| (0..d).map(move |i| Edge::new(v, i + 1)).collect::<Vec<_>>();
         g.insert_batch(&mk(0, 5)); // inline
@@ -135,14 +155,20 @@ mod tests {
             };
             batch.push(Edge::new(pick(), pick()));
         }
-        let cfg = Config { m: 256, ..Config::default() }; // reachable HITree tier
+        let cfg = Config {
+            m: 256,
+            ..Config::default()
+        }; // reachable HITree tier
         let g = LsGraph::from_edges(n as usize, &batch, cfg);
         let s = g.tier_stats();
         assert!(
             s.inline_vertices * 2 > s.total_vertices(),
             "power law should keep most vertices inline: {s:?}"
         );
-        assert!(s.hitree_vertices >= 1, "head vertices should reach HITree: {s:?}");
+        assert!(
+            s.hitree_vertices >= 1,
+            "head vertices should reach HITree: {s:?}"
+        );
         assert_eq!(s.inline_edges + s.spill_edges, g.num_edges());
         // Inline capacity bound: inline edges per vertex <= INLINE_CAP.
         assert!(s.inline_edges <= s.total_vertices() * INLINE_CAP);

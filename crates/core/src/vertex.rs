@@ -6,7 +6,7 @@
 //! majority under power-law distributions — are therefore served by a single
 //! cache-line read.
 
-use lsgraph_api::{Footprint, MemoryFootprint};
+use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 
 use crate::adjacency::Spill;
 use crate::config::{Config, INLINE_CAP};
@@ -77,8 +77,15 @@ impl VertexBlock {
         self.spill.as_ref().is_some_and(|s| s.contains(u, cfg))
     }
 
-    /// Inserts neighbor `u`; returns whether it was added.
+    /// Inserts neighbor `u`; returns whether it was added. Records into the
+    /// process-global [`StructStats`] sink; instrumented engines call
+    /// [`VertexBlock::insert_with`].
     pub fn insert(&mut self, u: u32, cfg: &Config) -> bool {
+        self.insert_with(u, cfg, StructStats::global())
+    }
+
+    /// Inserts neighbor `u`, recording structural movement into `stats`.
+    pub fn insert_with(&mut self, u: u32, cfg: &Config, stats: &StructStats) -> bool {
         let n = self.inline_len();
         if n < INLINE_CAP {
             // Everything fits inline.
@@ -89,6 +96,7 @@ impl VertexBlock {
                     self.inline.copy_within(i..n, i + 1);
                     self.inline[i] = u;
                     self.degree += 1;
+                    stats.record_vb_inline_insert((n - i) as u64);
                     true
                 }
             }
@@ -100,10 +108,12 @@ impl VertexBlock {
                     let evicted = self.inline[INLINE_CAP - 1];
                     self.inline.copy_within(i..INLINE_CAP - 1, i + 1);
                     self.inline[i] = u;
+                    stats.record_vb_inline_insert((INLINE_CAP - 1 - i) as u64);
+                    stats.record_vb_spill_eviction();
                     let spill = self
                         .spill
                         .get_or_insert_with(|| Box::new(Spill::Array(Vec::new())));
-                    let added = spill.insert(evicted, cfg);
+                    let added = spill.insert_with(evicted, cfg, stats);
                     debug_assert!(added, "evicted inline neighbor was already spilled");
                     self.degree += 1;
                     true
@@ -112,7 +122,8 @@ impl VertexBlock {
                     let spill = self
                         .spill
                         .get_or_insert_with(|| Box::new(Spill::Array(Vec::new())));
-                    if spill.insert(u, cfg) {
+                    if spill.insert_with(u, cfg, stats) {
+                        stats.record_vb_spill_insert();
                         self.degree += 1;
                         true
                     } else {
@@ -123,18 +134,27 @@ impl VertexBlock {
         }
     }
 
-    /// Deletes neighbor `u`; returns whether it was present.
+    /// Deletes neighbor `u`; returns whether it was present. Records into
+    /// the process-global [`StructStats`] sink; instrumented engines call
+    /// [`VertexBlock::delete_with`].
     pub fn delete(&mut self, u: u32, cfg: &Config) -> bool {
+        self.delete_with(u, cfg, StructStats::global())
+    }
+
+    /// Deletes neighbor `u`, recording structural movement into `stats`.
+    pub fn delete_with(&mut self, u: u32, cfg: &Config, stats: &StructStats) -> bool {
         let n = self.inline_len();
         match self.inline[..n].binary_search(&u) {
             Ok(i) => {
                 self.inline.copy_within(i + 1..n, i);
+                stats.record_vb_inline_shift((n - i - 1) as u64);
                 // Refill the inline line from the spill so it keeps holding
                 // the smallest neighbors.
                 let mut emptied = false;
                 if let Some(spill) = self.spill.as_mut() {
-                    if let Some(min) = spill.pop_min(cfg) {
+                    if let Some(min) = spill.pop_min_with(cfg, stats) {
                         self.inline[n - 1] = min;
+                        stats.record_vb_spill_refill();
                     }
                     emptied = spill.is_empty();
                 }
@@ -148,7 +168,7 @@ impl VertexBlock {
                 let Some(spill) = self.spill.as_mut() else {
                     return false;
                 };
-                if spill.delete(u, cfg) {
+                if spill.delete_with(u, cfg, stats) {
                     if spill.is_empty() {
                         self.spill = None;
                     }
@@ -202,7 +222,9 @@ impl VertexBlock {
 
     /// Bytes spent beyond the block itself, split payload/index.
     pub fn spill_footprint(&self) -> Footprint {
-        self.spill.as_ref().map_or(Footprint::default(), |s| s.footprint())
+        self.spill
+            .as_ref()
+            .map_or(Footprint::default(), |s| s.footprint())
     }
 
     /// Verifies the inline/spill invariants.
@@ -297,7 +319,10 @@ mod tests {
         }
         vb.check_invariants(&cfg);
         assert_eq!(vb.degree(), 40);
-        assert_eq!(vb.inline_neighbors(), &(0..INLINE_CAP as u32).collect::<Vec<_>>()[..]);
+        assert_eq!(
+            vb.inline_neighbors(),
+            &(0..INLINE_CAP as u32).collect::<Vec<_>>()[..]
+        );
         assert_eq!(vb.to_vec(), (0..40).collect::<Vec<_>>());
     }
 
@@ -313,7 +338,10 @@ mod tests {
         vb.check_invariants(&cfg);
         assert_eq!(vb.inline_neighbors()[0], 1);
         assert_eq!(vb.degree(), INLINE_CAP + 1);
-        assert!(vb.contains(100 + INLINE_CAP as u32 - 1, &cfg), "evicted key lost");
+        assert!(
+            vb.contains(100 + INLINE_CAP as u32 - 1, &cfg),
+            "evicted key lost"
+        );
     }
 
     #[test]
@@ -355,7 +383,10 @@ mod tests {
 
     #[test]
     fn high_degree_reaches_tree_tier() {
-        let cfg = Config { m: 256, ..Config::default() };
+        let cfg = Config {
+            m: 256,
+            ..Config::default()
+        };
         let vb = VertexBlock::from_sorted_neighbors(&(0..5_000).collect::<Vec<_>>(), &cfg);
         assert!(matches!(vb.spill.as_deref(), Some(Spill::Tree(_))));
         assert_eq!(vb.degree(), 5_000);
@@ -365,7 +396,10 @@ mod tests {
     #[test]
     fn random_differential() {
         use rand::{rngs::SmallRng, Rng, SeedableRng};
-        let cfg = Config { m: 128, ..Config::default() };
+        let cfg = Config {
+            m: 128,
+            ..Config::default()
+        };
         let mut rng = SmallRng::seed_from_u64(11);
         let mut vb = VertexBlock::new();
         let mut oracle = std::collections::BTreeSet::new();

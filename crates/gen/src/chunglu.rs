@@ -31,7 +31,10 @@ pub fn chung_lu(weights: &[f64], m: usize, seed: u64) -> Vec<Edge> {
     let mut cum = Vec::with_capacity(weights.len());
     let mut total = 0.0;
     for &w in weights {
-        assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+        assert!(
+            w >= 0.0 && w.is_finite(),
+            "weights must be finite and non-negative"
+        );
         total += w;
         cum.push(total);
     }
@@ -161,7 +164,10 @@ mod tests {
         let (z1, h1) = degree_histogram(&deg);
         let (z2, h2) = degree_histogram(&degree_sequence(1 << 12, &clone));
         // Same bucket count within one, and the heavy tail exists in both.
-        assert!((h1.len() as i64 - h2.len() as i64).abs() <= 1, "{h1:?} vs {h2:?}");
+        assert!(
+            (h1.len() as i64 - h2.len() as i64).abs() <= 1,
+            "{h1:?} vs {h2:?}"
+        );
         assert!(z2 <= z1 * 2 + 100);
         // Compare only buckets with enough mass for the ratio to be stable
         // (tiny buckets like degree-1 fluctuate with the multinomial noise).

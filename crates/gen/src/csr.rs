@@ -94,7 +94,12 @@ mod tests {
 
     #[test]
     fn build_and_query() {
-        let edges = [Edge::new(0, 2), Edge::new(0, 1), Edge::new(2, 0), Edge::new(0, 1)];
+        let edges = [
+            Edge::new(0, 2),
+            Edge::new(0, 1),
+            Edge::new(2, 0),
+            Edge::new(0, 1),
+        ];
         let g = Csr::from_edges(3, &edges);
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 3);

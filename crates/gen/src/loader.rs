@@ -103,7 +103,10 @@ mod tests {
         let p = tmp("snap.txt");
         std::fs::write(&p, "# comment\n0 1\n2\t3\n\n4 5\n").unwrap();
         let edges = load_snap_text(&p).unwrap();
-        assert_eq!(edges, vec![Edge::new(0, 1), Edge::new(2, 3), Edge::new(4, 5)]);
+        assert_eq!(
+            edges,
+            vec![Edge::new(0, 1), Edge::new(2, 3), Edge::new(4, 5)]
+        );
         std::fs::remove_file(&p).ok();
     }
 
@@ -118,7 +121,9 @@ mod tests {
     #[test]
     fn binary_roundtrip() {
         let p = tmp("edges.bin");
-        let edges: Vec<Edge> = (0..1_000u32).map(|i| Edge::new(i, i.wrapping_mul(7) % 100)).collect();
+        let edges: Vec<Edge> = (0..1_000u32)
+            .map(|i| Edge::new(i, i.wrapping_mul(7) % 100))
+            .collect();
         save_binary(&p, &edges).unwrap();
         assert_eq!(load_binary(&p).unwrap(), edges);
         std::fs::remove_file(&p).ok();

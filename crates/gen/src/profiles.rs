@@ -22,11 +22,31 @@ pub struct DatasetProfile {
 
 /// The five evaluation graphs of Table 1.
 pub const PROFILES: [DatasetProfile; 5] = [
-    DatasetProfile { name: "LJ", log_vertices: 23, avg_degree: 17.7 },
-    DatasetProfile { name: "OR", log_vertices: 22, avg_degree: 76.2 },
-    DatasetProfile { name: "RM", log_vertices: 23, avg_degree: 130.9 },
-    DatasetProfile { name: "TW", log_vertices: 26, avg_degree: 39.1 },
-    DatasetProfile { name: "FR", log_vertices: 27, avg_degree: 28.9 },
+    DatasetProfile {
+        name: "LJ",
+        log_vertices: 23,
+        avg_degree: 17.7,
+    },
+    DatasetProfile {
+        name: "OR",
+        log_vertices: 22,
+        avg_degree: 76.2,
+    },
+    DatasetProfile {
+        name: "RM",
+        log_vertices: 23,
+        avg_degree: 130.9,
+    },
+    DatasetProfile {
+        name: "TW",
+        log_vertices: 26,
+        avg_degree: 39.1,
+    },
+    DatasetProfile {
+        name: "FR",
+        log_vertices: 27,
+        avg_degree: 28.9,
+    },
 ];
 
 impl DatasetProfile {
@@ -52,7 +72,12 @@ impl DatasetProfile {
     /// parameters.
     pub fn generate(&self, scale_shift: u32, seed: u64) -> Vec<Edge> {
         let scale = self.log_vertices.saturating_sub(scale_shift);
-        rmat(scale, self.scaled_edges(scale_shift), RmatParams::paper(), seed)
+        rmat(
+            scale,
+            self.scaled_edges(scale_shift),
+            RmatParams::paper(),
+            seed,
+        )
     }
 }
 

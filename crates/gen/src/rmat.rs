@@ -19,12 +19,20 @@ pub struct RmatParams {
 impl RmatParams {
     /// The paper's parameters (§6.1, same as Aspen): a=0.5, b=c=0.1, d=0.3.
     pub fn paper() -> Self {
-        RmatParams { a: 0.5, b: 0.1, c: 0.1 }
+        RmatParams {
+            a: 0.5,
+            b: 0.1,
+            c: 0.1,
+        }
     }
 
     /// Graph500 Kronecker parameters: a=0.57, b=c=0.19, d=0.05.
     pub fn graph500() -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 }
 

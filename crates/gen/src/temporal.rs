@@ -24,10 +24,26 @@ pub struct TemporalProfile {
 
 /// The four temporal datasets of Table 4.
 pub const TEMPORAL_PROFILES: [TemporalProfile; 4] = [
-    TemporalProfile { name: "MO", vertices: 24_818, edges: 506_550 },
-    TemporalProfile { name: "AU", vertices: 159_316, edges: 964_437 },
-    TemporalProfile { name: "SU", vertices: 194_085, edges: 1_443_339 },
-    TemporalProfile { name: "WT", vertices: 1_140_149, edges: 7_833_140 },
+    TemporalProfile {
+        name: "MO",
+        vertices: 24_818,
+        edges: 506_550,
+    },
+    TemporalProfile {
+        name: "AU",
+        vertices: 159_316,
+        edges: 964_437,
+    },
+    TemporalProfile {
+        name: "SU",
+        vertices: 194_085,
+        edges: 1_443_339,
+    },
+    TemporalProfile {
+        name: "WT",
+        vertices: 1_140_149,
+        edges: 7_833_140,
+    },
 ];
 
 /// Generates a preferential-attachment arrival stream of `m` edges over `n`
@@ -79,12 +95,7 @@ impl TemporalProfile {
 
     /// Generates the stand-in stream at `1/div` of the real size.
     pub fn generate(&self, div: usize, seed: u64) -> Vec<Edge> {
-        temporal_stream(
-            (self.vertices / div).max(2),
-            self.edges / div,
-            0.7,
-            seed,
-        )
+        temporal_stream((self.vertices / div).max(2), self.edges / div, 0.7, seed)
     }
 }
 

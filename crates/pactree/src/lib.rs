@@ -17,7 +17,9 @@
 use std::sync::Arc;
 
 use lsgraph_api::batch::{max_vertex_id, runs_by_src, sorted_dedup_keys};
-use lsgraph_api::{DynamicGraph, Edge, Footprint, Graph, MemoryFootprint, VertexId};
+use lsgraph_api::{
+    CounterSnapshot, DynamicGraph, Edge, Footprint, Graph, MemoryFootprint, OpCounters, VertexId,
+};
 use rayon::prelude::*;
 
 /// Target minimum leaf size; leaves hold at most `2 * LEAF_B` keys.
@@ -86,7 +88,9 @@ fn collect(t: &PNode, out: &mut Vec<u32>) {
 fn contains(t: &PNode, x: u32) -> bool {
     match t {
         PNode::Leaf(v) => v.binary_search(&x).is_ok(),
-        PNode::Internal { sep, left, right, .. } => {
+        PNode::Internal {
+            sep, left, right, ..
+        } => {
             if x < *sep {
                 contains(left, x)
             } else {
@@ -97,7 +101,10 @@ fn contains(t: &PNode, x: u32) -> bool {
 }
 
 /// Persistent insert; returns `None` when `x` is already present.
-fn insert(t: &Arc<PNode>, x: u32) -> Option<Arc<PNode>> {
+/// Records descent steps, leaf path-copy moves, and scapegoat rebuilds
+/// into `c`.
+fn insert(t: &Arc<PNode>, x: u32, c: &OpCounters) -> Option<Arc<PNode>> {
+    c.add_search(1);
     match t.as_ref() {
         PNode::Leaf(v) => {
             let i = match v.binary_search(&x) {
@@ -108,6 +115,8 @@ fn insert(t: &Arc<PNode>, x: u32) -> Option<Arc<PNode>> {
             nv.extend_from_slice(&v[..i]);
             nv.push(x);
             nv.extend_from_slice(&v[i..]);
+            // Path copying rewrites the whole leaf.
+            c.add_moves(nv.len() as u64);
             if nv.len() > 2 * LEAF_B {
                 let right: Vec<u32> = nv.split_off(nv.len() / 2);
                 let sep = right[0];
@@ -120,31 +129,37 @@ fn insert(t: &Arc<PNode>, x: u32) -> Option<Arc<PNode>> {
                 Some(Arc::new(PNode::Leaf(Arc::new(nv))))
             }
         }
-        PNode::Internal { sep, left, right, .. } => {
+        PNode::Internal {
+            sep, left, right, ..
+        } => {
             let (nl, nr) = if x < *sep {
-                (insert(left, x)?, right.clone())
+                (insert(left, x, c)?, right.clone())
             } else {
-                (left.clone(), insert(right, x)?)
+                (left.clone(), insert(right, x, c)?)
             };
-            Some(rebalance(nl, nr, *sep))
+            Some(rebalance(nl, nr, *sep, c))
         }
     }
 }
 
 /// Persistent delete; returns `None` when `x` is absent.
-fn delete(t: &Arc<PNode>, x: u32) -> Option<Arc<PNode>> {
+fn delete(t: &Arc<PNode>, x: u32, c: &OpCounters) -> Option<Arc<PNode>> {
+    c.add_search(1);
     match t.as_ref() {
         PNode::Leaf(v) => {
             let i = v.binary_search(&x).ok()?;
             let mut nv = (**v).clone();
             nv.remove(i);
+            c.add_moves(nv.len() as u64);
             Some(Arc::new(PNode::Leaf(Arc::new(nv))))
         }
-        PNode::Internal { sep, left, right, .. } => {
+        PNode::Internal {
+            sep, left, right, ..
+        } => {
             let (nl, nr) = if x < *sep {
-                (delete(left, x)?, right.clone())
+                (delete(left, x, c)?, right.clone())
             } else {
-                (left.clone(), delete(right, x)?)
+                (left.clone(), delete(right, x, c)?)
             };
             // Merge away underfull sides so the tree never keeps hollow
             // spines.
@@ -152,21 +167,24 @@ fn delete(t: &Arc<PNode>, x: u32) -> Option<Arc<PNode>> {
                 let mut all = Vec::with_capacity(nl.size() + nr.size());
                 collect(&nl, &mut all);
                 collect(&nr, &mut all);
+                c.add_moves(all.len() as u64);
                 return Some(Arc::new(PNode::Leaf(Arc::new(all))));
             }
-            Some(rebalance(nl, nr, *sep))
+            Some(rebalance(nl, nr, *sep, c))
         }
     }
 }
 
 /// Scapegoat rebalance: rebuild this subtree when one side dominates.
-fn rebalance(left: Arc<PNode>, right: Arc<PNode>, sep: u32) -> Arc<PNode> {
+fn rebalance(left: Arc<PNode>, right: Arc<PNode>, sep: u32, c: &OpCounters) -> Arc<PNode> {
     let (ls, rs) = (left.size(), right.size());
     let total = ls + rs;
     if total > 2 * LEAF_B && (ls * WB_DEN > total * WB_NUM || rs * WB_DEN > total * WB_NUM) {
         let mut all = Vec::with_capacity(total);
         collect(&left, &mut all);
         collect(&right, &mut all);
+        c.add_rebuild();
+        c.add_moves(total as u64);
         build(&all)
     } else {
         internal(left, right, sep)
@@ -183,9 +201,7 @@ fn for_each_node(t: &PNode, f: &mut dyn FnMut(u32) -> bool) -> bool {
             }
             true
         }
-        PNode::Internal { left, right, .. } => {
-            for_each_node(left, f) && for_each_node(right, f)
-        }
+        PNode::Internal { left, right, .. } => for_each_node(left, f) && for_each_node(right, f),
     }
 }
 
@@ -217,7 +233,9 @@ impl PacSet {
     /// Builds from a sorted duplicate-free slice.
     pub fn from_sorted(sorted: &[u32]) -> Self {
         debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
-        PacSet { root: build(sorted) }
+        PacSet {
+            root: build(sorted),
+        }
     }
 
     /// Number of elements.
@@ -237,12 +255,22 @@ impl PacSet {
 
     /// Returns a new set with `x` inserted, or `None` if already present.
     pub fn inserted(&self, x: u32) -> Option<PacSet> {
-        insert(&self.root, x).map(|root| PacSet { root })
+        self.inserted_with(x, &OpCounters::new())
+    }
+
+    /// Like [`PacSet::inserted`], recording operation costs into `c`.
+    pub fn inserted_with(&self, x: u32, c: &OpCounters) -> Option<PacSet> {
+        insert(&self.root, x, c).map(|root| PacSet { root })
     }
 
     /// Returns a new set with `x` removed, or `None` if absent.
     pub fn deleted(&self, x: u32) -> Option<PacSet> {
-        delete(&self.root, x).map(|root| PacSet { root })
+        self.deleted_with(x, &OpCounters::new())
+    }
+
+    /// Like [`PacSet::deleted`], recording operation costs into `c`.
+    pub fn deleted_with(&self, x: u32, c: &OpCounters) -> Option<PacSet> {
+        delete(&self.root, x, c).map(|root| PacSet { root })
     }
 
     /// Returns a new set containing the union with a sorted duplicate-free
@@ -330,7 +358,12 @@ impl PacSet {
                     }
                     v.len()
                 }
-                PNode::Internal { sep, size, left, right } => {
+                PNode::Internal {
+                    sep,
+                    size,
+                    left,
+                    right,
+                } => {
                     assert!(left.size() > 0 && right.size() > 0, "hollow internal node");
                     let ls = walk(left, lo, Some(*sep));
                     let rs = walk(right, Some(*sep), hi);
@@ -360,6 +393,7 @@ impl MemoryFootprint for PacSet {
 pub struct PacGraph {
     vertices: Vec<PacSet>,
     num_edges: usize,
+    counters: OpCounters,
 }
 
 impl PacGraph {
@@ -368,7 +402,18 @@ impl PacGraph {
         PacGraph {
             vertices: vec![PacSet::new(); n],
             num_edges: 0,
+            counters: OpCounters::new(),
         }
+    }
+
+    /// Snapshot of the update-path operation counters.
+    pub fn counters(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Resets the operation counters to zero.
+    pub fn reset_counters(&mut self) {
+        self.counters.reset();
     }
 
     /// Bulk-loads from an edge list in parallel.
@@ -389,6 +434,7 @@ impl PacGraph {
         PacGraph {
             vertices,
             num_edges: keys.len(),
+            counters: OpCounters::new(),
         }
     }
 
@@ -397,6 +443,7 @@ impl PacGraph {
         PacGraph {
             vertices: self.vertices.clone(),
             num_edges: self.num_edges,
+            counters: OpCounters::new(),
         }
     }
 
@@ -458,20 +505,23 @@ impl DynamicGraph for PacGraph {
         }
         let runs = runs_by_src(&keys);
         let vertices = &self.vertices;
+        let counters = &self.counters;
         let built: Vec<(u32, PacSet, usize)> = runs
             .par_iter()
             .map(|run| {
                 let set = &vertices[run.src as usize];
-                let items: Vec<u32> =
-                    keys[run.start..run.end].iter().map(|&k| k as u32).collect();
+                let items: Vec<u32> = keys[run.start..run.end].iter().map(|&k| k as u32).collect();
                 if items.len() * 4 >= set.len().max(8) {
                     let (next, added) = set.merged_with_sorted(&items);
+                    counters.add_rebuild();
+                    counters.add_search(items.len() as u64);
+                    counters.add_moves(next.len() as u64);
                     (run.src, next, added)
                 } else {
                     let mut set = set.clone();
                     let mut added = 0;
                     for u in items {
-                        if let Some(next) = set.inserted(u) {
+                        if let Some(next) = set.inserted_with(u, counters) {
                             set = next;
                             added += 1;
                         }
@@ -498,20 +548,23 @@ impl DynamicGraph for PacGraph {
         let keys: Vec<u64> = keys.into_iter().filter(|&k| (k >> 32) < n).collect();
         let runs = runs_by_src(&keys);
         let vertices = &self.vertices;
+        let counters = &self.counters;
         let built: Vec<(u32, PacSet, usize)> = runs
             .par_iter()
             .map(|run| {
                 let set = &vertices[run.src as usize];
-                let items: Vec<u32> =
-                    keys[run.start..run.end].iter().map(|&k| k as u32).collect();
+                let items: Vec<u32> = keys[run.start..run.end].iter().map(|&k| k as u32).collect();
                 if items.len() * 4 >= set.len().max(8) {
                     let (next, removed) = set.minus_sorted(&items);
+                    counters.add_rebuild();
+                    counters.add_search(items.len() as u64);
+                    counters.add_moves(next.len() as u64);
                     (run.src, next, removed)
                 } else {
                     let mut set = set.clone();
                     let mut removed = 0;
                     for u in items {
-                        if let Some(next) = set.deleted(u) {
+                        if let Some(next) = set.deleted_with(u, counters) {
                             set = next;
                             removed += 1;
                         }
@@ -527,6 +580,14 @@ impl DynamicGraph for PacGraph {
         }
         self.num_edges -= total;
         total
+    }
+
+    fn op_counters(&self) -> Option<CounterSnapshot> {
+        Some(self.counters.snapshot())
+    }
+
+    fn reset_instrumentation(&mut self) {
+        self.counters.reset();
     }
 }
 

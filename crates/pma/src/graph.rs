@@ -134,12 +134,19 @@ impl DynamicGraph for PmaGraph {
         }
         removed
     }
+
+    fn op_counters(&self) -> Option<CounterSnapshot> {
+        Some(self.counters())
+    }
+
+    fn reset_instrumentation(&mut self) {
+        self.edges.counters.reset();
+    }
 }
 
 impl MemoryFootprint for PmaGraph {
     fn footprint(&self) -> Footprint {
-        self.edges.footprint()
-            + Footprint::new(0, self.degree.len() * core::mem::size_of::<u32>())
+        self.edges.footprint() + Footprint::new(0, self.degree.len() * core::mem::size_of::<u32>())
     }
 }
 

@@ -213,7 +213,9 @@ impl<K: PmaKey> Pma<K> {
         self.counters.add_search(steps);
         match ans {
             Some(p) => p as usize / self.seg_size,
-            None => (0..self.num_segs()).find(|&s| self.counts[s] > 0).unwrap_or(0),
+            None => (0..self.num_segs())
+                .find(|&s| self.counts[s] > 0)
+                .unwrap_or(0),
         }
     }
 
@@ -243,7 +245,8 @@ impl<K: PmaKey> Pma<K> {
         let cnt = self.counts[s] as usize;
         if self.density_ok_after_insert(s) {
             let base = s * self.seg_size;
-            self.data.copy_within(base + pos..base + cnt, base + pos + 1);
+            self.data
+                .copy_within(base + pos..base + cnt, base + pos + 1);
             self.data[base + pos] = key;
             self.counts[s] += 1;
             self.counters.add_moves((cnt - pos) as u64);
@@ -269,7 +272,8 @@ impl<K: PmaKey> Pma<K> {
             Err(_) => return false,
         };
         let base = s * self.seg_size;
-        self.data.copy_within(base + pos + 1..base + cnt, base + pos);
+        self.data
+            .copy_within(base + pos + 1..base + cnt, base + pos);
         self.data[base + cnt - 1] = K::EMPTY;
         self.counts[s] -= 1;
         self.counters.add_moves((cnt - 1 - pos) as u64);
@@ -504,7 +508,9 @@ impl<K: PmaKey> Pma<K> {
     /// density range, recomputing segment size as `Θ(log capacity)`.
     fn resize_for(&mut self, n: usize) {
         let target = self.params.root_lower.midpoint(self.params.root_upper);
-        let mut cap = ((n as f64 / target).ceil() as usize).max(16).next_power_of_two();
+        let mut cap = ((n as f64 / target).ceil() as usize)
+            .max(16)
+            .next_power_of_two();
         let mut seg = (cap.ilog2() as usize).next_power_of_two().max(8);
         // Capacity must be a power-of-two multiple of the segment size.
         while !cap.is_multiple_of(seg) || cap / seg < 2 {
@@ -682,7 +688,10 @@ mod tests {
 
     #[test]
     fn range_scan() {
-        let p = Pma::<u64>::from_sorted(&(0..1000).map(|i| i * 3).collect::<Vec<_>>(), PmaParams::default());
+        let p = Pma::<u64>::from_sorted(
+            &(0..1000).map(|i| i * 3).collect::<Vec<_>>(),
+            PmaParams::default(),
+        );
         let mut got = Vec::new();
         p.for_each_range(30, 60, |k| got.push(k));
         assert_eq!(got, vec![30, 33, 36, 39, 42, 45, 48, 51, 54, 57]);

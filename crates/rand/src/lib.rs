@@ -1,0 +1,201 @@
+//! Offline stand-in for the subset of `rand` this workspace uses:
+//! `SmallRng::seed_from_u64`, `gen_range` over integer ranges, `gen_bool`,
+//! and `gen::<f64>()`.
+//!
+//! The generator is SplitMix64 — deterministic for a given seed, fast, and
+//! statistically adequate for RMAT/Chung-Lu graph generation and randomized
+//! tests. It intentionally does NOT match upstream rand's SmallRng stream;
+//! nothing in this workspace depends on the exact stream, only on
+//! seed-determinism.
+
+use std::ops::Range;
+
+/// Trait for seeding a generator from a `u64`, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sample helpers, mirroring the parts of `rand::Rng` the workspace calls.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+/// Types that `gen()` can produce.
+pub trait Sample {
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Sample for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable with `gen_range(lo..hi)`.
+pub trait SampleRange: Sized {
+    fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Unbiased bounded sample via Lemire-style widening multiply with rejection.
+fn bounded_u64<R: Rng>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(bound as u128);
+        let lo = m as u64;
+        if lo >= bound.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+        // Rejected: retry for uniformity (vanishingly rare for small bounds).
+    }
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample<R: Rng>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + bounded_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample<R: Rng>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                range.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i32, i64, isize);
+
+impl SampleRange for f64 {
+    fn sample<R: Rng>(rng: &mut R, range: Range<f64>) -> f64 {
+        range.start + rng.next_f64() * (range.end - range.start)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// SplitMix64 generator standing in for `rand::rngs::SmallRng`.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::SmallRng;
+    pub use crate::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x = rng.gen_range(0u32..10);
+            assert!(x < 10);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit in 1000 draws");
+    }
+
+    #[test]
+    fn gen_bool_rate_roughly_matches_p() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! Offline stand-in for the subset of rayon this workspace uses.
+//!
+//! The build environment has no network access and no cached registry, so the
+//! real `rayon` crate cannot be fetched. This shim reproduces the API surface
+//! the workspace actually calls — `par_iter`/`into_par_iter` adapter chains,
+//! `par_iter_mut().enumerate().for_each`, `par_sort_unstable`, and
+//! `ThreadPoolBuilder`/`ThreadPool::install` — with *real* parallelism built
+//! on `std::thread::scope`.
+//!
+//! Semantics match rayon where it matters for this codebase:
+//! - adapter chains are order-preserving (`map`/`filter`/`enumerate`/`collect`
+//!   produce the same sequence as the sequential iterator would),
+//! - `fold(identity, f)` yields one accumulator per worker chunk,
+//! - `for_each`/`map` closures run concurrently on multiple OS threads, so
+//!   shared-state bugs (and relaxed-atomic counter behaviour) are exercised
+//!   for real,
+//! - `ThreadPool::install` bounds the number of worker threads used by
+//!   parallel calls made inside the closure.
+//!
+//! Differences from rayon: work is split eagerly into `num_threads` chunks
+//! (no work stealing), threads are spawned per call rather than pooled, and
+//! `par_sort_unstable` falls back to the sequential `sort_unstable`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Inputs shorter than this run sequentially: spawning OS threads costs more
+/// than the work they would do.
+const MIN_PAR_LEN: usize = 32;
+
+/// 0 = no override (use available parallelism).
+static OVERRIDE_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Number of worker threads parallel calls should use right now.
+pub fn current_num_threads() -> usize {
+    let o = OVERRIDE_THREADS.load(Ordering::Relaxed);
+    if o != 0 {
+        o
+    } else {
+        default_threads()
+    }
+}
+
+/// Split `items` into at most `parts` contiguous chunks of near-equal size,
+/// preserving order.
+fn split_vec<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(parts);
+    for i in (1..parts).rev() {
+        let size = base + usize::from(i < extra);
+        let at = items.len() - size;
+        out.push(items.split_off(at));
+    }
+    out.push(items);
+    out.reverse();
+    out
+}
+
+/// Run `f` over each chunk on its own scoped thread; results keep chunk order.
+fn run_chunked<T, U, F>(chunks: Vec<Vec<T>>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(Vec<T>) -> U + Sync,
+{
+    let fref = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || fref(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+fn pmap<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() < MIN_PAR_LEN {
+        return items.into_iter().map(f).collect();
+    }
+    let chunks = split_vec(items, threads);
+    let per_chunk = run_chunked(chunks, |chunk| {
+        chunk.into_iter().map(&f).collect::<Vec<U>>()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator": adapters evaluate immediately (in parallel
+/// where profitable) and hand the materialized sequence to the next stage.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        ParIter {
+            items: pmap(self.items, f),
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync + Send,
+    {
+        let kept = pmap(self.items, |x| if f(&x) { Some(x) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn filter_map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync + Send,
+    {
+        let kept = pmap(self.items, f);
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync + Send,
+    {
+        let nested = pmap(self.items, |x| f(x).into_iter().collect::<Vec<U>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// One accumulator per worker chunk, like rayon's `fold`.
+    pub fn fold<Acc, ID, F>(self, identity: ID, f: F) -> ParIter<Acc>
+    where
+        Acc: Send,
+        ID: Fn() -> Acc + Sync + Send,
+        F: Fn(Acc, T) -> Acc + Sync + Send,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.items.len() < MIN_PAR_LEN {
+            let acc = self.items.into_iter().fold(identity(), &f);
+            return ParIter { items: vec![acc] };
+        }
+        let chunks = split_vec(self.items, threads);
+        let accs = run_chunked(chunks, |chunk| chunk.into_iter().fold(identity(), &f));
+        ParIter { items: accs }
+    }
+
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
+    where
+        ID: Fn() -> T + Sync + Send,
+        F: Fn(T, T) -> T + Sync + Send,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.items.len() < MIN_PAR_LEN {
+            self.items.into_iter().for_each(f);
+            return;
+        }
+        let chunks = split_vec(self.items, threads);
+        run_chunked(chunks, |chunk| chunk.into_iter().for_each(&f));
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
+}
+
+/// Mutable parallel iterator over a slice (`par_iter_mut()`).
+pub struct ParIterMut<'a, T: Send> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
+        ParIterMutEnumerate { items: self.items }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync + Send,
+    {
+        ParIterMutEnumerate { items: self.items }.for_each(|(_, x)| f(x));
+    }
+}
+
+pub struct ParIterMutEnumerate<'a, T: Send> {
+    items: &'a mut [T],
+}
+
+impl<T: Send> ParIterMutEnumerate<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync + Send,
+    {
+        let threads = current_num_threads();
+        let len = self.items.len();
+        if threads <= 1 || len < MIN_PAR_LEN {
+            for (i, x) in self.items.iter_mut().enumerate() {
+                f((i, x));
+            }
+            return;
+        }
+        let chunk = len.div_ceil(threads);
+        let fref = &f;
+        std::thread::scope(|s| {
+            for (ci, c) in self.items.chunks_mut(chunk).enumerate() {
+                s.spawn(move || {
+                    for (j, x) in c.iter_mut().enumerate() {
+                        fref((ci * chunk + j, x));
+                    }
+                });
+            }
+        });
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<Idx> IntoParallelIterator for Range<Idx>
+where
+    Range<Idx>: Iterator<Item = Idx>,
+    Idx: Send,
+{
+    type Item = Idx;
+    fn into_par_iter(self) -> ParIter<Idx> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `slice.par_iter()` / `vec.par_iter()` (via autoderef).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `slice.par_iter_mut()` and `slice.par_sort_unstable()`.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    /// Sequential fallback; a parallel merge sort is a known follow-up.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { items: self }
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" in this shim is just a bound on worker-thread fan-out, applied
+/// for the duration of `install`.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = OVERRIDE_THREADS.swap(self.num_threads, Ordering::SeqCst);
+        let r = f();
+        OVERRIDE_THREADS.store(prev, Ordering::SeqCst);
+        r
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParIterMut, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn range_into_par_iter_filter_count() {
+        let n = (0u32..5_000)
+            .into_par_iter()
+            .filter(|&x| x % 3 == 0)
+            .count();
+        assert_eq!(n, (0u32..5_000).filter(|&x| x % 3 == 0).count());
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential_sum() {
+        let v: Vec<u64> = (1..=10_000).collect();
+        let total = v
+            .par_iter()
+            .fold(|| 0u64, |acc, &x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, (1..=10_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn for_each_runs_every_item_once() {
+        let hits = AtomicU64::new(0);
+        let v: Vec<u32> = (0..4_096).collect();
+        v.par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4_096);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_writes_indices() {
+        let mut v = vec![0usize; 3_000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 7);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 7);
+        }
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let out: Vec<u32> = (0u32..100)
+            .into_par_iter()
+            .flat_map_iter(|c| (0..3).map(move |k| c * 10 + k))
+            .collect();
+        let expect: Vec<u32> = (0u32..100)
+            .flat_map(|c| (0..3).map(move |k| c * 10 + k))
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_sort_unstable_sorts() {
+        let mut v: Vec<u64> = (0..2_000).rev().collect();
+        v.par_sort_unstable();
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn pool_install_bounds_threads() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("pool");
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 2);
+    }
+}

@@ -99,9 +99,7 @@ impl Neighborhood {
 
     fn footprint(&self) -> Footprint {
         match self {
-            Neighborhood::Small(v) => {
-                Footprint::new(v.capacity() * core::mem::size_of::<u32>(), 0)
-            }
+            Neighborhood::Small(v) => Footprint::new(v.capacity() * core::mem::size_of::<u32>(), 0),
             Neighborhood::Large(l) => l.footprint(),
         }
     }

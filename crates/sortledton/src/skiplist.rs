@@ -434,7 +434,11 @@ mod tests {
         // Refilling splits blocks at ~50% occupancy (vs 75% at bulk load),
         // so more live blocks are needed — but freed slots must be recycled
         // before the slab grows.
-        assert!(l.blocks.len() <= slab * 2, "slab should be reused: {} vs {slab}", l.blocks.len());
+        assert!(
+            l.blocks.len() <= slab * 2,
+            "slab should be reused: {} vs {slab}",
+            l.blocks.len()
+        );
         assert_eq!(l.len(), 5_000);
     }
 

@@ -65,7 +65,7 @@ pub struct TerraceGraph {
     pma: Pma<u64>,
     /// Per-vertex PMA segment offsets (PCSR keeps exactly this vertex →
     /// offset array); rebuilt lazily after updates, read during analytics.
-    hints: parking_lot::RwLock<Option<Vec<u32>>>,
+    hints: std::sync::RwLock<Option<Vec<u32>>>,
     num_edges: usize,
     /// Nanoseconds spent inside PMA operations during updates (Fig. 4a).
     pma_nanos: u64,
@@ -79,7 +79,7 @@ impl TerraceGraph {
         TerraceGraph {
             vertices: vec![TVertex::default(); n],
             pma: Pma::with_params(PmaParams::default()),
-            hints: parking_lot::RwLock::new(None),
+            hints: std::sync::RwLock::new(None),
             num_edges: 0,
             pma_nanos: 0,
             update_nanos: 0,
@@ -88,18 +88,18 @@ impl TerraceGraph {
 
     /// Drops the offset cache (called by every update path).
     fn invalidate_hints(&mut self) {
-        *self.hints.get_mut() = None;
+        *self.hints.get_mut().expect("hints lock poisoned") = None;
     }
 
     /// The PMA segment at or before the one containing vertex `v`'s range,
     /// from the cached offset array (built on first use).
     fn hint_for(&self, v: u32) -> usize {
-        if let Some(h) = self.hints.read().as_ref() {
+        if let Some(h) = self.hints.read().expect("hints lock poisoned").as_ref() {
             return h[v as usize] as usize;
         }
         let built = self.build_hints();
         let hint = built[v as usize] as usize;
-        *self.hints.write() = Some(built);
+        *self.hints.write().expect("hints lock poisoned") = Some(built);
         hint
     }
 
@@ -152,7 +152,7 @@ impl TerraceGraph {
         TerraceGraph {
             vertices,
             pma: Pma::from_sorted(&pma_keys, PmaParams::default()),
-            hints: parking_lot::RwLock::new(None),
+            hints: std::sync::RwLock::new(None),
             num_edges: keys.len(),
             pma_nanos: 0,
             update_nanos: 0,
@@ -182,7 +182,8 @@ impl TerraceGraph {
 
     fn grow_to(&mut self, max_id: u32) {
         if max_id as usize >= self.vertices.len() {
-            self.vertices.resize(max_id as usize + 1, TVertex::default());
+            self.vertices
+                .resize(max_id as usize + 1, TVertex::default());
         }
     }
 
@@ -319,7 +320,10 @@ impl TerraceGraph {
     fn maybe_demote(&mut self, v: u32) {
         let tv = &self.vertices[v as usize];
         if tv.tree.is_some() && tv.spill_len() * 2 < HIGH_THRESHOLD {
-            let tree = self.vertices[v as usize].tree.take().expect("checked above");
+            let tree = self.vertices[v as usize]
+                .tree
+                .take()
+                .expect("checked above");
             let t0 = Instant::now();
             tree.for_each(&mut |w| {
                 self.pma.insert(((v as u64) << 32) | w as u64);
@@ -338,11 +342,13 @@ impl TerraceGraph {
         let mut total = 0;
         for (v, tv) in self.vertices.iter().enumerate() {
             let inl = tv.inline_neighbors();
-            assert!(inl.windows(2).all(|w| w[0] < w[1]), "inline unsorted at {v}");
+            assert!(
+                inl.windows(2).all(|w| w[0] < w[1]),
+                "inline unsorted at {v}"
+            );
             let tree_len = tv.tree.as_ref().map_or(0, |t| t.len());
             let pma_len = if tv.tree.is_none() && tv.degree as usize > INLINE_CAP {
-                self.pma
-                    .count_range((v as u64) << 32, (v as u64 + 1) << 32)
+                self.pma.count_range((v as u64) << 32, (v as u64 + 1) << 32)
             } else {
                 0
             };
@@ -382,16 +388,15 @@ impl Graph for TerraceGraph {
         if let Some(tree) = &tv.tree {
             tree.for_each(f);
         } else if tv.degree as usize > INLINE_CAP {
-            self.pma
-                .for_each_range_hinted_while(
-                    self.hint_for(v),
-                    (v as u64) << 32,
-                    (v as u64 + 1) << 32,
-                    |k| {
-                        f(k as u32);
-                        true
-                    },
-                );
+            self.pma.for_each_range_hinted_while(
+                self.hint_for(v),
+                (v as u64) << 32,
+                (v as u64 + 1) << 32,
+                |k| {
+                    f(k as u32);
+                    true
+                },
+            );
         }
     }
 
@@ -405,13 +410,12 @@ impl Graph for TerraceGraph {
         if let Some(tree) = &tv.tree {
             tree.for_each_while(f)
         } else if tv.degree as usize > INLINE_CAP {
-            self.pma
-                .for_each_range_hinted_while(
-                    self.hint_for(v),
-                    (v as u64) << 32,
-                    (v as u64 + 1) << 32,
-                    |k| f(k as u32),
-                )
+            self.pma.for_each_range_hinted_while(
+                self.hint_for(v),
+                (v as u64) << 32,
+                (v as u64 + 1) << 32,
+                |k| f(k as u32),
+            )
         } else {
             true
         }
@@ -498,6 +502,14 @@ impl DynamicGraph for TerraceGraph {
         self.invalidate_hints();
         self.update_nanos += t0.elapsed().as_nanos() as u64;
         removed
+    }
+
+    fn op_counters(&self) -> Option<CounterSnapshot> {
+        Some(self.pma_counters())
+    }
+
+    fn reset_instrumentation(&mut self) {
+        TerraceGraph::reset_instrumentation(self);
     }
 }
 
@@ -625,7 +637,10 @@ mod tests {
         let batch: Vec<Edge> = (0..2_500u32).map(|i| Edge::new(0, i)).collect();
         g.insert_batch(&batch);
         // Delete inline, PMA-era, and btree-era neighbors.
-        assert_eq!(g.delete_batch(&edges(&[(0, 0), (0, 500), (0, 2_400), (0, 9_999)])), 3);
+        assert_eq!(
+            g.delete_batch(&edges(&[(0, 0), (0, 500), (0, 2_400), (0, 9_999)])),
+            3
+        );
         assert_eq!(g.degree(0), 2_497);
         assert!(!g.has_edge(0, 500));
         assert!(g.has_edge(0, 501));

@@ -11,12 +11,7 @@ use std::time::Instant;
 use lsgraph::baselines::{AspenGraph, PacGraph, TerraceGraph};
 use lsgraph::{analytics, gen, Config, DynamicGraph, Edge, Graph, LsGraph, MemoryFootprint};
 
-fn run(
-    name: &str,
-    g: &mut (impl DynamicGraph + MemoryFootprint),
-    batch: &[Edge],
-    src: u32,
-) {
+fn run(name: &str, g: &mut (impl DynamicGraph + MemoryFootprint), batch: &[Edge], src: u32) {
     let t0 = Instant::now();
     g.insert_batch(batch);
     let ins = t0.elapsed();
@@ -46,9 +41,16 @@ fn main() {
     println!("base |V|={n}, |E|={}, batch {}", base.len(), batch.len());
 
     let mut ls = LsGraph::from_edges(n, &base, Config::default());
-    let src = (0..n as u32).max_by_key(|&v| ls.degree(v)).expect("non-empty");
+    let src = (0..n as u32)
+        .max_by_key(|&v| ls.degree(v))
+        .expect("non-empty");
     run("LSGraph", &mut ls, &batch, src);
-    run("Terrace", &mut TerraceGraph::from_edges(n, &base), &batch, src);
+    run(
+        "Terrace",
+        &mut TerraceGraph::from_edges(n, &base),
+        &batch,
+        src,
+    );
     run("Aspen", &mut AspenGraph::from_edges(n, &base), &batch, src);
     run("PaC-tree", &mut PacGraph::from_edges(n, &base), &batch, src);
 }

@@ -100,7 +100,11 @@ fn main() {
                 Some(v) if (v as usize) < g.num_vertices() => {
                     let ns = g.neighbors(v);
                     let shown = ns.len().min(50);
-                    println!("{:?}{}", &ns[..shown], if ns.len() > shown { " ..." } else { "" });
+                    println!(
+                        "{:?}{}",
+                        &ns[..shown],
+                        if ns.len() > shown { " ..." } else { "" }
+                    );
                 }
                 _ => println!("vertex out of range"),
             },
@@ -144,7 +148,10 @@ fn main() {
             }
             ["kcore"] => println!("degeneracy = {}", analytics::degeneracy(&g)),
             ["clustering"] => {
-                println!("average clustering = {:.4}", analytics::average_clustering(&g))
+                println!(
+                    "average clustering = {:.4}",
+                    analytics::average_clustering(&g)
+                )
             }
             ["stats"] => {
                 let s = g.tier_stats();

@@ -17,11 +17,12 @@ fn main() {
     let stream = gen::temporal_stream(n, 600_000, 0.7, 11);
     let (base, live) = stream.split_at(stream.len() / 2);
 
-    let undirected = |es: &[Edge]| -> Vec<Edge> {
-        es.iter().flat_map(|e| [*e, e.reversed()]).collect()
-    };
+    let undirected =
+        |es: &[Edge]| -> Vec<Edge> { es.iter().flat_map(|e| [*e, e.reversed()]).collect() };
     let mut g = LsGraph::from_edges(n, &undirected(base), Config::default());
-    let landmark = (0..n as u32).max_by_key(|&v| g.degree(v)).expect("non-empty");
+    let landmark = (0..n as u32)
+        .max_by_key(|&v| g.degree(v))
+        .expect("non-empty");
     println!(
         "base |E|={}, landmark vertex {landmark} (degree {})",
         g.num_edges(),
@@ -48,7 +49,13 @@ fn main() {
         assert_eq!(inc.distances(), fresh.distances(), "repair must be exact");
 
         let reached = inc.distances().iter().filter(|&&d| d != INF).count();
-        let ecc = inc.distances().iter().filter(|&&d| d != INF).max().copied().unwrap_or(0);
+        let ecc = inc
+            .distances()
+            .iter()
+            .filter(|&&d| d != INF)
+            .max()
+            .copied()
+            .unwrap_or(0);
         println!(
             "epoch {epoch}: ingest {ingest:>9.2?}  incremental repair {repair:>9.2?}  \
              (full recompute {full:>9.2?})  reached {reached}, eccentricity {ecc}"

@@ -46,5 +46,9 @@ fn main() {
     // Verify against an independent recount after deleting everything new.
     let check = analytics::triangle_count(&g);
     assert_eq!(check.triangles, last.triangles);
-    println!("final: {} triangles across {} edges", check.triangles, g.num_edges());
+    println!(
+        "final: {} triangles across {} edges",
+        check.triangles,
+        g.num_edges()
+    );
 }

@@ -11,10 +11,7 @@ fn main() {
     //    and bulk-load it (symmetrized, as the paper evaluates).
     let scale = 14; // 16k vertices
     let edges = gen::rmat(scale, 200_000, gen::RmatParams::paper(), 42);
-    let undirected: Vec<Edge> = edges
-        .iter()
-        .flat_map(|e| [*e, e.reversed()])
-        .collect();
+    let undirected: Vec<Edge> = edges.iter().flat_map(|e| [*e, e.reversed()]).collect();
     let mut g = LsGraph::from_edges(1 << scale, &undirected, Config::default());
     println!(
         "loaded |V|={} |E|={} ({} MB, {:.1}% index overhead)",
@@ -31,7 +28,10 @@ fn main() {
         .filter(|e| !g.has_edge(e.src, e.dst))
         .collect();
     let added = g.insert_batch_undirected(&batch);
-    println!("streamed {} edges ({added} new directed edges)", batch.len());
+    println!(
+        "streamed {} edges ({added} new directed edges)",
+        batch.len()
+    );
 
     // 3. BFS from the highest-degree vertex.
     let hub = (0..g.num_vertices() as u32)
@@ -39,7 +39,10 @@ fn main() {
         .expect("non-empty graph");
     let parents = analytics::bfs(&g, hub);
     let reached = parents.iter().filter(|&&p| p != u32::MAX).count();
-    println!("BFS from hub {hub} (degree {}): reached {reached} vertices", g.degree(hub));
+    println!(
+        "BFS from hub {hub} (degree {}): reached {reached} vertices",
+        g.degree(hub)
+    );
 
     // 4. PageRank and connected components on the updated snapshot.
     let pr = analytics::pagerank(&g, 10, 0.85);

@@ -19,7 +19,10 @@ fn kcore_agrees_across_engines() {
     let edges = sym(&rmat(SCALE, 30_000, RmatParams::paper(), 21));
     let oracle = Csr::from_edges(N, &edges);
     let want = analytics::kcore(&oracle);
-    assert!(*want.iter().max().expect("vertices") >= 2, "workload too sparse");
+    assert!(
+        *want.iter().max().expect("vertices") >= 2,
+        "workload too sparse"
+    );
     let ls = LsGraph::from_edges(N, &edges, Config::default());
     let tr = TerraceGraph::from_edges(N, &edges);
     let asp = AspenGraph::from_edges(N, &edges);
@@ -28,14 +31,19 @@ fn kcore_agrees_across_engines() {
     assert_eq!(analytics::kcore(&tr), want, "Terrace");
     assert_eq!(analytics::kcore(&asp), want, "Aspen");
     assert_eq!(analytics::kcore(&pac), want, "PaC-tree");
-    assert_eq!(analytics::degeneracy(&ls), *want.iter().max().expect("nonempty"));
+    assert_eq!(
+        analytics::degeneracy(&ls),
+        *want.iter().max().expect("nonempty")
+    );
 }
 
 #[test]
 fn incremental_bfs_tracks_live_lsgraph() {
     let base = sym(&rmat(SCALE, 15_000, RmatParams::paper(), 22));
     let mut g = LsGraph::from_edges(N, &base, Config::default());
-    let src = (0..N as u32).max_by_key(|&v| g.degree(v)).expect("vertices");
+    let src = (0..N as u32)
+        .max_by_key(|&v| g.degree(v))
+        .expect("vertices");
     let mut inc = IncrementalBfs::new(&g, src);
     for round in 0..6u64 {
         let batch = sym(&rmat(SCALE, 4_000, RmatParams::paper(), 30 + round));
@@ -57,13 +65,18 @@ fn full_kernel_family_runs_on_updated_engine() {
     // Smoke the whole kernel family on a graph that has been mutated past
     // its bulk-loaded shape (tier transitions included).
     let mut g = LsGraph::from_edges(N, &sym(&rmat(SCALE, 10_000, RmatParams::paper(), 23)), {
-        Config { m: 256, ..Config::default() }
+        Config {
+            m: 256,
+            ..Config::default()
+        }
     });
     for round in 0..4u64 {
         g.insert_batch(&sym(&rmat(SCALE, 8_000, RmatParams::paper(), 40 + round)));
     }
     g.check_invariants();
-    let src = (0..N as u32).max_by_key(|&v| g.degree(v)).expect("vertices");
+    let src = (0..N as u32)
+        .max_by_key(|&v| g.degree(v))
+        .expect("vertices");
     let parents = analytics::bfs(&g, src);
     assert_eq!(parents[src as usize], src);
     let pr = analytics::pagerank(&g, 10, 0.85);
@@ -86,13 +99,22 @@ fn tier_stats_expose_hierarchy_on_skewed_graph() {
     let edges = rmat(SCALE, 120_000, RmatParams::paper(), 24);
     // Small M: at this scale the duplicate-collapsed hub degree is a few
     // hundred, so the HITree tier needs a low threshold to be reachable.
-    let cfg = Config { m: 128, ..Config::default() };
+    let cfg = Config {
+        m: 128,
+        ..Config::default()
+    };
     let g = LsGraph::from_edges(N, &edges, cfg);
     let s = g.tier_stats();
     assert_eq!(s.total_vertices(), g.num_vertices());
     assert_eq!(s.inline_edges + s.spill_edges, g.num_edges());
-    assert!(s.hitree_vertices > 0, "rmat head should reach HITree: {s:?}");
-    assert!(s.inline_vertices > s.hitree_vertices, "tail should dominate: {s:?}");
+    assert!(
+        s.hitree_vertices > 0,
+        "rmat head should reach HITree: {s:?}"
+    );
+    assert!(
+        s.inline_vertices > s.hitree_vertices,
+        "tail should dominate: {s:?}"
+    );
     // The heaviest vertex must be in the top tier.
     let hub = (0..g.num_vertices() as u32)
         .max_by_key(|&v| g.degree(v))

@@ -49,7 +49,11 @@ fn neighbors_match_oracle_after_bulk_load() {
     for (name, g) in e.each() {
         assert_eq!(g.num_edges(), e.oracle.num_edges(), "{name}");
         for v in 0..N as u32 {
-            assert_eq!(g.neighbors(v), e.oracle.neighbors_slice(v), "{name} vertex {v}");
+            assert_eq!(
+                g.neighbors(v),
+                e.oracle.neighbors_slice(v),
+                "{name} vertex {v}"
+            );
         }
     }
 }
@@ -80,7 +84,10 @@ fn neighbors_match_after_update_rounds() {
     }
     let remaining: Vec<Edge> = {
         let del: std::collections::HashSet<u64> = deleted.iter().map(|e| e.key()).collect();
-        all.iter().filter(|e| !del.contains(&e.key())).copied().collect()
+        all.iter()
+            .filter(|e| !del.contains(&e.key()))
+            .copied()
+            .collect()
     };
     let oracle = Csr::from_edges(N, &remaining);
     for (name, g) in [
@@ -91,7 +98,11 @@ fn neighbors_match_after_update_rounds() {
     ] {
         assert_eq!(g.num_edges(), oracle.num_edges(), "{name}");
         for v in 0..N as u32 {
-            assert_eq!(g.neighbors(v), oracle.neighbors_slice(v), "{name} vertex {v}");
+            assert_eq!(
+                g.neighbors(v),
+                oracle.neighbors_slice(v),
+                "{name} vertex {v}"
+            );
         }
     }
 }
@@ -100,7 +111,9 @@ fn neighbors_match_after_update_rounds() {
 fn bfs_distances_agree() {
     let edges = sym(&rmat(SCALE, 40_000, RmatParams::paper(), 3));
     let e = Engines::build(&edges);
-    let src = (0..N as u32).max_by_key(|&v| e.oracle.degree(v)).expect("vertices");
+    let src = (0..N as u32)
+        .max_by_key(|&v| e.oracle.degree(v))
+        .expect("vertices");
     let want = {
         let p = analytics::bfs(&e.oracle, src);
         analytics::bfs::distances_from_parents(&e.oracle, src, &p)
@@ -155,7 +168,9 @@ fn triangle_counts_agree() {
 fn betweenness_agrees_within_epsilon() {
     let edges = sym(&rmat(SCALE, 25_000, RmatParams::paper(), 7));
     let e = Engines::build(&edges);
-    let src = (0..N as u32).max_by_key(|&v| e.oracle.degree(v)).expect("vertices");
+    let src = (0..N as u32)
+        .max_by_key(|&v| e.oracle.degree(v))
+        .expect("vertices");
     let want = analytics::betweenness(&e.oracle, src);
     for (name, g) in e.each() {
         let got = analytics::betweenness(g, src);

@@ -8,7 +8,10 @@ use lsgraph::{Config, DynamicGraph, Edge, Graph, IterableGraph, LsGraph};
 
 #[test]
 fn neighbor_iter_matches_for_each_on_every_tier() {
-    let cfg = Config { m: 256, ..Config::default() };
+    let cfg = Config {
+        m: 256,
+        ..Config::default()
+    };
     let mut g = LsGraph::with_config(5, cfg);
     // Vertex 0: inline; 1: array; 2: RIA; 3: HITree; 4: empty.
     for (v, d) in [(0u32, 5u32), (1, 40), (2, 200), (3, 2_000)] {
@@ -24,7 +27,11 @@ fn neighbor_iter_matches_for_each_on_every_tier() {
 #[test]
 fn neighbor_iter_under_pma_ablation() {
     use lsgraph::MediumStore;
-    let cfg = Config { m: 512, medium: MediumStore::Pma, ..Config::default() };
+    let cfg = Config {
+        m: 512,
+        medium: MediumStore::Pma,
+        ..Config::default()
+    };
     let mut g = LsGraph::with_config(2, cfg);
     let batch: Vec<Edge> = (0..300u32).map(|i| Edge::new(0, i * 3)).collect();
     g.insert_batch(&batch);
@@ -39,7 +46,14 @@ fn streaming_tc_on_live_engine() {
         .iter()
         .flat_map(|e| [*e, e.reversed()])
         .collect();
-    let mut g = LsGraph::from_edges(1 << scale, &edges, Config { m: 256, ..Config::default() });
+    let mut g = LsGraph::from_edges(
+        1 << scale,
+        &edges,
+        Config {
+            m: 256,
+            ..Config::default()
+        },
+    );
     let want = triangle_count(&g).triangles;
     assert!(want > 0);
     assert_eq!(triangle_count_streaming(&g), want);
@@ -56,7 +70,11 @@ fn streaming_tc_on_live_engine() {
 fn iterator_is_sorted_on_random_mutations() {
     use rand::{rngs::SmallRng, Rng, SeedableRng};
     let mut rng = SmallRng::seed_from_u64(3);
-    let cfg = Config { a: 8, m: 64, ..Config::default() };
+    let cfg = Config {
+        a: 8,
+        m: 64,
+        ..Config::default()
+    };
     let mut g = LsGraph::with_config(4, cfg);
     for _ in 0..60 {
         let batch: Vec<Edge> = (0..200)

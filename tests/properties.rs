@@ -1,23 +1,42 @@
-//! Property-based tests: every engine behaves as an adjacency-set oracle
-//! under arbitrary interleaved batch streams, and the core ordered-set
-//! structures behave as `BTreeSet` under arbitrary operation sequences.
+//! Randomized differential tests: every engine behaves as an adjacency-set
+//! oracle under interleaved batch streams, and the core ordered-set
+//! structures behave as `BTreeSet` under random operation sequences.
+//!
+//! These were originally proptest properties; they are now driven by seeded
+//! `SmallRng` loops (the build is offline, so the proptest crate is
+//! unavailable). Each case uses a distinct fixed seed, so failures reproduce
+//! exactly.
 
-use proptest::prelude::*;
+use rand::prelude::*;
 
 use lsgraph::baselines::{AspenGraph, PacGraph, TerraceGraph};
 use lsgraph::substrates::{BTreeSet32, Pma, PmaParams};
-use lsgraph::{Config, DynamicGraph, Edge, HiTree, LsGraph, Ria};
+use lsgraph::{Config, DynamicGraph, Edge, Graph, HiTree, LsGraph, Ria};
+
+const CASES: u64 = 64;
 
 /// A batched update stream over a small id space (dense collisions on
-/// purpose).
-fn batches() -> impl Strategy<Value = Vec<(bool, Vec<(u32, u32)>)>> {
-    prop::collection::vec(
-        (
-            any::<bool>(),
-            prop::collection::vec((0u32..60, 0u32..60), 1..80),
-        ),
-        1..12,
-    )
+/// purpose): 1..12 batches of 1..80 (src, dst) pairs in 0..60.
+fn gen_batches(rng: &mut SmallRng) -> Vec<(bool, Vec<(u32, u32)>)> {
+    let num_batches = rng.gen_range(1usize..12);
+    (0..num_batches)
+        .map(|_| {
+            let is_insert = rng.gen_bool(0.5);
+            let len = rng.gen_range(1usize..80);
+            let pairs = (0..len)
+                .map(|_| (rng.gen_range(0u32..60), rng.gen_range(0u32..60)))
+                .collect();
+            (is_insert, pairs)
+        })
+        .collect()
+}
+
+/// Random (insert?, key) operation sequence.
+fn gen_ops(rng: &mut SmallRng, key_space: u32, min_len: usize, max_len: usize) -> Vec<(bool, u32)> {
+    let len = rng.gen_range(min_len..max_len);
+    (0..len)
+        .map(|_| (rng.gen_bool(0.5), rng.gen_range(0u32..key_space)))
+        .collect()
 }
 
 /// Applies a stream to an engine and an oracle, asserting counts and final
@@ -55,129 +74,189 @@ fn check_engine<G: DynamicGraph>(mut g: G, stream: &[(bool, Vec<(u32, u32)>)]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lsgraph_matches_oracle(stream in batches()) {
+#[test]
+fn lsgraph_matches_oracle() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1000 + case);
+        let stream = gen_batches(&mut rng);
         check_engine(LsGraph::with_config(60, Config::default()), &stream);
     }
+}
 
-    #[test]
-    fn lsgraph_small_tiers_match_oracle(stream in batches()) {
+#[test]
+fn lsgraph_small_tiers_match_oracle() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x2000 + case);
+        let stream = gen_batches(&mut rng);
         // Tiny thresholds force RIA/HITree tiers even on small degrees.
-        let cfg = Config { a: 4, m: 16, ..Config::default() };
+        let cfg = Config {
+            a: 4,
+            m: 16,
+            ..Config::default()
+        };
         check_engine(LsGraph::with_config(60, cfg), &stream);
     }
+}
 
-    #[test]
-    fn terrace_matches_oracle(stream in batches()) {
+#[test]
+fn terrace_matches_oracle() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x3000 + case);
+        let stream = gen_batches(&mut rng);
         check_engine(TerraceGraph::new(60), &stream);
     }
+}
 
-    #[test]
-    fn aspen_matches_oracle(stream in batches()) {
+#[test]
+fn aspen_matches_oracle() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x4000 + case);
+        let stream = gen_batches(&mut rng);
         check_engine(AspenGraph::new(60), &stream);
     }
+}
 
-    #[test]
-    fn pactree_matches_oracle(stream in batches()) {
+#[test]
+fn pactree_matches_oracle() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5000 + case);
+        let stream = gen_batches(&mut rng);
         check_engine(PacGraph::new(60), &stream);
     }
+}
 
-    #[test]
-    fn ria_behaves_as_sorted_set(ops in prop::collection::vec((any::<bool>(), 0u32..500), 1..400)) {
+#[test]
+fn ria_behaves_as_sorted_set() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x6000 + case);
+        let ops = gen_ops(&mut rng, 500, 1, 400);
         let mut r = Ria::new(1.2);
         let mut oracle = std::collections::BTreeSet::new();
         for (ins, k) in ops {
             if ins {
-                prop_assert_eq!(r.insert(k).inserted(), oracle.insert(k));
+                assert_eq!(r.insert(k).inserted(), oracle.insert(k));
             } else {
-                prop_assert_eq!(r.delete(k), oracle.remove(&k));
+                assert_eq!(r.delete(k), oracle.remove(&k));
             }
         }
         r.check_invariants();
-        prop_assert_eq!(r.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+        assert_eq!(r.to_vec(), oracle.into_iter().collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn hitree_behaves_as_sorted_set(ops in prop::collection::vec((any::<bool>(), 0u32..500), 1..400)) {
-        let cfg = Config { a: 8, m: 64, ..Config::default() };
+#[test]
+fn hitree_behaves_as_sorted_set() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7000 + case);
+        let ops = gen_ops(&mut rng, 500, 1, 400);
+        let cfg = Config {
+            a: 8,
+            m: 64,
+            ..Config::default()
+        };
         let mut t = HiTree::new(&cfg);
         let mut oracle = std::collections::BTreeSet::new();
         for (ins, k) in ops {
             if ins {
-                prop_assert_eq!(t.insert(k, &cfg), oracle.insert(k));
+                assert_eq!(t.insert(k, &cfg), oracle.insert(k));
             } else {
-                prop_assert_eq!(t.delete(k, &cfg), oracle.remove(&k));
+                assert_eq!(t.delete(k, &cfg), oracle.remove(&k));
             }
         }
         t.check_invariants(&cfg);
-        prop_assert_eq!(t.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+        assert_eq!(t.to_vec(), oracle.into_iter().collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn pma_behaves_as_sorted_set(ops in prop::collection::vec((any::<bool>(), 0u64..500), 1..400)) {
+#[test]
+fn pma_behaves_as_sorted_set() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x8000 + case);
+        let ops = gen_ops(&mut rng, 500, 1, 400);
         let mut p = Pma::<u64>::with_params(PmaParams::dense());
         let mut oracle = std::collections::BTreeSet::new();
         for (ins, k) in ops {
+            let k = k as u64;
             if ins {
-                prop_assert_eq!(p.insert(k), oracle.insert(k));
+                assert_eq!(p.insert(k), oracle.insert(k));
             } else {
-                prop_assert_eq!(p.delete(k), oracle.remove(&k));
+                assert_eq!(p.delete(k), oracle.remove(&k));
             }
         }
         p.check_invariants();
-        prop_assert_eq!(p.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+        assert_eq!(p.to_vec(), oracle.into_iter().collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn btree_behaves_as_sorted_set(ops in prop::collection::vec((any::<bool>(), 0u32..500), 1..400)) {
+#[test]
+fn btree_behaves_as_sorted_set() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x9000 + case);
+        let ops = gen_ops(&mut rng, 500, 1, 400);
         let mut t = BTreeSet32::new();
         let mut oracle = std::collections::BTreeSet::new();
         for (ins, k) in ops {
             if ins {
-                prop_assert_eq!(t.insert(k), oracle.insert(k));
+                assert_eq!(t.insert(k), oracle.insert(k));
             } else {
-                prop_assert_eq!(t.delete(k), oracle.remove(&k));
+                assert_eq!(t.delete(k), oracle.remove(&k));
             }
         }
         t.check_invariants();
-        prop_assert_eq!(t.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+        assert_eq!(t.to_vec(), oracle.into_iter().collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn delta_chunk_roundtrips(mut keys in prop::collection::vec(any::<u32>(), 0..300)) {
-        use lsgraph::substrates::DeltaChunk;
+#[test]
+fn delta_chunk_roundtrips() {
+    use lsgraph::substrates::DeltaChunk;
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xA000 + case);
+        let len = rng.gen_range(0usize..300);
+        let mut keys: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+        // Mix in boundary values like proptest's any::<u32>() would.
+        if case % 4 == 0 && !keys.is_empty() {
+            keys[0] = 0;
+            let last = keys.len() - 1;
+            keys[last] = u32::MAX;
+        }
         keys.sort_unstable();
         keys.dedup();
         let c = DeltaChunk::encode(&keys);
-        prop_assert_eq!(c.decode(), keys.clone());
-        prop_assert_eq!(c.len(), keys.len());
+        assert_eq!(c.decode(), keys.clone());
+        assert_eq!(c.len(), keys.len());
         for probe in keys.iter().take(20) {
-            prop_assert!(c.contains(*probe));
+            assert!(c.contains(*probe));
         }
     }
+}
 
-    #[test]
-    fn skiplist_behaves_as_sorted_set(ops in prop::collection::vec((any::<bool>(), 0u32..400), 1..500)) {
-        use lsgraph::substrates::UnrolledSkipList;
+#[test]
+fn skiplist_behaves_as_sorted_set() {
+    use lsgraph::substrates::UnrolledSkipList;
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB000 + case);
+        let ops = gen_ops(&mut rng, 400, 1, 500);
         let mut l = UnrolledSkipList::new();
         let mut oracle = std::collections::BTreeSet::new();
         for (ins, k) in ops {
             if ins {
-                prop_assert_eq!(l.insert(k), oracle.insert(k));
+                assert_eq!(l.insert(k), oracle.insert(k));
             } else {
-                prop_assert_eq!(l.delete(k), oracle.remove(&k));
+                assert_eq!(l.delete(k), oracle.remove(&k));
             }
         }
         l.check_invariants();
-        prop_assert_eq!(l.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+        assert_eq!(l.to_vec(), oracle.into_iter().collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn ctree_and_pacset_behave_as_sorted_sets(ops in prop::collection::vec((any::<bool>(), 0u32..400), 1..300)) {
-        use lsgraph::baselines::{CTreeSet, PacSet};
+#[test]
+fn ctree_and_pacset_behave_as_sorted_sets() {
+    use lsgraph::baselines::{CTreeSet, PacSet};
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xC000 + case);
+        let ops = gen_ops(&mut rng, 400, 1, 300);
         let mut ct = CTreeSet::new();
         let mut pt = PacSet::new();
         let mut oracle = std::collections::BTreeSet::new();
@@ -186,31 +265,47 @@ proptest! {
                 let want = oracle.insert(k);
                 let cn = ct.inserted(k);
                 let pn = pt.inserted(k);
-                prop_assert_eq!(cn.is_some(), want);
-                prop_assert_eq!(pn.is_some(), want);
-                if let Some(n) = cn { ct = n; }
-                if let Some(n) = pn { pt = n; }
+                assert_eq!(cn.is_some(), want);
+                assert_eq!(pn.is_some(), want);
+                if let Some(n) = cn {
+                    ct = n;
+                }
+                if let Some(n) = pn {
+                    pt = n;
+                }
             } else {
                 let want = oracle.remove(&k);
                 let cn = ct.deleted(k);
                 let pn = pt.deleted(k);
-                prop_assert_eq!(cn.is_some(), want);
-                prop_assert_eq!(pn.is_some(), want);
-                if let Some(n) = cn { ct = n; }
-                if let Some(n) = pn { pt = n; }
+                assert_eq!(cn.is_some(), want);
+                assert_eq!(pn.is_some(), want);
+                if let Some(n) = cn {
+                    ct = n;
+                }
+                if let Some(n) = pn {
+                    pt = n;
+                }
             }
         }
         ct.check_invariants();
         pt.check_invariants();
         let want: Vec<u32> = oracle.into_iter().collect();
-        prop_assert_eq!(ct.to_vec(), want.clone());
-        prop_assert_eq!(pt.to_vec(), want);
+        assert_eq!(ct.to_vec(), want.clone());
+        assert_eq!(pt.to_vec(), want);
     }
+}
 
-    #[test]
-    fn neighbor_iter_equals_callback_traversal(stream in batches()) {
-        use lsgraph::IterableGraph;
-        let cfg = Config { a: 4, m: 16, ..Config::default() };
+#[test]
+fn neighbor_iter_equals_callback_traversal() {
+    use lsgraph::IterableGraph;
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD000 + case);
+        let stream = gen_batches(&mut rng);
+        let cfg = Config {
+            a: 4,
+            m: 16,
+            ..Config::default()
+        };
         let mut g = LsGraph::with_config(60, cfg);
         for (is_insert, pairs) in &stream {
             let batch: Vec<Edge> = pairs.iter().map(|&(a, b)| Edge::new(a, b)).collect();
@@ -222,20 +317,35 @@ proptest! {
         }
         for v in 0..60u32 {
             let it: Vec<u32> = g.neighbor_iter(v).collect();
-            prop_assert_eq!(it, g.neighbors(v));
+            assert_eq!(it, g.neighbors(v));
         }
     }
+}
 
-    #[test]
-    fn extreme_keys_survive(keys in prop::collection::vec(any::<u32>(), 1..200)) {
-        // u32 boundary values must round-trip through every tier.
-        let cfg = Config { a: 8, m: 32, ..Config::default() };
+#[test]
+fn extreme_keys_survive() {
+    // u32 boundary values must round-trip through every tier.
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xE000 + case);
+        let len = rng.gen_range(1usize..200);
+        let mut keys: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+        // Force boundary coverage in every case.
+        for (i, b) in [0u32, 1, u32::MAX, u32::MAX - 1].into_iter().enumerate() {
+            if i < keys.len() {
+                keys[i] = b;
+            }
+        }
+        let cfg = Config {
+            a: 8,
+            m: 32,
+            ..Config::default()
+        };
         let mut t = HiTree::new(&cfg);
         let mut oracle = std::collections::BTreeSet::new();
         for k in keys {
-            prop_assert_eq!(t.insert(k, &cfg), oracle.insert(k));
+            assert_eq!(t.insert(k, &cfg), oracle.insert(k));
         }
         t.check_invariants(&cfg);
-        prop_assert_eq!(t.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+        assert_eq!(t.to_vec(), oracle.into_iter().collect::<Vec<_>>());
     }
 }

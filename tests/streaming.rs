@@ -145,9 +145,18 @@ fn ablation_configs_produce_identical_graphs() {
     let base = rmat(scale, 60_000, RmatParams::paper(), 77);
     let configs = [
         Config::default(),
-        Config { medium: MediumStore::Pma, ..Config::default() },
-        Config { high: HighDegreeStore::RiaOnly, ..Config::default() },
-        Config { lia_search: LiaSearch::Binary, ..Config::default() },
+        Config {
+            medium: MediumStore::Pma,
+            ..Config::default()
+        },
+        Config {
+            high: HighDegreeStore::RiaOnly,
+            ..Config::default()
+        },
+        Config {
+            lia_search: LiaSearch::Binary,
+            ..Config::default()
+        },
     ];
     let reference = LsGraph::from_edges(n, &base, configs[0]);
     let existing: std::collections::HashSet<u64> = base.iter().map(|e| e.key()).collect();
@@ -188,5 +197,9 @@ fn footprint_comparison_shape_matches_table3() {
         terrace.footprint().total(),
         ls.footprint().total()
     );
-    assert!(ls.index_overhead() < 0.25, "index overhead {}", ls.index_overhead());
+    assert!(
+        ls.index_overhead() < 0.25,
+        "index overhead {}",
+        ls.index_overhead()
+    );
 }
