@@ -16,6 +16,7 @@ const UNSET: u32 = u32::MAX;
 
 /// Brandes single-source dependency scores from `src` on a symmetric graph.
 pub fn betweenness<G: Graph + ?Sized>(g: &G, src: u32) -> Vec<f64> {
+    let _k = lsgraph_api::kernel_scope("bc");
     let n = g.num_vertices();
     let depth: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
     depth[src as usize].store(0, Ordering::Relaxed);

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use lsgraph_api::{Graph, Phase, StructStats};
+use lsgraph_api::Graph;
 
 use crate::edge_map::edge_map;
 use crate::subset::VertexSubset;
@@ -13,7 +13,7 @@ pub const UNREACHED: u32 = u32::MAX;
 /// Frontier-based BFS from `src`; returns the parent of each vertex
 /// ([`UNREACHED`] for unreachable ones, `src` is its own parent).
 pub fn bfs<G: Graph + ?Sized>(g: &G, src: u32) -> Vec<u32> {
-    let _k = StructStats::global().time(Phase::Kernel);
+    let _k = lsgraph_api::kernel_scope("bfs");
     let n = g.num_vertices();
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
     parent[src as usize].store(src, Ordering::Relaxed);

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use lsgraph_api::{Graph, Phase, StructStats};
+use lsgraph_api::Graph;
 
 use crate::edge_map::edge_map;
 use crate::subset::VertexSubset;
@@ -10,7 +10,7 @@ use crate::subset::VertexSubset;
 /// Computes connected-component labels on a symmetric graph: every vertex
 /// ends with the minimum vertex id of its component.
 pub fn connected_components<G: Graph + ?Sized>(g: &G) -> Vec<u32> {
-    let _k = StructStats::global().time(Phase::Kernel);
+    let _k = lsgraph_api::kernel_scope("cc");
     let n = g.num_vertices();
     let label: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let mut frontier = VertexSubset::full(n);

@@ -13,6 +13,7 @@ use rayon::prelude::*;
 
 /// Computes the coreness of every vertex of a symmetric graph.
 pub fn kcore<G: Graph + ?Sized>(g: &G) -> Vec<u32> {
+    let _k = lsgraph_api::kernel_scope("kcore");
     let n = g.num_vertices();
     let deg: Vec<AtomicU32> = (0..n as u32)
         .map(|v| AtomicU32::new(g.degree(v) as u32))

@@ -1,6 +1,6 @@
 //! Pull-based PageRank (paper Table 2).
 
-use lsgraph_api::{Graph, Phase, StructStats};
+use lsgraph_api::Graph;
 use rayon::prelude::*;
 
 /// Runs `iters` synchronous PageRank iterations with damping `d` on a
@@ -9,7 +9,7 @@ use rayon::prelude::*;
 ///
 /// Dangling vertices redistribute uniformly, the standard correction.
 pub fn pagerank<G: Graph + ?Sized>(g: &G, iters: usize, d: f64) -> Vec<f64> {
-    let _k = StructStats::global().time(Phase::Kernel);
+    let _k = lsgraph_api::kernel_scope("pagerank");
     let n = g.num_vertices();
     if n == 0 {
         return Vec::new();

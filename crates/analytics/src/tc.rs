@@ -51,6 +51,7 @@ fn intersect_count(a: &[u32], b: &[u32]) -> u64 {
 /// layout. It trades the flat-array locality of [`triangle_count`] for zero
 /// traversal/copy phase; the `structures` bench compares the two.
 pub fn triangle_count_streaming<G: lsgraph_api::IterableGraph + Sync>(g: &G) -> u64 {
+    let _k = lsgraph_api::kernel_scope("tc_streaming");
     let n = g.num_vertices();
     let rank = |v: u32| (g.degree(v), v);
     (0..n as u32)
@@ -87,6 +88,7 @@ pub fn triangle_count_streaming<G: lsgraph_api::IterableGraph + Sync>(g: &G) -> 
 
 /// Counts distinct triangles of a symmetric graph.
 pub fn triangle_count<G: Graph + ?Sized>(g: &G) -> TcResult {
+    let _k = lsgraph_api::kernel_scope("tc");
     let start = Instant::now();
     let n = g.num_vertices();
     // Traversal phase: flatten each vertex's neighbors into an array,

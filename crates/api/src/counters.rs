@@ -23,6 +23,8 @@
 use core::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use crate::trace;
+
 /// Cheap relaxed-atomic counters shared by instrumented structures.
 ///
 /// Counters are updated with `Ordering::Relaxed`: they are statistics, not
@@ -414,18 +416,22 @@ impl StructStats {
     }
 
     /// Starts a scoped timer attributing wall-clock time to `phase`; the
-    /// elapsed nanoseconds are added when the returned guard drops.
+    /// elapsed nanoseconds are added when the returned guard drops. For the
+    /// batch-pipeline phases the guard also carries a trace span (see
+    /// [`crate::trace`]); the `Kernel` phase does not — kernels get a named
+    /// span from [`crate::kernel_scope`] instead, avoiding duplicates.
     #[inline]
     pub fn time(&self, phase: Phase) -> PhaseTimer<'_> {
-        let target = match phase {
-            Phase::Sort => &self.phase_sort_nanos,
-            Phase::Group => &self.phase_group_nanos,
-            Phase::Apply => &self.phase_apply_nanos,
-            Phase::Kernel => &self.phase_kernel_nanos,
+        let (target, span_kind) = match phase {
+            Phase::Sort => (&self.phase_sort_nanos, Some(trace::SpanKind::Sort)),
+            Phase::Group => (&self.phase_group_nanos, Some(trace::SpanKind::Group)),
+            Phase::Apply => (&self.phase_apply_nanos, Some(trace::SpanKind::Apply)),
+            Phase::Kernel => (&self.phase_kernel_nanos, None),
         };
         PhaseTimer {
             target,
             start: Instant::now(),
+            _span: span_kind.map(trace::span),
         }
     }
 
@@ -521,6 +527,8 @@ impl StructStats {
 pub struct PhaseTimer<'a> {
     target: &'a AtomicU64,
     start: Instant,
+    /// Trace span covering the same scope (batch-pipeline phases only).
+    _span: Option<trace::Span>,
 }
 
 impl PhaseTimer<'_> {

@@ -9,10 +9,16 @@ pub mod batch;
 pub mod counters;
 pub mod edge;
 pub mod footprint;
+pub mod histogram;
+pub mod trace;
 
 pub use counters::{CounterSnapshot, OpCounters, Phase, PhaseTimer, StructSnapshot, StructStats};
 pub use edge::{Edge, VertexId};
 pub use footprint::{Footprint, MemoryFootprint};
+pub use histogram::{
+    kernel_scope, HistogramSnapshot, KernelScope, LatencyHistogram, LatencySnapshot, LatencyStats,
+};
+pub use trace::{Span, SpanKind};
 
 /// Read-only view of a graph.
 ///
@@ -134,6 +140,20 @@ pub trait DynamicGraph: Graph {
     /// Snapshot of this engine's per-container-class structural counters, if
     /// it is instrumented with [`StructStats`]. LSGraph overrides this.
     fn struct_stats(&self) -> Option<StructSnapshot> {
+        None
+    }
+
+    /// Snapshot of this engine's latency histograms (per-batch and
+    /// per-source-group apply latency), if it records them. LSGraph
+    /// overrides this.
+    fn latency_stats(&self) -> Option<LatencySnapshot> {
+        None
+    }
+
+    /// The configured space-amplification bound α, for engines whose layout
+    /// reserves gaps up to a factor α (LSGraph's RIA). Benchmarks compare
+    /// this against the measured payload amplification.
+    fn configured_alpha(&self) -> Option<f64> {
         None
     }
 

@@ -1,0 +1,316 @@
+//! Vendored, no-deps trace shim with chrome://tracing export.
+//!
+//! Scoped spans ([`span`]/[`span_named`]) record `(kind, name, start, dur)`
+//! into **per-thread ring buffers**; the whole facility is gated on a single
+//! relaxed [`AtomicBool`], so when tracing is disabled (the default) a span
+//! guard costs one atomic load and nothing is allocated.
+//!
+//! Rings are bounded ([`RING_CAP`] events per thread): when a ring fills,
+//! the oldest events are overwritten and a drop counter is kept, so a long
+//! run keeps the *most recent* window — the usual choice for "what just
+//! happened before the spike" debugging.
+//!
+//! [`export_chrome_json`] merges every thread's ring (including threads that
+//! have already exited — rings are kept alive by a global registry) and
+//! writes the `trace_event` JSON array format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): complete
+//! events (`"ph":"X"`) with microsecond `ts`/`dur` relative to the first
+//! [`enable`] call.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Capacity of each per-thread event ring.
+pub const RING_CAP: usize = 1 << 15;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Wall-clock origin for exported timestamps (set on first [`enable`]).
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The structural sites instrumented with spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Batch pipeline: sorting the edge batch.
+    Sort,
+    /// Batch pipeline: grouping sorted edges into per-source runs.
+    Group,
+    /// Batch pipeline: applying all runs to the structure.
+    Apply,
+    /// One analytics-kernel invocation.
+    Kernel,
+    /// RIA α-triggered (or shrink/refill) rebuild.
+    RiaRebuild,
+    /// HITree leaf model retrain (horizontal move on an LIA node).
+    LiaRetrain,
+    /// Container tier upgrade (array→RIA, PMA→tree, B-tree→LIA, ...).
+    TierUpgrade,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Sort => "sort",
+            SpanKind::Group => "group",
+            SpanKind::Apply => "apply",
+            SpanKind::Kernel => "kernel",
+            SpanKind::RiaRebuild => "ria_rebuild",
+            SpanKind::LiaRetrain => "lia_retrain",
+            SpanKind::TierUpgrade => "tier_upgrade",
+        }
+    }
+}
+
+/// One recorded complete event.
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    kind: SpanKind,
+    /// Extra label for named spans (kernel name); `""` means "use kind name".
+    name: &'static str,
+    /// Nanoseconds since [`epoch`].
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+/// Fixed-capacity overwrite-oldest ring of events for one thread.
+struct Ring {
+    tid: u64,
+    events: Vec<Event>,
+    /// Next write position once `events` is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, e: Event) {
+        if self.events.len() < RING_CAP {
+            self.events.push(e);
+        } else {
+            self.events[self.head] = e;
+            self.head = (self.head + 1) % RING_CAP;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// All rings ever created, so events from exited threads still export.
+static REGISTRY: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static MY_RING: Arc<Mutex<Ring>> = {
+        let ring = Arc::new(Mutex::new(Ring {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            events: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }));
+        REGISTRY.lock().unwrap().push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// Turns tracing on (spans start recording). Also fixes the export epoch.
+pub fn enable() {
+    epoch();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns tracing off. Already-recorded events are kept until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether spans currently record.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears every ring (drop counters included). Tracing state is unchanged.
+pub fn reset() {
+    for ring in REGISTRY.lock().unwrap().iter() {
+        let mut r = ring.lock().unwrap();
+        r.events.clear();
+        r.head = 0;
+        r.dropped = 0;
+    }
+}
+
+/// Scoped span guard: records one complete event on drop (only if tracing
+/// was enabled when the guard was created).
+#[must_use = "the span records on drop; binding it to `_` drops immediately"]
+pub struct Span {
+    /// `None` when tracing was disabled at creation — drop is then free.
+    info: Option<(SpanKind, &'static str, Instant)>,
+}
+
+/// Opens a span of `kind` (labelled with the kind's own name).
+#[inline]
+pub fn span(kind: SpanKind) -> Span {
+    span_named(kind, "")
+}
+
+/// Opens a span of `kind` with an extra `name` label (e.g. a kernel name).
+#[inline]
+pub fn span_named(kind: SpanKind, name: &'static str) -> Span {
+    Span {
+        info: if is_enabled() {
+            Some((kind, name, Instant::now()))
+        } else {
+            None
+        },
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((kind, name, start)) = self.info.take() {
+            let ep = epoch();
+            let start_ns = start
+                .checked_duration_since(ep)
+                .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+                .unwrap_or(0);
+            let dur_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let e = Event {
+                kind,
+                name,
+                start_ns,
+                dur_ns,
+            };
+            MY_RING.with(|ring| ring.lock().unwrap().push(e));
+        }
+    }
+}
+
+fn fmt_us(ns: u64) -> String {
+    // Microseconds with 3 decimals (i.e. nanosecond precision), as
+    // chrome://tracing expects fractional-µs floats.
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Serializes every recorded event as chrome://tracing `trace_event` JSON
+/// (object form, `"traceEvents"` array of `"ph":"X"` complete events).
+/// Events are globally sorted by `(start, tid)` so output is stable for a
+/// fixed set of recorded events. Returns the JSON string and the total
+/// number of events dropped to ring overflow (reported as metadata too).
+pub fn export_chrome_json() -> (String, u64) {
+    let mut all: Vec<(u64, Event)> = Vec::new();
+    let mut dropped = 0u64;
+    for ring in REGISTRY.lock().unwrap().iter() {
+        let r = ring.lock().unwrap();
+        dropped += r.dropped;
+        for e in &r.events {
+            all.push((r.tid, *e));
+        }
+    }
+    all.sort_by_key(|&(tid, e)| (e.start_ns, tid, e.dur_ns));
+
+    let mut out = String::with_capacity(128 + all.len() * 96);
+    out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n");
+    out.push_str(&format!("  \"droppedEvents\": {dropped},\n"));
+    out.push_str("  \"traceEvents\": [\n");
+    for (i, (tid, e)) in all.iter().enumerate() {
+        let label = if e.name.is_empty() {
+            e.kind.name().to_string()
+        } else {
+            format!("{}:{}", e.kind.name(), e.name)
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}}}{}\n",
+            label,
+            e.kind.name(),
+            tid,
+            fmt_us(e.start_ns),
+            fmt_us(e.dur_ns),
+            if i + 1 < all.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    (out, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tracing state is process-global, so exercise everything in one test
+    // to avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn spans_record_and_export_only_when_enabled() {
+        reset();
+        disable();
+        {
+            let _s = span(SpanKind::Sort);
+        }
+        let (json, _) = export_chrome_json();
+        assert!(!json.contains("\"name\": \"sort\""), "disabled span leaked");
+
+        enable();
+        {
+            let _s = span(SpanKind::RiaRebuild);
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        {
+            let _k = span_named(SpanKind::Kernel, "bfs");
+        }
+        std::thread::spawn(|| {
+            let _s = span(SpanKind::Apply);
+        })
+        .join()
+        .unwrap();
+        disable();
+
+        let (json, dropped) = export_chrome_json();
+        assert_eq!(dropped, 0);
+        assert!(json.contains("\"name\": \"ria_rebuild\""));
+        assert!(json.contains("\"name\": \"kernel:bfs\""));
+        assert!(json.contains("\"cat\": \"kernel\""));
+        assert!(
+            json.contains("\"name\": \"apply\""),
+            "exited-thread ring lost"
+        );
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.trim_end().ends_with('}'));
+
+        reset();
+        let (json, _) = export_chrome_json();
+        assert!(!json.contains("ria_rebuild"));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut r = Ring {
+            tid: 99,
+            events: Vec::new(),
+            head: 0,
+            dropped: 0,
+        };
+        for i in 0..(RING_CAP as u64 + 10) {
+            r.push(Event {
+                kind: SpanKind::Sort,
+                name: "",
+                start_ns: i,
+                dur_ns: 0,
+            });
+        }
+        assert_eq!(r.events.len(), RING_CAP);
+        assert_eq!(r.dropped, 10);
+        // Oldest 10 events (start_ns 0..10) were overwritten.
+        assert!(r.events.iter().all(|e| e.start_ns >= 10));
+    }
+
+    #[test]
+    fn fmt_us_is_fractional_microseconds() {
+        assert_eq!(fmt_us(0), "0.000");
+        assert_eq!(fmt_us(1_500), "1.500");
+        assert_eq!(fmt_us(999), "0.999");
+        assert_eq!(fmt_us(2_000_001), "2000.001");
+    }
+}

@@ -1,7 +1,8 @@
 //! Reproduction harness: one subcommand per paper table/figure.
 //!
 //! ```text
-//! cargo run -p lsgraph-bench --release --bin repro -- <experiment> [--json]
+//! cargo run -p lsgraph-bench --release --bin repro -- <experiment> [--json] [--trace out.json]
+//! cargo run -p lsgraph-bench --release --bin repro -- check --baseline BENCH_small.json
 //! ```
 //!
 //! Experiments: `fig3 fig4 fig12 small ablation fig13 table2 table3 fig14
@@ -9,12 +10,24 @@
 //! powers of two), `REPRO_BASE` (log2 base vertex count, default 15), and
 //! `REPRO_TRIALS` (default 3).
 //!
-//! With `--json`, experiments that support it (`fig12`, `small`) write a
-//! schema-stable `BENCH_<experiment>.json` with per-engine throughput,
-//! phase timings, and instrumentation counter snapshots instead of printing
-//! a table (see EXPERIMENTS.md for the schema).
+//! With `--json`, experiments that support it (`fig12`, `small`, `fig13`)
+//! write a schema-stable `BENCH_<experiment>.json` with per-engine
+//! throughput, phase timings, instrumentation counters, latency histograms,
+//! and footprints instead of printing a table (see EXPERIMENTS.md for the
+//! schema).
+//!
+//! With `--trace <path>`, structural trace spans (sort/group/apply/kernel/
+//! ria_rebuild/lia_retrain/tier_upgrade) are recorded during the experiments
+//! and exported as chrome://tracing JSON — open the file in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! `check --baseline BENCH_<exp>.json` re-runs that experiment at the
+//! baseline's recorded scale and exits nonzero if any invariant counter is
+//! nonzero or a structural counter regressed past tolerance; see
+//! `lsgraph_bench::check`.
 
-use lsgraph_bench::experiments;
+use lsgraph_api::trace;
+use lsgraph_bench::{check, experiments};
 use lsgraph_bench::{BenchReport, Scale};
 
 fn emit(report: &BenchReport) {
@@ -27,14 +40,92 @@ fn emit(report: &BenchReport) {
     }
 }
 
+/// Extracts `--flag value` from `args`, removing both tokens.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("[repro] {flag} requires a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+/// Runs the experiment a baseline report records, at the baseline's scale,
+/// and compares structural counters. Exits 0 when clean, 1 on violations.
+fn run_check(baseline_path: &str) -> ! {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[repro] cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = match BenchReport::from_json(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("[repro] cannot parse baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let scale = Scale {
+        base: baseline.base,
+        shift: baseline.shift,
+        trials: baseline.trials,
+    };
+    eprintln!(
+        "[repro] check: re-running '{}' at base=2^{} shift={} trials={}",
+        baseline.experiment, scale.base, scale.shift, scale.trials
+    );
+    let current = match baseline.experiment.as_str() {
+        "fig12" => experiments::fig12_report(&scale),
+        "small" => experiments::small_batches_report(&scale),
+        "fig13" => experiments::fig13_report(&scale),
+        other => {
+            eprintln!("[repro] no check support for experiment '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let violations = check::compare(&baseline, &current, check::CheckOptions::default());
+    for v in &violations {
+        eprintln!("[repro] {}", v.human());
+    }
+    print!(
+        "{}",
+        check::violations_json(&baseline.experiment, &violations)
+    );
+    if violations.is_empty() {
+        eprintln!(
+            "[repro] check PASSED: {} cells match {baseline_path}",
+            baseline.engines.len()
+        );
+        std::process::exit(0);
+    }
+    eprintln!(
+        "[repro] check FAILED: {} violation(s) vs {baseline_path}",
+        violations.len()
+    );
+    std::process::exit(1);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
+    let trace_path = take_value_flag(&mut args, "--trace");
+    let baseline = take_value_flag(&mut args, "--baseline");
+    if args.first().map(String::as_str) == Some("check") {
+        let Some(b) = baseline else {
+            eprintln!("usage: repro check --baseline BENCH_<experiment>.json");
+            std::process::exit(2);
+        };
+        run_check(&b);
+    }
     let scale = Scale::from_env();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig3|fig4|fig12|small|ablation|fig13|table2|table3|fig14|fig15|fig16|fig17|table4|g500|all> [--json]"
+            "usage: repro <fig3|fig4|fig12|small|ablation|fig13|table2|table3|fig14|fig15|fig16|fig17|table4|g500|all> [--json] [--trace out.json]\n       repro check --baseline BENCH_<experiment>.json"
         );
         std::process::exit(2);
     }
@@ -42,6 +133,9 @@ fn main() {
         "[repro] base=2^{} shift={} trials={}",
         scale.base, scale.shift, scale.trials
     );
+    if trace_path.is_some() {
+        trace::enable();
+    }
     for arg in &args {
         if json {
             match arg.as_str() {
@@ -51,6 +145,10 @@ fn main() {
                 }
                 "small" => {
                     emit(&experiments::small_batches_report(&scale));
+                    continue;
+                }
+                "fig13" => {
+                    emit(&experiments::fig13_report(&scale));
                     continue;
                 }
                 other => {
@@ -79,6 +177,25 @@ fn main() {
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = trace_path {
+        trace::disable();
+        let (doc, dropped) = trace::export_chrome_json();
+        match std::fs::write(&path, doc) {
+            Ok(()) => {
+                if dropped > 0 {
+                    eprintln!(
+                        "[repro] wrote trace {path} ({dropped} events dropped to ring overflow)"
+                    );
+                } else {
+                    eprintln!("[repro] wrote trace {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("[repro] failed to write trace {path}: {e}");
+                std::process::exit(1);
             }
         }
     }

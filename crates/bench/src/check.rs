@@ -1,0 +1,361 @@
+//! Structural-counter regression gate (`repro check --baseline ...`).
+//!
+//! LSGraph's structural counters are **deterministic** for a fixed seed and
+//! scale: batches partition into disjoint per-source runs, so every ripple,
+//! rebuild, retrain, and upgrade happens exactly once regardless of thread
+//! interleaving. That makes a committed `BENCH_<exp>.json` usable as a
+//! regression baseline: re-run the experiment at the baseline's scale and
+//! compare counters cell by cell.
+//!
+//! Two families of rules:
+//!
+//! - **Invariants** ([`INVARIANT_COUNTERS`]): counters that the paper's
+//!   design proves stay at zero — a ripple exceeding the
+//!   `log2(num_blocks)+1` bound, a vertical LIA move without a preceding
+//!   block overflow. Any nonzero value in the *current* run fails,
+//!   regardless of the baseline (a baseline that already carries a nonzero
+//!   invariant is itself reported).
+//! - **Gated counters** ([`GATED_COUNTERS`]): structural-movement volumes
+//!   (rebuilds, retrains, ripples, upgrades) that are legal but expensive.
+//!   The current value may not exceed
+//!   `baseline + max(abs_slack, baseline * rel_tolerance)` — slack absorbs
+//!   intended small drifts (a constant tweak) while catching order-of-
+//!   magnitude regressions (a broken α-expansion that rebuilds per insert).
+//!
+//! Cells are matched by `(engine, dataset, batch_size)`; a baseline cell
+//! missing from the current run is an error (losing coverage silently would
+//! defeat the gate).
+
+use crate::report::BenchReport;
+
+/// Counters that must be **zero** in a correct build (see module docs).
+pub const INVARIANT_COUNTERS: [&str; 2] = ["ria_bound_exceeded", "lia_vertical_premature"];
+
+/// Counters gated against the baseline with tolerance (see module docs).
+pub const GATED_COUNTERS: [&str; 5] = [
+    "ria_rebuilds",
+    "ria_ripples",
+    "lia_model_retrains",
+    "tier_upgrades",
+    "hitree_node_upgrades",
+];
+
+/// Tolerances for the gated comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckOptions {
+    /// Allowed relative growth over the baseline value (0.10 = +10%).
+    pub rel_tolerance: f64,
+    /// Absolute slack floor, so near-zero baselines aren't over-strict.
+    pub abs_slack: u64,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            rel_tolerance: 0.10,
+            abs_slack: 8,
+        }
+    }
+}
+
+/// One violated rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Engine display name of the offending cell.
+    pub engine: String,
+    /// Dataset of the offending cell.
+    pub dataset: String,
+    /// Batch size of the offending cell.
+    pub batch_size: usize,
+    /// Counter name (empty for [`ViolationKind::MissingCell`]).
+    pub counter: String,
+    /// What rule was broken.
+    pub kind: ViolationKind,
+    /// Baseline value (0 for missing-cell violations).
+    pub baseline: u64,
+    /// Current value (0 for missing-cell violations).
+    pub current: u64,
+    /// Largest current value the rule would have accepted.
+    pub allowed: u64,
+}
+
+/// The rule a [`Violation`] broke.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// An invariant counter is nonzero in the current run.
+    Invariant,
+    /// A gated counter grew past the baseline plus tolerance.
+    Regression,
+    /// The current run has no cell matching a baseline cell.
+    MissingCell,
+}
+
+impl ViolationKind {
+    fn name(self) -> &'static str {
+        match self {
+            ViolationKind::Invariant => "invariant",
+            ViolationKind::Regression => "regression",
+            ViolationKind::MissingCell => "missing_cell",
+        }
+    }
+}
+
+impl Violation {
+    /// One-line human rendering.
+    pub fn human(&self) -> String {
+        match self.kind {
+            ViolationKind::MissingCell => format!(
+                "[missing_cell] {}/{}/bs={}: baseline cell absent from current run",
+                self.engine, self.dataset, self.batch_size
+            ),
+            ViolationKind::Invariant => format!(
+                "[invariant] {}/{}/bs={}: {} = {} (must be 0)",
+                self.engine, self.dataset, self.batch_size, self.counter, self.current
+            ),
+            ViolationKind::Regression => format!(
+                "[regression] {}/{}/bs={}: {} = {} exceeds baseline {} + tolerance (allowed {})",
+                self.engine,
+                self.dataset,
+                self.batch_size,
+                self.counter,
+                self.current,
+                self.baseline,
+                self.allowed
+            ),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"kind\": \"{}\", \"engine\": \"{}\", \"dataset\": \"{}\", \"batch_size\": {}, \
+             \"counter\": \"{}\", \"baseline\": {}, \"current\": {}, \"allowed\": {}}}",
+            self.kind.name(),
+            self.engine,
+            self.dataset,
+            self.batch_size,
+            self.counter,
+            self.baseline,
+            self.current,
+            self.allowed
+        )
+    }
+}
+
+/// Renders the verdict as a small JSON document (machine half of the
+/// `repro check` output).
+pub fn violations_json(experiment: &str, violations: &[Violation]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"experiment\": \"{experiment}\",\n"));
+    out.push_str(&format!(
+        "  \"ok\": {},\n",
+        if violations.is_empty() {
+            "true"
+        } else {
+            "false"
+        }
+    ));
+    out.push_str("  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        out.push_str(&v.json());
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn field(fields: &[(&'static str, u64)], name: &str) -> u64 {
+    fields
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, v)| v)
+        .unwrap_or(0)
+}
+
+/// Compares a fresh run against a baseline report. Pure function of the two
+/// documents (no I/O), so perturbation tests can drive it directly.
+pub fn compare(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    opts: CheckOptions,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for b in &baseline.engines {
+        let Some(c) = current.engines.iter().find(|c| {
+            c.engine == b.engine && c.dataset == b.dataset && c.batch_size == b.batch_size
+        }) else {
+            out.push(Violation {
+                engine: b.engine.clone(),
+                dataset: b.dataset.clone(),
+                batch_size: b.batch_size,
+                counter: String::new(),
+                kind: ViolationKind::MissingCell,
+                baseline: 0,
+                current: 0,
+                allowed: 0,
+            });
+            continue;
+        };
+        // Only cells with structural counters participate (baselines from
+        // PMA-family engines carry OpCounters, which are workload-shaped
+        // rather than invariant-bearing).
+        let (Some(bs), Some(cs)) = (b.struct_stats, c.struct_stats) else {
+            continue;
+        };
+        let bf = bs.fields();
+        let cf = cs.fields();
+        for name in INVARIANT_COUNTERS {
+            let cur = field(&cf, name);
+            if cur != 0 {
+                out.push(Violation {
+                    engine: b.engine.clone(),
+                    dataset: b.dataset.clone(),
+                    batch_size: b.batch_size,
+                    counter: name.to_string(),
+                    kind: ViolationKind::Invariant,
+                    baseline: field(&bf, name),
+                    current: cur,
+                    allowed: 0,
+                });
+            }
+        }
+        for name in GATED_COUNTERS {
+            let base = field(&bf, name);
+            let cur = field(&cf, name);
+            let slack = ((base as f64 * opts.rel_tolerance).ceil() as u64).max(opts.abs_slack);
+            let allowed = base.saturating_add(slack);
+            if cur > allowed {
+                out.push(Violation {
+                    engine: b.engine.clone(),
+                    dataset: b.dataset.clone(),
+                    batch_size: b.batch_size,
+                    counter: name.to_string(),
+                    kind: ViolationKind::Regression,
+                    baseline: base,
+                    current: cur,
+                    allowed,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{EngineReport, SCHEMA_VERSION};
+    use lsgraph_api::StructSnapshot;
+
+    fn cell(engine: &str, ss: Option<StructSnapshot>) -> EngineReport {
+        EngineReport {
+            engine: engine.to_string(),
+            dataset: "OR".to_string(),
+            batch_size: 10,
+            insert_eps: 1.0,
+            delete_eps: 1.0,
+            insert_nanos: 1,
+            delete_nanos: 1,
+            counters: None,
+            struct_stats: ss,
+            footprint: None,
+            latency: None,
+            kernels: Vec::new(),
+        }
+    }
+
+    fn report(engines: Vec<EngineReport>) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            experiment: "small".to_string(),
+            base: 10,
+            shift: 0,
+            trials: 1,
+            engines,
+        }
+    }
+
+    fn stats(rebuilds: u64) -> StructSnapshot {
+        StructSnapshot {
+            ria_rebuilds: rebuilds,
+            ria_ripples: 100,
+            ..StructSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let b = report(vec![cell("LSGraph", Some(stats(10)))]);
+        assert!(compare(&b, &b.clone(), CheckOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let b = report(vec![cell("LSGraph", Some(stats(100)))]);
+        // +10 rebuilds on a baseline of 100 = exactly the 10% tolerance.
+        let c = report(vec![cell("LSGraph", Some(stats(110)))]);
+        assert!(compare(&b, &c, CheckOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn perturbed_gated_counter_fails() {
+        let b = report(vec![cell("LSGraph", Some(stats(10)))]);
+        let c = report(vec![cell("LSGraph", Some(stats(100)))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Regression);
+        assert_eq!(v[0].counter, "ria_rebuilds");
+        assert_eq!(v[0].baseline, 10);
+        assert_eq!(v[0].current, 100);
+        assert_eq!(v[0].allowed, 18); // 10 + max(ceil(1), 8)
+    }
+
+    #[test]
+    fn nonzero_invariant_fails_even_if_baseline_had_it() {
+        let bad = StructSnapshot {
+            ria_bound_exceeded: 1,
+            ..StructSnapshot::default()
+        };
+        let b = report(vec![cell("LSGraph", Some(bad))]);
+        let c = report(vec![cell("LSGraph", Some(bad))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Invariant);
+        assert_eq!(v[0].counter, "ria_bound_exceeded");
+    }
+
+    #[test]
+    fn missing_cell_fails() {
+        let b = report(vec![cell("LSGraph", Some(stats(1))), cell("Terrace", None)]);
+        let c = report(vec![cell("LSGraph", Some(stats(1)))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::MissingCell);
+        assert_eq!(v[0].engine, "Terrace");
+    }
+
+    #[test]
+    fn cells_without_struct_stats_are_skipped() {
+        let b = report(vec![cell("Aspen", None)]);
+        let c = report(vec![cell("Aspen", None)]);
+        assert!(compare(&b, &c, CheckOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn json_output_is_parseable_and_flags_ok() {
+        let b = report(vec![cell("LSGraph", Some(stats(10)))]);
+        let c = report(vec![cell("LSGraph", Some(stats(100)))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        let doc = violations_json("small", &v);
+        let parsed = crate::report::parse_json(&doc).expect("valid JSON");
+        let s = format!("{parsed:?}");
+        assert!(s.contains("ria_rebuilds"));
+        assert!(doc.contains("\"ok\": false"));
+        let clean = violations_json("small", &[]);
+        assert!(clean.contains("\"ok\": true"));
+        crate::report::parse_json(&clean).expect("valid JSON");
+    }
+}

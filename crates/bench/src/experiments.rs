@@ -10,7 +10,7 @@ use lsgraph_gen::{rmat, temporal::TEMPORAL_PROFILES, DatasetProfile, RmatParams}
 use lsgraph_pactree::PacGraph;
 use lsgraph_terrace::TerraceGraph;
 
-use crate::report::{BenchReport, EngineReport, SCHEMA_VERSION};
+use crate::report::{BenchReport, EngineReport, FootprintReport, KernelTime, SCHEMA_VERSION};
 use crate::runner::{
     build_engine, build_engine_scaled, engines, fmt_tput, time, time_avg, EngineKind, Scale,
 };
@@ -125,6 +125,28 @@ fn measure_cell(
         delete_nanos: del.as_nanos() as u64,
         counters: g.op_counters(),
         struct_stats: g.struct_stats(),
+        footprint: Some(measure_footprint(g.as_ref())),
+        latency: g.latency_stats(),
+        kernels: Vec::new(),
+    }
+}
+
+/// Footprint split + space amplification for one engine (schema v2).
+///
+/// Measured amplification is payload bytes per minimal 4-byte edge slot;
+/// α is the engine's configured bound when it has one (LSGraph), 0 = n/a.
+fn measure_footprint(g: &(impl crate::Engine + ?Sized)) -> FootprintReport {
+    let fp = g.footprint();
+    let m = g.num_edges() as u64;
+    FootprintReport {
+        payload_bytes: fp.payload_bytes as u64,
+        index_bytes: fp.index_bytes as u64,
+        space_amp_measured: if m == 0 {
+            0.0
+        } else {
+            fp.payload_bytes as f64 / (4.0 * m as f64)
+        },
+        space_amp_alpha: g.configured_alpha().unwrap_or(0.0),
     }
 }
 
@@ -332,6 +354,76 @@ pub fn fig13(scale: &Scale) {
                 times[&EngineKind::PacTree] / ls,
             );
         }
+    }
+}
+
+/// Fig. 13 as a machine-readable report: BFS and BC wall time per engine ×
+/// dataset. The kernels record into the process-global
+/// [`StructStats`](lsgraph_api::StructStats)/[`LatencyStats`] sinks, so each
+/// engine's cell is a before/after snapshot diff: `struct_stats` carries the
+/// kernel-phase nanos, `latency.kernel` the per-invocation histogram, and
+/// `kernels` the total wall time per kernel. Update-throughput fields are 0
+/// (this is an analytics experiment; `batch_size` 0 marks that).
+pub fn fig13_report(scale: &Scale) -> BenchReport {
+    use lsgraph_api::{LatencyStats, StructStats};
+    let mut out = Vec::new();
+    let trials = scale.trials.max(1);
+    for p in datasets(scale) {
+        let shift = shift_for(&p, scale);
+        let n = p.scaled_vertices(shift);
+        let base = sym(&p.generate(shift, 42));
+        let built: Vec<(EngineKind, Box<dyn crate::Engine>)> = engines()
+            .iter()
+            .map(|&k| (k, build_engine(k, n, &base)))
+            .collect();
+        let src = max_degree_vertex(built[0].1.as_ref());
+        for (k, g) in &built {
+            let stats_before = StructStats::global().snapshot();
+            let lat_before = LatencyStats::global().snapshot();
+            let (_, bfs_d) = time(|| {
+                for _ in 0..trials {
+                    lsgraph_analytics::bfs(g.as_ref(), src);
+                }
+            });
+            let (_, bc_d) = time(|| {
+                for _ in 0..trials {
+                    lsgraph_analytics::betweenness(g.as_ref(), src);
+                }
+            });
+            let struct_stats = StructStats::global().snapshot().since(stats_before);
+            let latency = LatencyStats::global().snapshot().since(&lat_before);
+            out.push(EngineReport {
+                engine: k.name().to_string(),
+                dataset: p.name.to_string(),
+                batch_size: 0,
+                insert_eps: 0.0,
+                delete_eps: 0.0,
+                insert_nanos: 0,
+                delete_nanos: 0,
+                counters: None,
+                struct_stats: Some(struct_stats),
+                footprint: Some(measure_footprint(g.as_ref())),
+                latency: Some(latency),
+                kernels: vec![
+                    KernelTime {
+                        name: "bfs".to_string(),
+                        wall_nanos: bfs_d.as_nanos() as u64,
+                    },
+                    KernelTime {
+                        name: "bc".to_string(),
+                        wall_nanos: bc_d.as_nanos() as u64,
+                    },
+                ],
+            });
+        }
+    }
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        experiment: "fig13".to_string(),
+        base: scale.base,
+        shift: scale.shift,
+        trials: scale.trials,
+        engines: out,
     }
 }
 

@@ -6,11 +6,13 @@
 //! EXPERIMENTS.md records the mapping from each function to the paper
 //! artifact and the expected qualitative result.
 
+pub mod check;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use report::{BenchReport, EngineReport, SCHEMA_VERSION};
+pub use check::{compare, CheckOptions, Violation, ViolationKind};
+pub use report::{BenchReport, EngineReport, FootprintReport, KernelTime, SCHEMA_VERSION};
 pub use runner::{
     build_engine, build_engine_scaled, engines, scaled_config, time, EngineKind, Scale,
 };

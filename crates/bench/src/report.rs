@@ -11,10 +11,40 @@
 //! writer with a fixed field order plus a small recursive-descent JSON
 //! parser for round-tripping in tests and external tooling.
 
-use lsgraph_api::{CounterSnapshot, StructSnapshot};
+use lsgraph_api::{CounterSnapshot, HistogramSnapshot, LatencySnapshot, StructSnapshot};
 
 /// Report schema version; bump when renaming or removing fields.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 adds per-engine `footprint` (payload/index split + space
+/// amplification), `latency` (log2-bucketed histograms with derived
+/// p50/p90/p99), and `kernels` (per-kernel wall time). All three are
+/// *additive*: [`BenchReport::from_json`] still accepts v1 documents, where
+/// they parse as `None`/empty.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Memory footprint of one engine after the measured updates (schema v2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FootprintReport {
+    /// Bytes holding edge payload (adjacency data, including gaps).
+    pub payload_bytes: u64,
+    /// Bytes holding index structures (RIA index arrays, LIA models, ...).
+    pub index_bytes: u64,
+    /// Measured space amplification: payload bytes per 4-byte edge slot,
+    /// i.e. `payload_bytes / (4 * num_edges)` (0 when the graph is empty).
+    pub space_amp_measured: f64,
+    /// The configured amplification bound α, when the engine has one
+    /// (LSGraph's RIA gap factor); 0 means "not applicable".
+    pub space_amp_alpha: f64,
+}
+
+/// Wall time of one analytics kernel on one engine (schema v2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelTime {
+    /// Kernel name (`bfs`, `bc`, ...).
+    pub name: String,
+    /// Total wall-clock nanoseconds across the experiment's runs.
+    pub wall_nanos: u64,
+}
 
 /// One engine × dataset × batch-size measurement.
 #[derive(Clone, Debug, PartialEq)]
@@ -37,6 +67,15 @@ pub struct EngineReport {
     pub counters: Option<CounterSnapshot>,
     /// Structural counters (LSGraph only).
     pub struct_stats: Option<StructSnapshot>,
+    /// Memory footprint split + space amplification (schema v2; None in v1
+    /// documents).
+    pub footprint: Option<FootprintReport>,
+    /// Latency histograms (schema v2; engines without histograms — and all
+    /// v1 documents — have None).
+    pub latency: Option<LatencySnapshot>,
+    /// Per-kernel wall times (schema v2; empty for update-only experiments
+    /// and v1 documents).
+    pub kernels: Vec<KernelTime>,
 }
 
 /// A full experiment report.
@@ -119,6 +158,46 @@ impl BenchReport {
                     w.close('}');
                 }
             }
+            w.field("footprint");
+            match &e.footprint {
+                None => w.raw("null"),
+                Some(fp) => {
+                    w.open('{');
+                    w.field("payload_bytes");
+                    w.raw(&fp.payload_bytes.to_string());
+                    w.field("index_bytes");
+                    w.raw(&fp.index_bytes.to_string());
+                    w.field("space_amp_measured");
+                    w.raw(&fmt_f64(fp.space_amp_measured));
+                    w.field("space_amp_alpha");
+                    w.raw(&fmt_f64(fp.space_amp_alpha));
+                    w.close('}');
+                }
+            }
+            w.field("latency");
+            match &e.latency {
+                None => w.raw("null"),
+                Some(lat) => {
+                    w.open('{');
+                    for (name, h) in lat.fields() {
+                        w.field(name);
+                        write_histogram(&mut w, h);
+                    }
+                    w.close('}');
+                }
+            }
+            w.field("kernels");
+            w.open('[');
+            for k in &e.kernels {
+                w.item();
+                w.open('{');
+                w.field("name");
+                w.string(&k.name);
+                w.field("wall_nanos");
+                w.raw(&k.wall_nanos.to_string());
+                w.close('}');
+            }
+            w.close(']');
             w.close('}');
         }
         w.close(']');
@@ -155,11 +234,57 @@ impl BenchReport {
                             s.as_object("struct_stats")?,
                         )?)?),
                     },
+                    // v2 fields: absent in v1 documents.
+                    footprint: match get_opt(o, "footprint") {
+                        None | Some(Json::Null) => None,
+                        Some(fp) => {
+                            let fo = fp.as_object("footprint")?;
+                            Some(FootprintReport {
+                                payload_bytes: get(fo, "payload_bytes")?.as_u64("payload_bytes")?,
+                                index_bytes: get(fo, "index_bytes")?.as_u64("index_bytes")?,
+                                space_amp_measured: get(fo, "space_amp_measured")?
+                                    .as_f64("space_amp_measured")?,
+                                space_amp_alpha: get(fo, "space_amp_alpha")?
+                                    .as_f64("space_amp_alpha")?,
+                            })
+                        }
+                    },
+                    latency: match get_opt(o, "latency") {
+                        None | Some(Json::Null) => None,
+                        Some(lat) => {
+                            let lo = lat.as_object("latency")?;
+                            Some(LatencySnapshot {
+                                batch_apply: parse_histogram(get(lo, "batch_apply")?)?,
+                                group_apply: parse_histogram(get(lo, "group_apply")?)?,
+                                kernel: parse_histogram(get(lo, "kernel")?)?,
+                            })
+                        }
+                    },
+                    kernels: match get_opt(o, "kernels") {
+                        None | Some(Json::Null) => Vec::new(),
+                        Some(ks) => ks
+                            .as_array("kernels")?
+                            .iter()
+                            .map(|k| {
+                                let ko = k.as_object("kernel entry")?;
+                                Ok(KernelTime {
+                                    name: get(ko, "name")?.as_str("name")?.to_string(),
+                                    wall_nanos: get(ko, "wall_nanos")?.as_u64("wall_nanos")?,
+                                })
+                            })
+                            .collect::<Result<Vec<_>, String>>()?,
+                    },
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        let schema_version = get(top, "schema_version")?.as_u64("schema_version")? as u32;
+        if schema_version > SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (this build reads <= {SCHEMA_VERSION})"
+            ));
+        }
         Ok(BenchReport {
-            schema_version: get(top, "schema_version")?.as_u64("schema_version")? as u32,
+            schema_version,
             experiment: get(top, "experiment")?.as_str("experiment")?.to_string(),
             base: get(top, "base")?.as_u64("base")? as u32,
             shift: get(top, "shift")?.as_u64("shift")? as u32,
@@ -175,6 +300,65 @@ impl BenchReport {
         std::fs::write(&name, self.to_json())?;
         Ok(name)
     }
+}
+
+/// Writes one histogram: scalar summary (count/sum/max + derived
+/// quantiles) followed by the sparse `[bucket_index, count]` pairs that
+/// fully reconstruct it.
+fn write_histogram(w: &mut Writer, h: &HistogramSnapshot) {
+    w.open('{');
+    w.field("count");
+    w.raw(&h.count().to_string());
+    w.field("sum");
+    w.raw(&h.sum.to_string());
+    w.field("max");
+    w.raw(&h.max.to_string());
+    w.field("p50");
+    w.raw(&h.p50().to_string());
+    w.field("p90");
+    w.raw(&h.p90().to_string());
+    w.field("p99");
+    w.raw(&h.p99().to_string());
+    w.field("buckets");
+    w.open('[');
+    for (b, c) in h.nonzero_buckets() {
+        w.item();
+        w.raw(&format!("[{b}, {c}]"));
+    }
+    w.close(']');
+    w.close('}');
+}
+
+/// Parses a histogram written by [`write_histogram`]. The quantile fields
+/// are derived values and ignored; the histogram is rebuilt from
+/// `buckets`/`sum`/`max`.
+fn parse_histogram(v: &Json) -> Result<HistogramSnapshot, String> {
+    let o = v.as_object("histogram")?;
+    let sum = get(o, "sum")?.as_u64("sum")?;
+    let max = get(o, "max")?.as_u64("max")?;
+    let pairs = get(o, "buckets")?
+        .as_array("buckets")?
+        .iter()
+        .map(|p| {
+            let pair = p.as_array("bucket pair")?;
+            match pair {
+                [b, c] => Ok((
+                    b.as_u64("bucket index")? as usize,
+                    c.as_u64("bucket count")?,
+                )),
+                _ => Err("bucket pair must have exactly two elements".to_string()),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let h = HistogramSnapshot::from_parts(pairs, sum, max)?;
+    let count = get(o, "count")?.as_u64("count")?;
+    if h.count() != count {
+        return Err(format!(
+            "histogram count {count} disagrees with bucket total {}",
+            h.count()
+        ));
+    }
+    Ok(h)
 }
 
 /// f64 via Rust's shortest-round-trip `Display`, with an explicit decimal
@@ -330,6 +514,10 @@ impl Json {
     }
 }
 
+fn get_opt<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
 fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
     obj.iter()
         .find(|(k, _)| k == key)
@@ -481,6 +669,18 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
 mod tests {
     use super::*;
 
+    fn sample_latency() -> LatencySnapshot {
+        let h = lsgraph_api::LatencyHistogram::new();
+        for v in [0u64, 90, 90, 3_000, 250_000] {
+            h.record(v);
+        }
+        LatencySnapshot {
+            batch_apply: h.snapshot(),
+            group_apply: lsgraph_api::HistogramSnapshot::default(),
+            kernel: h.snapshot(),
+        }
+    }
+
     fn sample() -> BenchReport {
         BenchReport {
             schema_version: SCHEMA_VERSION,
@@ -504,6 +704,23 @@ mod tests {
                         phase_apply_nanos: 123,
                         ..StructSnapshot::default()
                     }),
+                    footprint: Some(FootprintReport {
+                        payload_bytes: 4096,
+                        index_bytes: 128,
+                        space_amp_measured: 1.18,
+                        space_amp_alpha: 1.2,
+                    }),
+                    latency: Some(sample_latency()),
+                    kernels: vec![
+                        KernelTime {
+                            name: "bfs".to_string(),
+                            wall_nanos: 5_000,
+                        },
+                        KernelTime {
+                            name: "bc".to_string(),
+                            wall_nanos: 9_999,
+                        },
+                    ],
                 },
                 EngineReport {
                     engine: "Aspen".to_string(),
@@ -520,6 +737,9 @@ mod tests {
                         ..CounterSnapshot::default()
                     }),
                     struct_stats: None,
+                    footprint: None,
+                    latency: None,
+                    kernels: Vec::new(),
                 },
             ],
         }
@@ -564,8 +784,20 @@ mod tests {
                 "insert_nanos",
                 "delete_nanos",
                 "counters",
-                "struct_stats"
+                "struct_stats",
+                "footprint",
+                "latency",
+                "kernels"
             ]
+        );
+        let lat = get(e0, "latency").unwrap().as_object("lat").unwrap();
+        let lat_keys: Vec<&str> = lat.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(lat_keys, ["batch_apply", "group_apply", "kernel"]);
+        let h = get(lat, "batch_apply").unwrap().as_object("h").unwrap();
+        let h_keys: Vec<&str> = h.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            h_keys,
+            ["count", "sum", "max", "p50", "p90", "p99", "buckets"]
         );
         // Struct-stats field names come verbatim from StructSnapshot::fields.
         let ss = get(e0, "struct_stats").unwrap().as_object("ss").unwrap();
@@ -594,6 +826,70 @@ mod tests {
             assert!(parse_json(bad).is_err(), "accepted: {bad:?}");
         }
         assert!(BenchReport::from_json("{\"schema_version\": 1}").is_err());
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        // A v1 engine entry has no footprint/latency/kernels keys at all.
+        let v1 = r#"{
+  "schema_version": 1,
+  "experiment": "fig12",
+  "base": 10,
+  "shift": 0,
+  "trials": 1,
+  "engines": [
+    {
+      "engine": "Aspen",
+      "dataset": "LJ",
+      "batch_size": 64,
+      "insert_eps": 1.0,
+      "delete_eps": 1.0,
+      "insert_nanos": 10,
+      "delete_nanos": 10,
+      "counters": null,
+      "struct_stats": null
+    }
+  ]
+}"#;
+        let r = BenchReport::from_json(v1).expect("v1 parses");
+        assert_eq!(r.schema_version, 1);
+        let e = &r.engines[0];
+        assert_eq!(e.footprint, None);
+        assert_eq!(e.latency, None);
+        assert!(e.kernels.is_empty());
+        // Re-serializing upgrades the entry to v2 syntax and round-trips.
+        let again = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(again.engines, r.engines);
+    }
+
+    #[test]
+    fn future_schema_versions_are_rejected() {
+        let doc = sample()
+            .to_json()
+            .replacen("\"schema_version\": 2", "\"schema_version\": 3", 1);
+        let err = BenchReport::from_json(&doc).unwrap_err();
+        assert!(err.contains("unsupported schema_version"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_histograms_are_rejected() {
+        // count disagreeing with bucket totals must not parse.
+        let doc = sample()
+            .to_json()
+            .replacen("\"count\": 5", "\"count\": 6", 1);
+        assert!(BenchReport::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn histogram_survives_round_trip_with_quantiles() {
+        let r = sample();
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        let lat = back.engines[0].latency.as_ref().unwrap();
+        let orig = r.engines[0].latency.as_ref().unwrap();
+        assert_eq!(lat, orig);
+        assert_eq!(lat.batch_apply.p50(), orig.batch_apply.p50());
+        assert_eq!(lat.batch_apply.p99(), orig.batch_apply.p99());
+        assert_eq!(lat.batch_apply.max, 250_000);
     }
 
     #[test]

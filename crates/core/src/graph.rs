@@ -3,10 +3,11 @@
 
 use lsgraph_api::batch::{max_vertex_id, runs_by_src, sorted_dedup_keys, SrcRun};
 use lsgraph_api::{
-    DynamicGraph, Edge, Footprint, Graph, IterableGraph, MemoryFootprint, Phase, StructSnapshot,
-    StructStats, VertexId,
+    DynamicGraph, Edge, Footprint, Graph, IterableGraph, LatencySnapshot, LatencyStats,
+    MemoryFootprint, Phase, StructSnapshot, StructStats, VertexId,
 };
 use rayon::prelude::*;
+use std::time::Instant;
 
 use crate::config::Config;
 use crate::vertex::VertexBlock;
@@ -31,6 +32,10 @@ pub struct LsGraph {
     /// Structural observability counters; shared by the parallel apply tasks
     /// (relaxed atomics, see [`StructStats`]).
     stats: StructStats,
+    /// Latency distributions: one `batch_apply` sample per batch, one
+    /// `group_apply` sample per per-source run (recorded from the worker
+    /// that applied it).
+    latency: LatencyStats,
 }
 
 /// Raw pointer to the vertex table, shared across the batch-apply tasks.
@@ -79,6 +84,7 @@ impl LsGraph {
             cfg,
             num_edges: 0,
             stats: StructStats::new(),
+            latency: LatencyStats::new(),
         }
     }
 
@@ -92,6 +98,7 @@ impl LsGraph {
             cfg,
             num_edges: keys.len(),
             stats: StructStats::new(),
+            latency: LatencyStats::new(),
         };
         let runs = runs_by_src(&keys);
         let ptr = TablePtr(g.vertices.as_mut_ptr());
@@ -148,16 +155,24 @@ impl LsGraph {
         let ptr = TablePtr(self.vertices.as_mut_ptr());
         let cfg = &self.cfg;
         let stats = &self.stats;
+        let latency = &self.latency;
         let _apply = stats.time(Phase::Apply);
-        runs.par_iter()
+        let batch_start = Instant::now();
+        let n = runs
+            .par_iter()
             .map(|run| {
                 // SAFETY: runs are grouped by distinct source ids and the
                 // table has been grown to cover every id in the batch, so
                 // each block is mutated by exactly one task.
                 let vb = unsafe { ptr.at(run.src as usize) };
-                op(vb, &keys[run.start..run.end], cfg, stats)
+                let run_start = Instant::now();
+                let n = op(vb, &keys[run.start..run.end], cfg, stats);
+                latency.group_apply.record_duration(run_start.elapsed());
+                n
             })
-            .sum()
+            .sum();
+        latency.batch_apply.record_duration(batch_start.elapsed());
+        n
     }
 
     /// Removes every out-edge of `v`, returning how many were removed
@@ -298,8 +313,17 @@ impl DynamicGraph for LsGraph {
         Some(self.stats.snapshot())
     }
 
+    fn latency_stats(&self) -> Option<LatencySnapshot> {
+        Some(self.latency.snapshot())
+    }
+
+    fn configured_alpha(&self) -> Option<f64> {
+        Some(self.cfg.alpha)
+    }
+
     fn reset_instrumentation(&mut self) {
         self.stats.reset();
+        self.latency.reset();
     }
 }
 
@@ -482,6 +506,31 @@ mod tests {
         v.sort_unstable();
         v.dedup();
         v
+    }
+
+    #[test]
+    fn latency_histograms_count_batches_and_runs() {
+        let mut g = LsGraph::new(10);
+        // 3 batches; each batch has a known number of distinct sources
+        // (= per-source runs), so the histogram *counts* are deterministic
+        // even though the recorded latencies are not.
+        let batches: Vec<Vec<Edge>> = vec![
+            edges(&[(0, 1), (0, 2), (1, 2)]), // 2 runs
+            edges(&[(2, 3)]),                 // 1 run
+            edges(&[(3, 4), (4, 5), (5, 6)]), // 3 runs
+        ];
+        for b in &batches {
+            g.insert_batch(b);
+        }
+        let lat = g.latency_stats().expect("lsgraph records latency");
+        assert_eq!(lat.batch_apply.count(), 3);
+        assert_eq!(lat.group_apply.count(), 6);
+        assert!(lat.batch_apply.sum >= lat.batch_apply.max);
+        g.reset_instrumentation();
+        let lat = g.latency_stats().unwrap();
+        assert_eq!(lat.batch_apply.count(), 0);
+        assert_eq!(lat.group_apply.count(), 0);
+        assert_eq!(g.configured_alpha(), Some(g.config().alpha));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! HITree nodes: small sorted arrays, RIA leaves, and LIA internal nodes.
 
+use lsgraph_api::trace::{span, SpanKind};
 use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 
 use super::lia::{Lia, MAX_DEPTH};
@@ -117,6 +118,11 @@ impl Node {
             Node::Lia(l) => l.len() >= l.built_len().saturating_mul(2),
         };
         if rebuild {
+            let _span = span(if retrain {
+                SpanKind::LiaRetrain
+            } else {
+                SpanKind::TierUpgrade
+            });
             let all = self.to_vec();
             // Route through `from_sorted` so the right kind is chosen for the
             // new size; `depth >= MAX_DEPTH` RIAs intentionally stay RIAs.

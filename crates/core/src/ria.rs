@@ -15,6 +15,7 @@
 //! are single-threaded in LSGraph, §5) and **no empty blocks** (elements are
 //! distributed evenly at build time), so it is memory-efficient.
 
+use lsgraph_api::trace::{span, SpanKind};
 use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 
 use crate::config::BKS;
@@ -168,6 +169,7 @@ impl Ria {
             return InsertOutcome::Inserted;
         }
         // Movement would exceed the locality bound: expand with factor α.
+        let _span = span(SpanKind::RiaRebuild);
         let mut all = Vec::with_capacity(self.len + 1);
         self.for_each(|x| all.push(x));
         let pos = all.partition_point(|&x| x < key);
@@ -379,6 +381,7 @@ impl Ria {
             self.push_front(b, v);
             stats.record_ria_within_shift(1);
         } else {
+            let _span = span(SpanKind::RiaRebuild);
             let all = self.to_vec();
             self.rebuild_from(&all);
             stats.record_ria_rebuild();
@@ -419,6 +422,7 @@ impl Ria {
     fn maybe_shrink(&mut self, stats: &StructStats) {
         let capacity = self.counts.len() * BKS;
         if self.counts.len() > 1 && self.len * 4 < capacity {
+            let _span = span(SpanKind::RiaRebuild);
             let all = self.to_vec();
             self.rebuild_from(&all);
             stats.record_ria_rebuild();

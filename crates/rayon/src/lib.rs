@@ -19,7 +19,9 @@
 //!
 //! Differences from rayon: work is split eagerly into `num_threads` chunks
 //! (no work stealing), threads are spawned per call rather than pooled, and
-//! `par_sort_unstable` falls back to the sequential `sort_unstable`.
+//! `par_sort_unstable` requires `T: Copy` (its merge rounds go through a
+//! scratch buffer of plain copies; every caller in this workspace sorts
+//! `u64` keys).
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -316,13 +318,51 @@ impl<T: Sync> ParallelSlice<T> for [T] {
     }
 }
 
+/// Inputs shorter than this sort sequentially: the scratch allocation and
+/// thread spawns only pay for themselves on sizeable slices.
+const PAR_SORT_MIN_LEN: usize = 1 << 12;
+
+/// Merges adjacent sorted runs of `width` from `src` into `dst` (same
+/// length), one scoped thread per run pair — pair outputs are disjoint.
+fn merge_round<T: Ord + Copy + Send + Sync>(src: &[T], width: usize, dst: &mut [T]) {
+    std::thread::scope(|s| {
+        for (sc, dc) in src.chunks(2 * width).zip(dst.chunks_mut(2 * width)) {
+            s.spawn(move || {
+                let mid = width.min(sc.len());
+                merge_pair(&sc[..mid], &sc[mid..], dc);
+            });
+        }
+    });
+}
+
+/// Classic two-way merge of sorted `a` and `b` into `out`
+/// (`out.len() == a.len() + b.len()`).
+fn merge_pair<T: Ord + Copy>(a: &[T], b: &[T], out: &mut [T]) {
+    let (mut i, mut j) = (0, 0);
+    for o in out.iter_mut() {
+        *o = if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+    }
+}
+
 /// `slice.par_iter_mut()` and `slice.par_sort_unstable()`.
 pub trait ParallelSliceMut<T: Send> {
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
-    /// Sequential fallback; a parallel merge sort is a known follow-up.
+    /// Parallel merge sort: near-equal chunks `sort_unstable` on scoped
+    /// threads, then pairwise merge rounds ping-pong between the slice and
+    /// a scratch buffer. Bounded by [`ThreadPool::install`] like every other
+    /// parallel call.
+    ///
+    /// Deviation from rayon's bound (`T: Ord`): the merge copies through
+    /// scratch, so `T: Copy + Sync` is also required here.
     fn par_sort_unstable(&mut self)
     where
-        T: Ord;
+        T: Ord + Copy + Sync;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
@@ -331,9 +371,38 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     }
     fn par_sort_unstable(&mut self)
     where
-        T: Ord,
+        T: Ord + Copy + Sync,
     {
-        self.sort_unstable();
+        let threads = current_num_threads();
+        let len = self.len();
+        if threads <= 1 || len < PAR_SORT_MIN_LEN {
+            self.sort_unstable();
+            return;
+        }
+        // Phase 1: sort `threads` near-equal chunks concurrently.
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|s| {
+            for c in self.chunks_mut(chunk) {
+                s.spawn(move || c.sort_unstable());
+            }
+        });
+        // Phase 2: merge rounds, doubling run width, alternating direction
+        // between the slice and the scratch buffer.
+        let mut scratch: Vec<T> = self.to_vec();
+        let mut in_self = true;
+        let mut width = chunk;
+        while width < len {
+            if in_self {
+                merge_round(self, width, &mut scratch);
+            } else {
+                merge_round(&scratch, width, self);
+            }
+            in_self = !in_self;
+            width *= 2;
+        }
+        if !in_self {
+            self.copy_from_slice(&scratch);
+        }
     }
 }
 
@@ -463,6 +532,43 @@ mod tests {
         let mut v: Vec<u64> = (0..2_000).rev().collect();
         v.par_sort_unstable();
         assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn par_sort_matches_sequential_across_thread_counts() {
+        // Deterministic pseudo-random input (LCG), with duplicates.
+        let mut data: Vec<u64> = Vec::with_capacity(100_000);
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..100_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            data.push(x >> 40); // narrow range => many duplicates
+        }
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let mut got = data.clone();
+            pool.install(|| got.par_sort_unstable());
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_sort_handles_uneven_and_tiny_inputs() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(7)
+            .build()
+            .expect("pool");
+        for len in [0usize, 1, 2, 31, 4_095, 4_096, 4_097, 9_999] {
+            let mut v: Vec<u64> = (0..len as u64).rev().map(|i| i % 97).collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            pool.install(|| v.par_sort_unstable());
+            assert_eq!(v, expect, "len={len}");
+        }
     }
 
     #[test]
