@@ -252,6 +252,17 @@ pub struct StructStats {
     /// HITree node tier upgrades (Arr → RIA → LIA).
     pub hitree_node_upgrades: AtomicU64,
 
+    /// Per-source apply tasks that panicked and were contained by the
+    /// panic-safe batch pipeline. Must stay zero in normal (fault-free)
+    /// runs; `repro check` gates on it.
+    pub apply_run_panics: AtomicU64,
+    /// Vertices quarantined (adjacency dropped, degree forced to 0) after an
+    /// apply panic. Must stay zero in normal runs.
+    pub vertices_quarantined: AtomicU64,
+    /// Quarantined vertices restored via `repair_vertex`. Must stay zero in
+    /// normal runs.
+    pub vertices_repaired: AtomicU64,
+
     /// Nanoseconds in the batch sort+dedup phase.
     pub phase_sort_nanos: AtomicU64,
     /// Nanoseconds grouping keys into per-source runs.
@@ -290,6 +301,9 @@ impl StructStats {
             lia_vertical_premature: AtomicU64::new(0),
             lia_model_retrains: AtomicU64::new(0),
             hitree_node_upgrades: AtomicU64::new(0),
+            apply_run_panics: AtomicU64::new(0),
+            vertices_quarantined: AtomicU64::new(0),
+            vertices_repaired: AtomicU64::new(0),
             phase_sort_nanos: AtomicU64::new(0),
             phase_group_nanos: AtomicU64::new(0),
             phase_apply_nanos: AtomicU64::new(0),
@@ -415,6 +429,24 @@ impl StructStats {
         self.hitree_node_upgrades.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one contained per-source apply panic.
+    #[inline]
+    pub fn record_apply_run_panic(&self) {
+        self.apply_run_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one vertex quarantined after an apply panic.
+    #[inline]
+    pub fn record_vertex_quarantined(&self) {
+        self.vertices_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one quarantined vertex restored by `repair_vertex`.
+    #[inline]
+    pub fn record_vertex_repaired(&self) {
+        self.vertices_repaired.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Starts a scoped timer attributing wall-clock time to `phase`; the
     /// elapsed nanoseconds are added when the returned guard drops. For the
     /// batch-pipeline phases the guard also carries a trace span (see
@@ -479,6 +511,12 @@ impl StructStats {
             .store(s.lia_model_retrains, Ordering::Relaxed);
         self.hitree_node_upgrades
             .store(s.hitree_node_upgrades, Ordering::Relaxed);
+        self.apply_run_panics
+            .store(s.apply_run_panics, Ordering::Relaxed);
+        self.vertices_quarantined
+            .store(s.vertices_quarantined, Ordering::Relaxed);
+        self.vertices_repaired
+            .store(s.vertices_repaired, Ordering::Relaxed);
         self.phase_sort_nanos
             .store(s.phase_sort_nanos, Ordering::Relaxed);
         self.phase_group_nanos
@@ -513,6 +551,9 @@ impl StructStats {
             lia_vertical_premature: self.lia_vertical_premature.load(Ordering::Relaxed),
             lia_model_retrains: self.lia_model_retrains.load(Ordering::Relaxed),
             hitree_node_upgrades: self.hitree_node_upgrades.load(Ordering::Relaxed),
+            apply_run_panics: self.apply_run_panics.load(Ordering::Relaxed),
+            vertices_quarantined: self.vertices_quarantined.load(Ordering::Relaxed),
+            vertices_repaired: self.vertices_repaired.load(Ordering::Relaxed),
             phase_sort_nanos: self.phase_sort_nanos.load(Ordering::Relaxed),
             phase_group_nanos: self.phase_group_nanos.load(Ordering::Relaxed),
             phase_apply_nanos: self.phase_apply_nanos.load(Ordering::Relaxed),
@@ -588,6 +629,12 @@ pub struct StructSnapshot {
     pub lia_model_retrains: u64,
     /// See [`StructStats::hitree_node_upgrades`].
     pub hitree_node_upgrades: u64,
+    /// See [`StructStats::apply_run_panics`].
+    pub apply_run_panics: u64,
+    /// See [`StructStats::vertices_quarantined`].
+    pub vertices_quarantined: u64,
+    /// See [`StructStats::vertices_repaired`].
+    pub vertices_repaired: u64,
     /// See [`StructStats::phase_sort_nanos`].
     pub phase_sort_nanos: u64,
     /// See [`StructStats::phase_group_nanos`].
@@ -651,6 +698,15 @@ impl StructSnapshot {
             hitree_node_upgrades: self
                 .hitree_node_upgrades
                 .saturating_sub(earlier.hitree_node_upgrades),
+            apply_run_panics: self
+                .apply_run_panics
+                .saturating_sub(earlier.apply_run_panics),
+            vertices_quarantined: self
+                .vertices_quarantined
+                .saturating_sub(earlier.vertices_quarantined),
+            vertices_repaired: self
+                .vertices_repaired
+                .saturating_sub(earlier.vertices_repaired),
             phase_sort_nanos: self
                 .phase_sort_nanos
                 .saturating_sub(earlier.phase_sort_nanos),
@@ -674,7 +730,7 @@ impl StructSnapshot {
     /// `(field name, value)` pairs in a fixed order — the serialization
     /// schema. Report writers and schema-stability tests both read this, so
     /// renaming a field here is a deliberate schema change.
-    pub fn fields(self) -> [(&'static str, u64); 25] {
+    pub fn fields(self) -> [(&'static str, u64); 28] {
         [
             ("vb_inline_hits", self.vb_inline_hits),
             ("vb_inline_shifts", self.vb_inline_shifts),
@@ -700,6 +756,9 @@ impl StructSnapshot {
             ("lia_vertical_premature", self.lia_vertical_premature),
             ("lia_model_retrains", self.lia_model_retrains),
             ("hitree_node_upgrades", self.hitree_node_upgrades),
+            ("apply_run_panics", self.apply_run_panics),
+            ("vertices_quarantined", self.vertices_quarantined),
+            ("vertices_repaired", self.vertices_repaired),
             ("phase_sort_nanos", self.phase_sort_nanos),
             ("phase_group_nanos", self.phase_group_nanos),
             ("phase_apply_nanos", self.phase_apply_nanos),
@@ -746,6 +805,9 @@ impl StructSnapshot {
                 "lia_vertical_premature" => s.lia_vertical_premature = v,
                 "lia_model_retrains" => s.lia_model_retrains = v,
                 "hitree_node_upgrades" => s.hitree_node_upgrades = v,
+                "apply_run_panics" => s.apply_run_panics = v,
+                "vertices_quarantined" => s.vertices_quarantined = v,
+                "vertices_repaired" => s.vertices_repaired = v,
                 "phase_sort_nanos" => s.phase_sort_nanos = v,
                 "phase_group_nanos" => s.phase_group_nanos = v,
                 "phase_apply_nanos" => s.phase_apply_nanos = v,
@@ -881,10 +943,13 @@ mod tests {
             .iter()
             .map(|(n, _)| *n)
             .collect();
-        assert_eq!(names.len(), 25);
+        assert_eq!(names.len(), 28);
         // A rename here must be an intentional schema change.
         assert!(names.contains(&"ria_cross_block_moves"));
         assert!(names.contains(&"lia_vertical_child_creates"));
+        assert!(names.contains(&"apply_run_panics"));
+        assert!(names.contains(&"vertices_quarantined"));
+        assert!(names.contains(&"vertices_repaired"));
         assert!(names.contains(&"phase_apply_nanos"));
     }
 }

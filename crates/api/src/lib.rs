@@ -8,6 +8,7 @@
 pub mod batch;
 pub mod counters;
 pub mod edge;
+pub mod failpoints;
 pub mod footprint;
 pub mod histogram;
 pub mod trace;
@@ -161,6 +162,14 @@ pub trait DynamicGraph: Graph {
     /// this after the build phase so reported counters cover only the
     /// measured updates.
     fn reset_instrumentation(&mut self) {}
+
+    /// Cheap non-panicking structural self-check, run by the benchmark
+    /// harness after every measured cell so a silently-corrupt engine cannot
+    /// produce a plausible-looking report. The default is a no-op `Ok`;
+    /// LSGraph overrides this with its invariant validator.
+    fn validate_structure(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

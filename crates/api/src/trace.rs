@@ -202,18 +202,33 @@ fn fmt_us(ns: u64) -> String {
 pub fn export_chrome_json() -> (String, u64) {
     let mut all: Vec<(u64, Event)> = Vec::new();
     let mut dropped = 0u64;
+    let mut dropped_by_thread: Vec<(u64, u64)> = Vec::new();
     for ring in REGISTRY.lock().unwrap().iter() {
         let r = ring.lock().unwrap();
         dropped += r.dropped;
+        if r.dropped > 0 {
+            dropped_by_thread.push((r.tid, r.dropped));
+        }
         for e in &r.events {
             all.push((r.tid, *e));
         }
     }
     all.sort_by_key(|&(tid, e)| (e.start_ns, tid, e.dur_ns));
+    dropped_by_thread.sort_unstable();
 
     let mut out = String::with_capacity(128 + all.len() * 96);
     out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n");
     out.push_str(&format!("  \"droppedEvents\": {dropped},\n"));
+    // Per-thread attribution of ring overflow, so a truncated trace names
+    // the thread whose window was clipped. Only overflowing tids appear.
+    out.push_str("  \"droppedEventsByThread\": [");
+    for (i, (tid, n)) in dropped_by_thread.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("[{tid}, {n}]"));
+    }
+    out.push_str("],\n");
     out.push_str("  \"traceEvents\": [\n");
     for (i, (tid, e)) in all.iter().enumerate() {
         let label = if e.name.is_empty() {
@@ -268,6 +283,10 @@ mod tests {
 
         let (json, dropped) = export_chrome_json();
         assert_eq!(dropped, 0);
+        assert!(
+            json.contains("\"droppedEventsByThread\": []"),
+            "no thread overflowed, so the per-thread list must be empty"
+        );
         assert!(json.contains("\"name\": \"ria_rebuild\""));
         assert!(json.contains("\"name\": \"kernel:bfs\""));
         assert!(json.contains("\"cat\": \"kernel\""));
@@ -282,6 +301,24 @@ mod tests {
         reset();
         let (json, _) = export_chrome_json();
         assert!(!json.contains("ria_rebuild"));
+
+        // Ring overflow is attributed per thread in the export metadata.
+        // Inject a pre-overflowed ring rather than recording RING_CAP+3 real
+        // spans, then remove it so later tests see a clean registry.
+        let fake = Arc::new(Mutex::new(Ring {
+            tid: 7777,
+            events: Vec::new(),
+            head: 0,
+            dropped: 3,
+        }));
+        REGISTRY.lock().unwrap().push(Arc::clone(&fake));
+        let (json, dropped) = export_chrome_json();
+        assert_eq!(dropped, 3);
+        assert!(
+            json.contains("\"droppedEventsByThread\": [[7777, 3]]"),
+            "overflowing tid missing from metadata: {json}"
+        );
+        REGISTRY.lock().unwrap().retain(|r| !Arc::ptr_eq(r, &fake));
     }
 
     #[test]

@@ -29,7 +29,18 @@
 use crate::report::BenchReport;
 
 /// Counters that must be **zero** in a correct build (see module docs).
-pub const INVARIANT_COUNTERS: [&str; 2] = ["ria_bound_exceeded", "lia_vertical_premature"];
+///
+/// Besides the paper-proved structural invariants, the fault-handling
+/// counters (`apply_run_panics` and friends) belong here: a benchmark run
+/// with failpoints disabled must never quarantine a vertex, so any nonzero
+/// value means a *real* panic escaped into the batch pipeline.
+pub const INVARIANT_COUNTERS: [&str; 5] = [
+    "ria_bound_exceeded",
+    "lia_vertical_premature",
+    "apply_run_panics",
+    "vertices_quarantined",
+    "vertices_repaired",
+];
 
 /// Counters gated against the baseline with tolerance (see module docs).
 pub const GATED_COUNTERS: [&str; 5] = [
@@ -325,6 +336,22 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].kind, ViolationKind::Invariant);
         assert_eq!(v[0].counter, "ria_bound_exceeded");
+    }
+
+    #[test]
+    fn nonzero_fault_counter_fails() {
+        let b = report(vec![cell("LSGraph", Some(StructSnapshot::default()))]);
+        let faulted = StructSnapshot {
+            apply_run_panics: 2,
+            vertices_quarantined: 2,
+            ..StructSnapshot::default()
+        };
+        let c = report(vec![cell("LSGraph", Some(faulted))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.kind == ViolationKind::Invariant));
+        assert!(v.iter().any(|x| x.counter == "apply_run_panics"));
+        assert!(v.iter().any(|x| x.counter == "vertices_quarantined"));
     }
 
     #[test]

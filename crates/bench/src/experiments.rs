@@ -114,6 +114,14 @@ fn measure_cell(
         ins += ti;
         del += td;
     }
+    // Structural self-check after the measured updates: a cell that leaves
+    // the engine in an invalid state must not produce a baseline.
+    if let Err(e) = g.validate_structure() {
+        panic!(
+            "structure invalid after {}/{dataset}/bs={bs}: {e}",
+            kind.name()
+        );
+    }
     let edges = (bs * trials) as f64;
     EngineReport {
         engine: kind.name().to_string(),

@@ -20,7 +20,11 @@ use lsgraph_api::{CounterSnapshot, HistogramSnapshot, LatencySnapshot, StructSna
 /// p50/p90/p99), and `kernels` (per-kernel wall time). All three are
 /// *additive*: [`BenchReport::from_json`] still accepts v1 documents, where
 /// they parse as `None`/empty.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3 adds the fault-handling structural counters (`apply_run_panics`,
+/// `vertices_quarantined`, `vertices_repaired`) to `struct_stats`. Also
+/// additive: older documents parse with those counters at zero.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Memory footprint of one engine after the measured updates (schema v2).
 #[derive(Clone, Debug, PartialEq)]
@@ -866,7 +870,7 @@ mod tests {
     fn future_schema_versions_are_rejected() {
         let doc = sample()
             .to_json()
-            .replacen("\"schema_version\": 2", "\"schema_version\": 3", 1);
+            .replacen("\"schema_version\": 3", "\"schema_version\": 4", 1);
         let err = BenchReport::from_json(&doc).unwrap_err();
         assert!(err.contains("unsupported schema_version"), "{err}");
     }

@@ -11,6 +11,7 @@
 //! Containers upgrade eagerly when they outgrow their tier and downgrade
 //! with 2× hysteresis on deletion so oscillating workloads do not thrash.
 
+use lsgraph_api::fail_point;
 use lsgraph_api::trace::{span, SpanKind};
 use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 use lsgraph_pma::{Pma, PmaParams};
@@ -222,6 +223,7 @@ impl Spill {
         };
         if next {
             let _span = span(SpanKind::TierUpgrade);
+            fail_point!("tier_upgrade");
             let ns = self.to_vec();
             *self = match self {
                 Spill::Array(_) => match cfg.medium {

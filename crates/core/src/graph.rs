@@ -2,14 +2,19 @@
 //! the parallel batch-update pipeline (paper §5, Fig. 11).
 
 use lsgraph_api::batch::{max_vertex_id, runs_by_src, sorted_dedup_keys, SrcRun};
+use lsgraph_api::fail_point;
 use lsgraph_api::{
     DynamicGraph, Edge, Footprint, Graph, IterableGraph, LatencySnapshot, LatencyStats,
     MemoryFootprint, Phase, StructSnapshot, StructStats, VertexId,
 };
 use rayon::prelude::*;
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::config::Config;
+use crate::config::{Config, ConfigError};
+use crate::error::{BatchOutcome, GraphError, InvariantError};
 use crate::vertex::VertexBlock;
 
 /// A shared-memory streaming graph engine with locality-centric storage.
@@ -36,6 +41,21 @@ pub struct LsGraph {
     /// `group_apply` sample per per-source run (recorded from the worker
     /// that applied it).
     latency: LatencyStats,
+    /// Vertices whose apply task panicked: their adjacency was dropped
+    /// (degree 0) so the rest of the graph stays exact. They answer queries
+    /// as isolated vertices, are skipped by later batches, and can be
+    /// restored with [`LsGraph::repair_vertex`].
+    quarantined: BTreeSet<VertexId>,
+}
+
+/// Result of one panic-isolated parallel apply pass.
+struct RunApplyResult {
+    /// Summed per-run counts from the runs that committed.
+    applied: usize,
+    /// Sources whose task panicked, with their pre-batch degrees. Sorted.
+    panicked: Vec<(VertexId, usize)>,
+    /// Runs skipped because their source was already quarantined.
+    skipped_quarantined: usize,
 }
 
 /// Raw pointer to the vertex table, shared across the batch-apply tasks.
@@ -76,42 +96,99 @@ impl LsGraph {
     /// # Panics
     ///
     /// Panics if the configuration is invalid (`α <= 1`, misordered
-    /// thresholds); use [`Config::validate`] to check first.
+    /// thresholds); use [`LsGraph::try_with_config`] for a fallible variant.
     pub fn with_config(n: usize, cfg: Config) -> Self {
-        cfg.validate().expect("invalid LSGraph configuration");
-        LsGraph {
+        LsGraph::try_with_config(n, cfg).expect("invalid LSGraph configuration")
+    }
+
+    /// Creates an empty graph with an explicit configuration, rejecting an
+    /// invalid one as a value instead of panicking.
+    pub fn try_with_config(n: usize, cfg: Config) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(LsGraph {
             vertices: (0..n).map(|_| VertexBlock::new()).collect(),
             cfg,
             num_edges: 0,
             stats: StructStats::new(),
             latency: LatencyStats::new(),
-        }
+            quarantined: BTreeSet::new(),
+        })
     }
 
     /// Bulk-loads a graph from an edge list in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`LsGraph::try_from_edges`] for a fallible variant (which also
+    /// surfaces any contained per-vertex build faults).
     pub fn from_edges(n: usize, edges: &[Edge], cfg: Config) -> Self {
-        cfg.validate().expect("invalid LSGraph configuration");
+        let (g, _outcome) =
+            LsGraph::try_from_edges(n, edges, cfg).expect("invalid LSGraph configuration");
+        g
+    }
+
+    /// Bulk-loads a graph from an edge list in parallel, surfacing failures
+    /// as values.
+    ///
+    /// Returns the graph plus a [`BatchOutcome`]: if a per-vertex build task
+    /// panicked, that vertex is quarantined (degree 0) and listed in the
+    /// outcome while every other vertex loads normally and `num_edges`
+    /// stays exact.
+    pub fn try_from_edges(
+        n: usize,
+        edges: &[Edge],
+        cfg: Config,
+    ) -> Result<(Self, BatchOutcome), GraphError> {
         let keys = sorted_dedup_keys(edges);
         let n = n.max(max_vertex_id(edges).map_or(0, |m| m as usize + 1));
-        let mut g = LsGraph {
-            vertices: (0..n).map(|_| VertexBlock::new()).collect(),
-            cfg,
-            num_edges: keys.len(),
-            stats: StructStats::new(),
-            latency: LatencyStats::new(),
-        };
+        let mut g = LsGraph::try_with_config(n, cfg)?;
         let runs = runs_by_src(&keys);
-        let ptr = TablePtr(g.vertices.as_mut_ptr());
-        let cfg = &g.cfg;
-        runs.par_iter().for_each(|run| {
-            let ns: Vec<u32> = keys[run.start..run.end].iter().map(|&k| k as u32).collect();
-            // SAFETY: `run.src < n` (the table was sized to the max id) and
-            // runs have pairwise-distinct sources, so this is the only task
-            // touching `vertices[run.src]`.
-            let vb = unsafe { ptr.at(run.src as usize) };
-            *vb = VertexBlock::from_sorted_neighbors(&ns, cfg);
-        });
-        g
+        let failures: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
+        let applied: usize = {
+            let ptr = TablePtr(g.vertices.as_mut_ptr());
+            let cfg = &g.cfg;
+            runs.par_iter()
+                .map(|run| {
+                    let task = || {
+                        fail_point!("apply_run");
+                        let ns: Vec<u32> =
+                            keys[run.start..run.end].iter().map(|&k| k as u32).collect();
+                        // SAFETY: `run.src < n` (the table was sized to the
+                        // max id) and runs have pairwise-distinct sources, so
+                        // this is the only task touching `vertices[run.src]`.
+                        let vb = unsafe { ptr.at(run.src as usize) };
+                        *vb = VertexBlock::from_sorted_neighbors(&ns, cfg);
+                        ns.len()
+                    };
+                    match catch_unwind(AssertUnwindSafe(task)) {
+                        Ok(cnt) => cnt,
+                        Err(_) => {
+                            failures.lock().unwrap().push(run.src);
+                            0
+                        }
+                    }
+                })
+                .sum()
+        };
+        let mut quarantined = failures.into_inner().unwrap();
+        quarantined.sort_unstable();
+        for &src in &quarantined {
+            // A panicked build may have left the block partially assigned;
+            // force it back to a pristine empty block.
+            g.vertices[src as usize] = VertexBlock::new();
+            g.quarantined.insert(src);
+            g.stats.record_apply_run_panic();
+            g.stats.record_vertex_quarantined();
+        }
+        g.num_edges = applied;
+        let outcome = BatchOutcome {
+            applied,
+            quarantined,
+            edges_lost: keys.len() - applied,
+            skipped_quarantined: 0,
+        };
+        Ok((g, outcome))
     }
 
     /// The engine configuration.
@@ -144,35 +221,81 @@ impl LsGraph {
         }
     }
 
-    /// Applies `op` to each run's vertex block in parallel, returning the
-    /// summed per-run counts.
+    /// Applies `op` to each run's vertex block in parallel with per-run
+    /// panic isolation.
+    ///
+    /// A run whose task panics does not poison the batch: sibling runs
+    /// commit normally (each task owns its source's block exclusively, so an
+    /// unwound task cannot have touched anyone else's data), and the
+    /// panicked source is quarantined — its block reset to empty, its id
+    /// recorded — so `num_edges` can be kept exact by the caller using the
+    /// returned pre-batch degrees. Runs whose source is already quarantined
+    /// are skipped entirely.
     fn apply_runs(
         &mut self,
         keys: &[u64],
         runs: &[SrcRun],
         op: impl Fn(&mut VertexBlock, &[u64], &Config, &StructStats) -> usize + Sync,
-    ) -> usize {
-        let ptr = TablePtr(self.vertices.as_mut_ptr());
-        let cfg = &self.cfg;
-        let stats = &self.stats;
-        let latency = &self.latency;
-        let _apply = stats.time(Phase::Apply);
-        let batch_start = Instant::now();
-        let n = runs
-            .par_iter()
-            .map(|run| {
-                // SAFETY: runs are grouped by distinct source ids and the
-                // table has been grown to cover every id in the batch, so
-                // each block is mutated by exactly one task.
-                let vb = unsafe { ptr.at(run.src as usize) };
-                let run_start = Instant::now();
-                let n = op(vb, &keys[run.start..run.end], cfg, stats);
-                latency.group_apply.record_duration(run_start.elapsed());
-                n
-            })
-            .sum();
-        latency.batch_apply.record_duration(batch_start.elapsed());
-        n
+    ) -> RunApplyResult {
+        let failures: Mutex<Vec<(VertexId, usize)>> = Mutex::new(Vec::new());
+        let skipped_quarantined;
+        let applied = {
+            let ptr = TablePtr(self.vertices.as_mut_ptr());
+            let cfg = &self.cfg;
+            let stats = &self.stats;
+            let latency = &self.latency;
+            let quarantined = &self.quarantined;
+            let skipped = &Mutex::new(0usize);
+            let _apply = stats.time(Phase::Apply);
+            let batch_start = Instant::now();
+            let n = runs
+                .par_iter()
+                .map(|run| {
+                    if !quarantined.is_empty() && quarantined.contains(&run.src) {
+                        *skipped.lock().unwrap() += 1;
+                        return 0;
+                    }
+                    // SAFETY: runs are grouped by distinct source ids and the
+                    // table has been grown to cover every id in the batch, so
+                    // each block is mutated by exactly one task.
+                    let vb = unsafe { ptr.at(run.src as usize) };
+                    let d_pre = vb.degree();
+                    let run_start = Instant::now();
+                    let task = || {
+                        fail_point!("apply_run");
+                        op(vb, &keys[run.start..run.end], cfg, stats)
+                    };
+                    match catch_unwind(AssertUnwindSafe(task)) {
+                        Ok(n) => {
+                            latency.group_apply.record_duration(run_start.elapsed());
+                            n
+                        }
+                        Err(_) => {
+                            failures.lock().unwrap().push((run.src, d_pre));
+                            0
+                        }
+                    }
+                })
+                .sum();
+            latency.batch_apply.record_duration(batch_start.elapsed());
+            skipped_quarantined = *skipped.lock().unwrap();
+            n
+        };
+        let mut panicked = failures.into_inner().unwrap();
+        panicked.sort_unstable();
+        for &(src, _) in &panicked {
+            // The panicked task may have left this block arbitrarily
+            // corrupt; drop its adjacency and quarantine the vertex.
+            self.vertices[src as usize] = VertexBlock::new();
+            self.quarantined.insert(src);
+            self.stats.record_apply_run_panic();
+            self.stats.record_vertex_quarantined();
+        }
+        RunApplyResult {
+            applied,
+            panicked,
+            skipped_quarantined,
+        }
     }
 
     /// Removes every out-edge of `v`, returning how many were removed
@@ -196,6 +319,125 @@ impl LsGraph {
         back + self.clear_vertex(v)
     }
 
+    /// Inserts a batch, surfacing contained per-vertex faults as a
+    /// [`BatchOutcome`] instead of unwinding.
+    ///
+    /// Semantics match [`DynamicGraph::insert_batch`] for the runs that
+    /// commit; a run whose apply task panics quarantines its source (see
+    /// [`LsGraph::repair_vertex`]) and `num_edges` stays exact.
+    pub fn try_insert_batch(&mut self, batch: &[Edge]) -> Result<BatchOutcome, GraphError> {
+        if batch.is_empty() {
+            return Ok(BatchOutcome::default());
+        }
+        let keys = {
+            let _t = self.stats.time(Phase::Sort);
+            sorted_dedup_keys(batch)
+        };
+        if let Some(max_id) = max_vertex_id(batch) {
+            self.grow_to(max_id);
+        }
+        let runs = {
+            let _t = self.stats.time(Phase::Group);
+            runs_by_src(&keys)
+        };
+        let r = self.apply_runs(&keys, &runs, |vb, run_keys, cfg, stats| {
+            let mut n = 0;
+            for &k in run_keys {
+                if vb.insert_with(k as u32, cfg, stats) {
+                    n += 1;
+                }
+            }
+            n
+        });
+        let edges_lost: usize = r.panicked.iter().map(|&(_, d_pre)| d_pre).sum();
+        // Committed runs added `applied` edges; quarantining dropped each
+        // failed source's full pre-batch adjacency (its partial in-run
+        // mutations were never counted), so the accounting stays exact.
+        self.num_edges = self.num_edges + r.applied - edges_lost;
+        Ok(BatchOutcome {
+            applied: r.applied,
+            quarantined: r.panicked.iter().map(|&(v, _)| v).collect(),
+            edges_lost,
+            skipped_quarantined: r.skipped_quarantined,
+        })
+    }
+
+    /// Deletes a batch, surfacing contained per-vertex faults as a
+    /// [`BatchOutcome`] instead of unwinding. See
+    /// [`LsGraph::try_insert_batch`].
+    pub fn try_delete_batch(&mut self, batch: &[Edge]) -> Result<BatchOutcome, GraphError> {
+        if batch.is_empty() {
+            return Ok(BatchOutcome::default());
+        }
+        let keys = {
+            let _t = self.stats.time(Phase::Sort);
+            sorted_dedup_keys(batch)
+        };
+        // Ignore runs for vertices beyond the table; those edges cannot
+        // exist.
+        let n = self.vertices.len() as u64;
+        let keys: Vec<u64> = keys.into_iter().filter(|&k| (k >> 32) < n).collect();
+        let runs = {
+            let _t = self.stats.time(Phase::Group);
+            runs_by_src(&keys)
+        };
+        let r = self.apply_runs(&keys, &runs, |vb, run_keys, cfg, stats| {
+            let mut n = 0;
+            for &k in run_keys {
+                if vb.delete_with(k as u32, cfg, stats) {
+                    n += 1;
+                }
+            }
+            n
+        });
+        let edges_lost: usize = r.panicked.iter().map(|&(_, d_pre)| d_pre).sum();
+        self.num_edges -= r.applied + edges_lost;
+        Ok(BatchOutcome {
+            applied: r.applied,
+            quarantined: r.panicked.iter().map(|&(v, _)| v).collect(),
+            edges_lost,
+            skipped_quarantined: r.skipped_quarantined,
+        })
+    }
+
+    /// Whether `v` is quarantined after an apply panic.
+    pub fn is_quarantined(&self, v: VertexId) -> bool {
+        self.quarantined.contains(&v)
+    }
+
+    /// The currently quarantined vertices, ascending.
+    pub fn quarantined_vertices(&self) -> Vec<VertexId> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Restores a quarantined vertex with a caller-supplied adjacency
+    /// (deduplicated and sorted here), returning how many edges were
+    /// installed. The vertex leaves quarantine and resumes accepting
+    /// batched updates.
+    pub fn repair_vertex(
+        &mut self,
+        v: VertexId,
+        neighbors: &[VertexId],
+    ) -> Result<usize, GraphError> {
+        if v as usize >= self.vertices.len() {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.vertices.len(),
+            });
+        }
+        if !self.quarantined.remove(&v) {
+            return Err(GraphError::NotQuarantined(v));
+        }
+        let mut ns = neighbors.to_vec();
+        ns.sort_unstable();
+        ns.dedup();
+        self.vertices[v as usize] = VertexBlock::from_sorted_neighbors(&ns, &self.cfg);
+        // A quarantined block has degree 0, so the whole adjacency is new.
+        self.num_edges += ns.len();
+        self.stats.record_vertex_repaired();
+        Ok(ns.len())
+    }
+
     /// Verifies every structural invariant of the engine.
     ///
     /// # Panics
@@ -207,7 +449,61 @@ impl LsGraph {
             vb.check_invariants(&self.cfg);
             total += vb.degree();
         }
+        for &q in &self.quarantined {
+            assert!(
+                (q as usize) < self.vertices.len(),
+                "quarantined vertex {q} out of range"
+            );
+            assert_eq!(
+                self.vertices[q as usize].degree(),
+                0,
+                "quarantined vertex {q} must read as degree 0"
+            );
+        }
         assert_eq!(total, self.num_edges, "edge accounting");
+    }
+
+    /// Non-panicking variant of [`LsGraph::check_invariants`]: verifies
+    /// per-vertex structural consistency (inline ordering, degree
+    /// accounting, spill ordering), quarantine state, and global edge
+    /// accounting, reporting the first violation as an [`InvariantError`].
+    pub fn validate_invariants(&self) -> Result<(), InvariantError> {
+        let mut total = 0;
+        for (v, vb) in self.vertices.iter().enumerate() {
+            vb.validate(&self.cfg).map_err(|detail| InvariantError {
+                vertex: Some(v as VertexId),
+                detail,
+            })?;
+            total += vb.degree();
+        }
+        for &q in &self.quarantined {
+            if q as usize >= self.vertices.len() {
+                return Err(InvariantError {
+                    vertex: Some(q),
+                    detail: format!(
+                        "quarantined vertex out of range (table has {})",
+                        self.vertices.len()
+                    ),
+                });
+            }
+            let d = self.vertices[q as usize].degree();
+            if d != 0 {
+                return Err(InvariantError {
+                    vertex: Some(q),
+                    detail: format!("quarantined vertex has degree {d}, expected 0"),
+                });
+            }
+        }
+        if total != self.num_edges {
+            return Err(InvariantError {
+                vertex: None,
+                detail: format!(
+                    "edge accounting: degrees sum to {total} but num_edges is {}",
+                    self.num_edges
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Index bytes (RIA index arrays, LIA models, slot metadata) versus
@@ -253,60 +549,15 @@ impl IterableGraph for LsGraph {
 
 impl DynamicGraph for LsGraph {
     fn insert_batch(&mut self, batch: &[Edge]) -> usize {
-        if batch.is_empty() {
-            return 0;
-        }
-        let keys = {
-            let _t = self.stats.time(Phase::Sort);
-            sorted_dedup_keys(batch)
-        };
-        if let Some(max_id) = max_vertex_id(batch) {
-            self.grow_to(max_id);
-        }
-        let runs = {
-            let _t = self.stats.time(Phase::Group);
-            runs_by_src(&keys)
-        };
-        let added = self.apply_runs(&keys, &runs, |vb, run_keys, cfg, stats| {
-            let mut n = 0;
-            for &k in run_keys {
-                if vb.insert_with(k as u32, cfg, stats) {
-                    n += 1;
-                }
-            }
-            n
-        });
-        self.num_edges += added;
-        added
+        self.try_insert_batch(batch)
+            .expect("try_insert_batch has no error modes")
+            .applied
     }
 
     fn delete_batch(&mut self, batch: &[Edge]) -> usize {
-        if batch.is_empty() {
-            return 0;
-        }
-        let keys = {
-            let _t = self.stats.time(Phase::Sort);
-            sorted_dedup_keys(batch)
-        };
-        // Ignore runs for vertices beyond the table; those edges cannot
-        // exist.
-        let n = self.vertices.len() as u64;
-        let keys: Vec<u64> = keys.into_iter().filter(|&k| (k >> 32) < n).collect();
-        let runs = {
-            let _t = self.stats.time(Phase::Group);
-            runs_by_src(&keys)
-        };
-        let removed = self.apply_runs(&keys, &runs, |vb, run_keys, cfg, stats| {
-            let mut n = 0;
-            for &k in run_keys {
-                if vb.delete_with(k as u32, cfg, stats) {
-                    n += 1;
-                }
-            }
-            n
-        });
-        self.num_edges -= removed;
-        removed
+        self.try_delete_batch(batch)
+            .expect("try_delete_batch has no error modes")
+            .applied
     }
 
     fn struct_stats(&self) -> Option<StructSnapshot> {
@@ -324,6 +575,10 @@ impl DynamicGraph for LsGraph {
     fn reset_instrumentation(&mut self) {
         self.stats.reset();
         self.latency.reset();
+    }
+
+    fn validate_structure(&self) -> Result<(), String> {
+        self.validate_invariants().map_err(|e| e.to_string())
     }
 }
 

@@ -19,6 +19,7 @@
 //! blocks, which both the learned and the binary (ablation) search paths rely
 //! on.
 
+use lsgraph_api::fail_point;
 use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 
 use super::node::Node;
@@ -361,6 +362,7 @@ impl Lia {
             // overflow the block's BKS slots; `record_lia_vertical(false)`
             // would flag a policy violation.
             stats.record_lia_vertical(merged.len() > BKS);
+            fail_point!("hitree_vertical");
             let idx = self.children.len() as u32;
             self.children.push(Some(Box::new(Node::from_sorted_child(
                 &merged,

@@ -1,5 +1,6 @@
 //! HITree nodes: small sorted arrays, RIA leaves, and LIA internal nodes.
 
+use lsgraph_api::fail_point;
 use lsgraph_api::trace::{span, SpanKind};
 use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 
@@ -122,6 +123,11 @@ impl Node {
                 SpanKind::LiaRetrain
             } else {
                 SpanKind::TierUpgrade
+            });
+            fail_point!(if retrain {
+                "lia_retrain"
+            } else {
+                "tier_upgrade"
             });
             let all = self.to_vec();
             // Route through `from_sorted` so the right kind is chosen for the

@@ -34,6 +34,7 @@
 
 pub mod adjacency;
 pub mod config;
+pub mod error;
 pub mod graph;
 pub mod hitree;
 pub mod model;
@@ -43,6 +44,7 @@ pub mod stats;
 pub mod vertex;
 
 pub use config::{Config, ConfigError, HighDegreeStore, LiaSearch, MediumStore, BKS, INLINE_CAP};
+pub use error::{BatchOutcome, GraphError, InvariantError};
 pub use graph::LsGraph;
 pub use hitree::HiTree;
 pub use hitree::HiTreeIter;

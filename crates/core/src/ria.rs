@@ -15,6 +15,7 @@
 //! are single-threaded in LSGraph, §5) and **no empty blocks** (elements are
 //! distributed evenly at build time), so it is memory-efficient.
 
+use lsgraph_api::fail_point;
 use lsgraph_api::trace::{span, SpanKind};
 use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 
@@ -170,6 +171,7 @@ impl Ria {
         }
         // Movement would exceed the locality bound: expand with factor α.
         let _span = span(SpanKind::RiaRebuild);
+        fail_point!("ria_rebuild");
         let mut all = Vec::with_capacity(self.len + 1);
         self.for_each(|x| all.push(x));
         let pos = all.partition_point(|&x| x < key);
@@ -382,6 +384,7 @@ impl Ria {
             stats.record_ria_within_shift(1);
         } else {
             let _span = span(SpanKind::RiaRebuild);
+            fail_point!("ria_rebuild");
             let all = self.to_vec();
             self.rebuild_from(&all);
             stats.record_ria_rebuild();
@@ -423,6 +426,7 @@ impl Ria {
         let capacity = self.counts.len() * BKS;
         if self.counts.len() > 1 && self.len * 4 < capacity {
             let _span = span(SpanKind::RiaRebuild);
+            fail_point!("ria_rebuild");
             let all = self.to_vec();
             self.rebuild_from(&all);
             stats.record_ria_rebuild();

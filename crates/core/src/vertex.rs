@@ -258,6 +258,52 @@ impl VertexBlock {
             }
         }
     }
+
+    /// Non-panicking variant of [`VertexBlock::check_invariants`], used by
+    /// `LsGraph::validate_invariants` so a corrupt block is reported as a
+    /// value instead of unwinding.
+    ///
+    /// Checks the inline/spill split and full sorted-order of the adjacency
+    /// (which any container-level corruption surfaces through `to_vec`); the
+    /// deep per-container checks stay in the panicking variant.
+    pub fn validate(&self, _cfg: &Config) -> Result<(), String> {
+        let inl = self.inline_neighbors();
+        if !inl.windows(2).all(|w| w[0] < w[1]) {
+            return Err("inline neighbors unsorted".into());
+        }
+        let spill_len = self.spill.as_ref().map_or(0, |s| s.len());
+        if self.degree as usize != inl.len() + spill_len {
+            return Err(format!(
+                "degree {} != inline {} + spill {}",
+                self.degree,
+                inl.len(),
+                spill_len
+            ));
+        }
+        if let Some(spill) = &self.spill {
+            if spill.is_empty() {
+                return Err("empty spill retained".into());
+            }
+            if inl.len() != INLINE_CAP {
+                return Err(format!(
+                    "spill present but inline line holds {} of {INLINE_CAP}",
+                    inl.len()
+                ));
+            }
+        }
+        let all = self.to_vec();
+        if all.len() != self.degree as usize {
+            return Err(format!(
+                "iteration yields {} neighbors but degree is {}",
+                all.len(),
+                self.degree
+            ));
+        }
+        if !all.windows(2).all(|w| w[0] < w[1]) {
+            return Err("adjacency not strictly ascending".into());
+        }
+        Ok(())
+    }
 }
 
 /// Ascending iterator over one vertex's neighbors.

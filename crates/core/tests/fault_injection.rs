@@ -1,0 +1,382 @@
+//! Fault-injection differential suite (requires `--features failpoints`).
+//!
+//! For every failpoint site, under several seeds, a fault is injected in the
+//! middle of batched updates and the suite asserts the blast radius is
+//! exactly one vertex: invariants hold, `num_edges` stays exact, every
+//! non-quarantined vertex is oracle-equal, and `repair_vertex` restores the
+//! quarantined ones.
+
+#![cfg(feature = "failpoints")]
+
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard, Once};
+
+use lsgraph_api::failpoints::{self, FailMode};
+use lsgraph_api::{DynamicGraph, Edge, Graph, VertexId};
+use lsgraph_core::{Config, GraphError, LsGraph};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Failpoint configuration is process-global; every test serializes here.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    // A previous test may have panicked while holding the lock (e.g. a
+    // failed assertion); the registry is still fine, so ignore poisoning.
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Suppresses the default panic-hook stderr spew for intentional failpoint
+/// panics (they are caught by the engine); everything else still prints.
+fn quiet_failpoint_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg_is_failpoint = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("failpoint"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains("failpoint"));
+            if !msg_is_failpoint {
+                prev(info);
+            }
+        }));
+    });
+}
+
+const N: usize = 200;
+const ROUNDS: usize = 12;
+
+/// Small `m` so vertices cross every tier (array → RIA → HITree) within the
+/// workload, reaching all structural-movement failpoint sites.
+fn cfg() -> Config {
+    Config {
+        m: 64,
+        ..Config::default()
+    }
+}
+
+/// Firing probability per evaluation: `apply_run` is evaluated once per
+/// per-source run (thousands of hits), the structural sites far less often.
+fn p_for(site: &str) -> f64 {
+    match site {
+        "apply_run" => 0.02,
+        _ => 0.25,
+    }
+}
+
+/// One round's batch: two super-hot sources taking clustered ranges (LIA
+/// block overflows → vertical moves and retrains), a band of medium sources
+/// hovering around the tier thresholds, and a cold tail.
+fn gen_batch(rng: &mut SmallRng) -> Vec<Edge> {
+    let mut b = Vec::new();
+    for src in 0..2u32 {
+        let center = rng.gen_range(0..3_000u32);
+        for j in 0..80 {
+            b.push(Edge::new(src, center + j));
+        }
+        for _ in 0..20 {
+            b.push(Edge::new(src, rng.gen_range(0..4_000)));
+        }
+    }
+    for src in 2..40u32 {
+        for _ in 0..10 {
+            b.push(Edge::new(src, rng.gen_range(0..200)));
+        }
+    }
+    for _ in 0..60 {
+        b.push(Edge::new(
+            rng.gen_range(40..N as u32),
+            rng.gen_range(0..N as u32),
+        ));
+    }
+    b
+}
+
+fn shadow_neighbors(shadow: &[BTreeSet<u32>], v: VertexId) -> Vec<u32> {
+    shadow[v as usize].iter().copied().collect()
+}
+
+/// Runs the differential workload with `site` armed during every batch,
+/// asserting containment + exactness each round and repairing quarantined
+/// vertices from the oracle. Returns the per-round quarantine lists.
+///
+/// Caller must hold [`LOCK`].
+fn run_workload(site: &str, seed: u64) -> Vec<Vec<VertexId>> {
+    quiet_failpoint_panics();
+    failpoints::reset();
+    let mut g = LsGraph::with_config(N, cfg());
+    let mut shadow: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); N];
+    // The workload stream is seeded independently of the failpoint seed so
+    // every (site, seed) combination sees the same update sequence.
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let mut history = Vec::new();
+    let mut total_quarantines = 0u64;
+    let mut total_fired = 0u64;
+
+    for round in 0..ROUNDS {
+        let batch = gen_batch(&mut rng);
+        let deleting = round % 3 == 2;
+        failpoints::configure(
+            site,
+            FailMode::Probability {
+                p: p_for(site),
+                seed: seed.wrapping_add(round as u64),
+            },
+        );
+        let outcome = if deleting {
+            g.try_delete_batch(&batch).unwrap()
+        } else {
+            g.try_insert_batch(&batch).unwrap()
+        };
+        total_fired += failpoints::fired(site);
+        // Disarm while we inspect and repair: `repair_vertex` rebuilds
+        // containers and must not itself be faulted.
+        failpoints::configure(site, FailMode::Off);
+
+        // Every vertex was healthy at batch start (repaired last round).
+        assert_eq!(outcome.skipped_quarantined, 0, "round {round}");
+
+        // The oracle applies the full batch fault-free.
+        for e in &batch {
+            if deleting {
+                shadow[e.src as usize].remove(&e.dst);
+            } else {
+                shadow[e.src as usize].insert(e.dst);
+            }
+        }
+
+        g.validate_invariants()
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert_eq!(g.quarantined_vertices(), outcome.quarantined);
+        let q: BTreeSet<VertexId> = outcome.quarantined.iter().copied().collect();
+        let mut expect_edges = 0;
+        for v in 0..N as VertexId {
+            if q.contains(&v) {
+                assert!(g.is_quarantined(v));
+                assert_eq!(g.degree(v), 0, "quarantined vertex {v} round {round}");
+            } else {
+                assert_eq!(
+                    g.neighbors(v),
+                    shadow_neighbors(&shadow, v),
+                    "vertex {v} diverged from oracle in round {round}"
+                );
+                expect_edges += shadow[v as usize].len();
+            }
+        }
+        assert_eq!(g.num_edges(), expect_edges, "num_edges round {round}");
+
+        total_quarantines += outcome.quarantined.len() as u64;
+        for &v in &outcome.quarantined {
+            let ns = shadow_neighbors(&shadow, v);
+            let installed = g.repair_vertex(v, &ns).unwrap();
+            assert_eq!(installed, ns.len());
+            assert!(!g.is_quarantined(v));
+            assert_eq!(g.neighbors(v), ns);
+        }
+        g.validate_invariants().unwrap();
+        assert_eq!(
+            g.num_edges(),
+            shadow.iter().map(BTreeSet::len).sum::<usize>(),
+            "post-repair accounting round {round}"
+        );
+        history.push(outcome.quarantined);
+    }
+
+    assert!(
+        total_fired >= 1,
+        "site {site} seed {seed}: no fault ever fired — workload misses the site"
+    );
+    assert_eq!(
+        total_quarantines, total_fired,
+        "each fire quarantines one vertex"
+    );
+    let snap = g.struct_snapshot();
+    assert_eq!(snap.apply_run_panics, total_quarantines);
+    assert_eq!(snap.vertices_quarantined, total_quarantines);
+    assert_eq!(snap.vertices_repaired, total_quarantines);
+    failpoints::reset();
+    history
+}
+
+fn run_site_under_seeds(site: &str) {
+    let _l = lock();
+    for seed in 1..=4 {
+        run_workload(site, seed);
+    }
+}
+
+#[test]
+fn faults_at_ria_rebuild_are_contained() {
+    run_site_under_seeds("ria_rebuild");
+}
+
+#[test]
+fn faults_at_lia_retrain_are_contained() {
+    run_site_under_seeds("lia_retrain");
+}
+
+#[test]
+fn faults_at_hitree_vertical_are_contained() {
+    run_site_under_seeds("hitree_vertical");
+}
+
+#[test]
+fn faults_at_tier_upgrade_are_contained() {
+    run_site_under_seeds("tier_upgrade");
+}
+
+#[test]
+fn faults_at_apply_run_are_contained() {
+    run_site_under_seeds("apply_run");
+}
+
+#[test]
+fn same_seed_reproduces_the_same_quarantine_sequence() {
+    let _l = lock();
+    // Pin to one worker so per-site hit order is interleaving-free on any
+    // machine (the differential assertions above don't need this; exact
+    // sequence equality does).
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let a = pool.install(|| run_workload("ria_rebuild", 5));
+    let b = pool.install(|| run_workload("ria_rebuild", 5));
+    assert_eq!(a, b, "same seed must reproduce the same fault pattern");
+    assert!(a.iter().any(|round| !round.is_empty()));
+}
+
+#[test]
+fn nth_mode_quarantines_exactly_one_deterministic_run() {
+    let _l = lock();
+    quiet_failpoint_panics();
+    let one_shot = || {
+        failpoints::reset();
+        let mut g = LsGraph::with_config(4, cfg());
+        failpoints::configure("apply_run", FailMode::Nth(1));
+        // A single-source batch has exactly one run, so the first hit is
+        // deterministic regardless of scheduling.
+        let outcome = g
+            .try_insert_batch(&[Edge::new(2, 0), Edge::new(2, 1), Edge::new(2, 3)])
+            .unwrap();
+        failpoints::reset();
+        (outcome, g.num_edges())
+    };
+    let (o1, m1) = one_shot();
+    let (o2, m2) = one_shot();
+    assert_eq!(o1, o2);
+    assert_eq!(o1.quarantined, vec![2]);
+    assert_eq!(o1.applied, 0);
+    assert_eq!(o1.edges_lost, 0, "vertex was empty before the batch");
+    assert_eq!((m1, m2), (0, 0));
+}
+
+#[test]
+fn quarantined_sources_are_skipped_until_repaired() {
+    let _l = lock();
+    quiet_failpoint_panics();
+    failpoints::reset();
+    let mut g = LsGraph::with_config(4, cfg());
+    g.insert_batch(&[Edge::new(0, 1), Edge::new(0, 2)]);
+    failpoints::configure("apply_run", FailMode::Nth(1));
+    let outcome = g.try_insert_batch(&[Edge::new(0, 3)]).unwrap();
+    failpoints::reset();
+    assert_eq!(outcome.quarantined, vec![0]);
+    assert_eq!(outcome.edges_lost, 2, "pre-batch adjacency was dropped");
+    assert_eq!(g.num_edges(), 0);
+    assert_eq!(g.degree(0), 0);
+
+    // With the site disarmed, batches touching the quarantined source skip
+    // it (and report that) while other sources proceed normally.
+    let outcome = g
+        .try_insert_batch(&[Edge::new(0, 3), Edge::new(1, 3)])
+        .unwrap();
+    assert_eq!(outcome.skipped_quarantined, 1);
+    assert_eq!(outcome.applied, 1);
+    assert_eq!(g.degree(0), 0);
+    assert!(g.has_edge(1, 3));
+    assert!(g.is_quarantined(0));
+    // Deletes skip it too.
+    let outcome = g.try_delete_batch(&[Edge::new(0, 1)]).unwrap();
+    assert_eq!(outcome.skipped_quarantined, 1);
+
+    // Repair restores the vertex and it resumes accepting updates.
+    assert_eq!(g.repair_vertex(0, &[2, 1, 2]), Ok(2));
+    assert!(!g.is_quarantined(0));
+    assert_eq!(g.neighbors(0), vec![1, 2]);
+    assert_eq!(g.num_edges(), 3);
+    assert_eq!(g.insert_batch(&[Edge::new(0, 3)]), 1);
+    g.check_invariants();
+
+    // Repair misuse is rejected as values.
+    assert_eq!(g.repair_vertex(1, &[]), Err(GraphError::NotQuarantined(1)));
+    assert_eq!(
+        g.repair_vertex(99, &[]),
+        Err(GraphError::VertexOutOfRange {
+            vertex: 99,
+            num_vertices: 4
+        })
+    );
+}
+
+#[test]
+fn try_from_edges_contains_bulk_load_faults() {
+    let _l = lock();
+    quiet_failpoint_panics();
+    failpoints::reset();
+    let mut edges = Vec::new();
+    for src in 0..50u32 {
+        for j in 0..30u32 {
+            edges.push(Edge::new(src, (src * 7 + j * 3) % 400));
+        }
+    }
+    let mut expected: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); 400];
+    for e in &edges {
+        expected[e.src as usize].insert(e.dst);
+    }
+    failpoints::configure("apply_run", FailMode::Probability { p: 0.2, seed: 9 });
+    let (mut g, outcome) = LsGraph::try_from_edges(400, &edges, cfg()).unwrap();
+    failpoints::reset();
+    assert!(
+        !outcome.quarantined.is_empty(),
+        "p=0.2 over 50 build runs should fault at least once"
+    );
+    g.validate_invariants().unwrap();
+    let q: BTreeSet<VertexId> = outcome.quarantined.iter().copied().collect();
+    let mut live_edges = 0;
+    for v in 0..400u32 {
+        if q.contains(&v) {
+            assert_eq!(g.degree(v), 0);
+            assert!(g.is_quarantined(v));
+        } else {
+            assert_eq!(
+                g.neighbors(v),
+                expected[v as usize].iter().copied().collect::<Vec<_>>()
+            );
+            live_edges += expected[v as usize].len();
+        }
+    }
+    assert_eq!(g.num_edges(), live_edges);
+    assert_eq!(outcome.applied, live_edges);
+    let lost: usize = outcome
+        .quarantined
+        .iter()
+        .map(|&v| expected[v as usize].len())
+        .sum();
+    assert_eq!(outcome.edges_lost, lost);
+
+    // Repair every casualty; the load converges to the fault-free graph.
+    for &v in &outcome.quarantined {
+        let ns: Vec<u32> = expected[v as usize].iter().copied().collect();
+        assert_eq!(g.repair_vertex(v, &ns), Ok(ns.len()));
+    }
+    g.check_invariants();
+    assert_eq!(
+        g.num_edges(),
+        expected.iter().map(BTreeSet::len).sum::<usize>()
+    );
+}

@@ -78,6 +78,21 @@ pub fn load_binary(path: &Path) -> io::Result<Vec<Edge>> {
     let mut lenb = [0u8; 8];
     r.read_exact(&mut lenb)?;
     let len = u64::from_le_bytes(lenb) as usize;
+    // Sanity-check the header against the actual file size before trusting
+    // it with an allocation: a corrupt length would otherwise drive a
+    // multi-GB `Vec::with_capacity` long before the payload read fails.
+    let payload = std::fs::metadata(path)?
+        .len()
+        .saturating_sub((MAGIC.len() + lenb.len()) as u64);
+    if !matches!((len as u64).checked_mul(8), Some(claimed) if claimed <= payload) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{}: header claims {len} edges but only {payload} payload bytes follow",
+                path.display()
+            ),
+        ));
+    }
     let mut edges = Vec::with_capacity(len);
     let mut buf = [0u8; 8];
     for _ in 0..len {
@@ -134,6 +149,34 @@ mod tests {
         let p = tmp("notbin.bin");
         std::fs::write(&p, b"WRONGMAGIC____").unwrap();
         assert!(load_binary(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn binary_rejects_truncated_payload() {
+        let p = tmp("truncated.bin");
+        let edges: Vec<Edge> = (0..100u32).map(|i| Edge::new(i, i + 1)).collect();
+        save_binary(&p, &edges).unwrap();
+        // Chop off the last 20 bytes: the header still claims 100 edges.
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() - 20]).unwrap();
+        let err = load_binary(&p).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("claims 100 edges"), "{err}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn binary_rejects_oversized_length_header() {
+        let p = tmp("oversized.bin");
+        // A valid magic followed by an absurd length and no payload must be
+        // rejected up front, not after attempting a huge allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        let err = load_binary(&p).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         std::fs::remove_file(&p).ok();
     }
 }
