@@ -263,6 +263,15 @@ pub struct StructStats {
     /// normal runs.
     pub vertices_repaired: AtomicU64,
 
+    /// WAL frames appended by the durability layer (one per logged batch).
+    pub wal_frames_appended: AtomicU64,
+    /// Bytes written by the most recent checkpoint image (gauge, not a sum).
+    pub checkpoint_bytes: AtomicU64,
+    /// WAL frames replayed through the batch pipeline during recovery.
+    pub recovery_frames_replayed: AtomicU64,
+    /// WAL frames discarded as torn/corrupt during recovery.
+    pub recovery_frames_discarded: AtomicU64,
+
     /// Nanoseconds in the batch sort+dedup phase.
     pub phase_sort_nanos: AtomicU64,
     /// Nanoseconds grouping keys into per-source runs.
@@ -304,6 +313,10 @@ impl StructStats {
             apply_run_panics: AtomicU64::new(0),
             vertices_quarantined: AtomicU64::new(0),
             vertices_repaired: AtomicU64::new(0),
+            wal_frames_appended: AtomicU64::new(0),
+            checkpoint_bytes: AtomicU64::new(0),
+            recovery_frames_replayed: AtomicU64::new(0),
+            recovery_frames_discarded: AtomicU64::new(0),
             phase_sort_nanos: AtomicU64::new(0),
             phase_group_nanos: AtomicU64::new(0),
             phase_apply_nanos: AtomicU64::new(0),
@@ -447,6 +460,32 @@ impl StructStats {
         self.vertices_repaired.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one WAL frame appended by the durability layer.
+    #[inline]
+    pub fn record_wal_frame_appended(&self) {
+        self.wal_frames_appended.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the size of the checkpoint image just written (gauge).
+    #[inline]
+    pub fn record_checkpoint_bytes(&self, n: u64) {
+        self.checkpoint_bytes.store(n, Ordering::Relaxed);
+    }
+
+    /// Records one WAL frame replayed during recovery.
+    #[inline]
+    pub fn record_recovery_frame_replayed(&self) {
+        self.recovery_frames_replayed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` torn/corrupt WAL frames discarded during recovery.
+    #[inline]
+    pub fn record_recovery_frames_discarded(&self, n: u64) {
+        self.recovery_frames_discarded
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Starts a scoped timer attributing wall-clock time to `phase`; the
     /// elapsed nanoseconds are added when the returned guard drops. For the
     /// batch-pipeline phases the guard also carries a trace span (see
@@ -517,6 +556,14 @@ impl StructStats {
             .store(s.vertices_quarantined, Ordering::Relaxed);
         self.vertices_repaired
             .store(s.vertices_repaired, Ordering::Relaxed);
+        self.wal_frames_appended
+            .store(s.wal_frames_appended, Ordering::Relaxed);
+        self.checkpoint_bytes
+            .store(s.checkpoint_bytes, Ordering::Relaxed);
+        self.recovery_frames_replayed
+            .store(s.recovery_frames_replayed, Ordering::Relaxed);
+        self.recovery_frames_discarded
+            .store(s.recovery_frames_discarded, Ordering::Relaxed);
         self.phase_sort_nanos
             .store(s.phase_sort_nanos, Ordering::Relaxed);
         self.phase_group_nanos
@@ -554,6 +601,10 @@ impl StructStats {
             apply_run_panics: self.apply_run_panics.load(Ordering::Relaxed),
             vertices_quarantined: self.vertices_quarantined.load(Ordering::Relaxed),
             vertices_repaired: self.vertices_repaired.load(Ordering::Relaxed),
+            wal_frames_appended: self.wal_frames_appended.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            recovery_frames_replayed: self.recovery_frames_replayed.load(Ordering::Relaxed),
+            recovery_frames_discarded: self.recovery_frames_discarded.load(Ordering::Relaxed),
             phase_sort_nanos: self.phase_sort_nanos.load(Ordering::Relaxed),
             phase_group_nanos: self.phase_group_nanos.load(Ordering::Relaxed),
             phase_apply_nanos: self.phase_apply_nanos.load(Ordering::Relaxed),
@@ -635,6 +686,14 @@ pub struct StructSnapshot {
     pub vertices_quarantined: u64,
     /// See [`StructStats::vertices_repaired`].
     pub vertices_repaired: u64,
+    /// See [`StructStats::wal_frames_appended`].
+    pub wal_frames_appended: u64,
+    /// See [`StructStats::checkpoint_bytes`] (gauge).
+    pub checkpoint_bytes: u64,
+    /// See [`StructStats::recovery_frames_replayed`].
+    pub recovery_frames_replayed: u64,
+    /// See [`StructStats::recovery_frames_discarded`].
+    pub recovery_frames_discarded: u64,
     /// See [`StructStats::phase_sort_nanos`].
     pub phase_sort_nanos: u64,
     /// See [`StructStats::phase_group_nanos`].
@@ -647,8 +706,9 @@ pub struct StructSnapshot {
 
 impl StructSnapshot {
     /// Difference `self - earlier` for monotonic counters, saturating at
-    /// zero. The gauges `ria_max_ripple_span` and `ria_bound` keep `self`'s
-    /// value (a max and a most-recent value do not subtract meaningfully).
+    /// zero. The gauges `ria_max_ripple_span`, `ria_bound`, and
+    /// `checkpoint_bytes` keep `self`'s value (a max and a most-recent value
+    /// do not subtract meaningfully).
     pub fn since(self, earlier: StructSnapshot) -> StructSnapshot {
         StructSnapshot {
             vb_inline_hits: self.vb_inline_hits.saturating_sub(earlier.vb_inline_hits),
@@ -707,6 +767,16 @@ impl StructSnapshot {
             vertices_repaired: self
                 .vertices_repaired
                 .saturating_sub(earlier.vertices_repaired),
+            wal_frames_appended: self
+                .wal_frames_appended
+                .saturating_sub(earlier.wal_frames_appended),
+            checkpoint_bytes: self.checkpoint_bytes,
+            recovery_frames_replayed: self
+                .recovery_frames_replayed
+                .saturating_sub(earlier.recovery_frames_replayed),
+            recovery_frames_discarded: self
+                .recovery_frames_discarded
+                .saturating_sub(earlier.recovery_frames_discarded),
             phase_sort_nanos: self
                 .phase_sort_nanos
                 .saturating_sub(earlier.phase_sort_nanos),
@@ -730,7 +800,7 @@ impl StructSnapshot {
     /// `(field name, value)` pairs in a fixed order — the serialization
     /// schema. Report writers and schema-stability tests both read this, so
     /// renaming a field here is a deliberate schema change.
-    pub fn fields(self) -> [(&'static str, u64); 28] {
+    pub fn fields(self) -> [(&'static str, u64); 32] {
         [
             ("vb_inline_hits", self.vb_inline_hits),
             ("vb_inline_shifts", self.vb_inline_shifts),
@@ -759,6 +829,10 @@ impl StructSnapshot {
             ("apply_run_panics", self.apply_run_panics),
             ("vertices_quarantined", self.vertices_quarantined),
             ("vertices_repaired", self.vertices_repaired),
+            ("wal_frames_appended", self.wal_frames_appended),
+            ("checkpoint_bytes", self.checkpoint_bytes),
+            ("recovery_frames_replayed", self.recovery_frames_replayed),
+            ("recovery_frames_discarded", self.recovery_frames_discarded),
             ("phase_sort_nanos", self.phase_sort_nanos),
             ("phase_group_nanos", self.phase_group_nanos),
             ("phase_apply_nanos", self.phase_apply_nanos),
@@ -808,6 +882,10 @@ impl StructSnapshot {
                 "apply_run_panics" => s.apply_run_panics = v,
                 "vertices_quarantined" => s.vertices_quarantined = v,
                 "vertices_repaired" => s.vertices_repaired = v,
+                "wal_frames_appended" => s.wal_frames_appended = v,
+                "checkpoint_bytes" => s.checkpoint_bytes = v,
+                "recovery_frames_replayed" => s.recovery_frames_replayed = v,
+                "recovery_frames_discarded" => s.recovery_frames_discarded = v,
                 "phase_sort_nanos" => s.phase_sort_nanos = v,
                 "phase_group_nanos" => s.phase_group_nanos = v,
                 "phase_apply_nanos" => s.phase_apply_nanos = v,
@@ -943,13 +1021,17 @@ mod tests {
             .iter()
             .map(|(n, _)| *n)
             .collect();
-        assert_eq!(names.len(), 28);
+        assert_eq!(names.len(), 32);
         // A rename here must be an intentional schema change.
         assert!(names.contains(&"ria_cross_block_moves"));
         assert!(names.contains(&"lia_vertical_child_creates"));
         assert!(names.contains(&"apply_run_panics"));
         assert!(names.contains(&"vertices_quarantined"));
         assert!(names.contains(&"vertices_repaired"));
+        assert!(names.contains(&"wal_frames_appended"));
+        assert!(names.contains(&"checkpoint_bytes"));
+        assert!(names.contains(&"recovery_frames_replayed"));
+        assert!(names.contains(&"recovery_frames_discarded"));
         assert!(names.contains(&"phase_apply_nanos"));
     }
 }

@@ -33,12 +33,20 @@ use std::sync::Mutex;
 /// | `hitree_vertical` | an overflowing LIA block creates a child node |
 /// | `tier_upgrade` | a spill container upgrades to the next tier |
 /// | `apply_run` | a per-source run is applied by the batch pipeline |
-pub const SITES: [&str; 5] = [
+/// | `wal_append` | a batch frame is appended to the write-ahead log |
+/// | `wal_sync` | buffered WAL frames are flushed + fsynced |
+/// | `checkpoint_write` | a checkpoint image is serialized to disk |
+/// | `recovery_replay` | a WAL-tail frame is replayed during recovery |
+pub const SITES: [&str; 9] = [
     "ria_rebuild",
     "lia_retrain",
     "hitree_vertical",
     "tier_upgrade",
     "apply_run",
+    "wal_append",
+    "wal_sync",
+    "checkpoint_write",
+    "recovery_replay",
 ];
 
 /// When a configured site fires.

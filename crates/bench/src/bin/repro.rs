@@ -6,15 +6,15 @@
 //! ```
 //!
 //! Experiments: `fig3 fig4 fig12 small ablation fig13 table2 table3 fig14
-//! fig15 fig16 fig17 table4 g500 all`. Sizes scale with `REPRO_SCALE` (extra
-//! powers of two), `REPRO_BASE` (log2 base vertex count, default 15), and
-//! `REPRO_TRIALS` (default 3).
+//! fig15 fig16 fig17 table4 g500 durability all`. Sizes scale with
+//! `REPRO_SCALE` (extra powers of two), `REPRO_BASE` (log2 base vertex
+//! count, default 15), and `REPRO_TRIALS` (default 3).
 //!
-//! With `--json`, experiments that support it (`fig12`, `small`, `fig13`)
-//! write a schema-stable `BENCH_<experiment>.json` with per-engine
-//! throughput, phase timings, instrumentation counters, latency histograms,
-//! and footprints instead of printing a table (see EXPERIMENTS.md for the
-//! schema).
+//! With `--json`, experiments that support it (`fig12`, `small`, `fig13`,
+//! `durability`) write a schema-stable `BENCH_<experiment>.json` with
+//! per-engine throughput, phase timings, instrumentation counters, latency
+//! histograms, and footprints instead of printing a table (see
+//! EXPERIMENTS.md for the schema).
 //!
 //! With `--trace <path>`, structural trace spans (sort/group/apply/kernel/
 //! ria_rebuild/lia_retrain/tier_upgrade) are recorded during the experiments
@@ -82,6 +82,7 @@ fn run_check(baseline_path: &str) -> ! {
         "fig12" => experiments::fig12_report(&scale),
         "small" => experiments::small_batches_report(&scale),
         "fig13" => experiments::fig13_report(&scale),
+        "durability" => experiments::durability_report(&scale),
         other => {
             eprintln!("[repro] no check support for experiment '{other}'");
             std::process::exit(2);
@@ -125,7 +126,7 @@ fn main() {
     let scale = Scale::from_env();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig3|fig4|fig12|small|ablation|fig13|table2|table3|fig14|fig15|fig16|fig17|table4|g500|all> [--json] [--trace out.json]\n       repro check --baseline BENCH_<experiment>.json"
+            "usage: repro <fig3|fig4|fig12|small|ablation|fig13|table2|table3|fig14|fig15|fig16|fig17|table4|g500|durability|all> [--json] [--trace out.json]\n       repro check --baseline BENCH_<experiment>.json"
         );
         std::process::exit(2);
     }
@@ -151,6 +152,10 @@ fn main() {
                     emit(&experiments::fig13_report(&scale));
                     continue;
                 }
+                "durability" => {
+                    emit(&experiments::durability_report(&scale));
+                    continue;
+                }
                 other => {
                     eprintln!("[repro] no JSON mode for '{other}'; printing the table");
                 }
@@ -170,6 +175,7 @@ fn main() {
             "fig16" => experiments::fig16(&scale),
             "fig17" => experiments::fig17(&scale),
             "table4" => experiments::table4(&scale),
+            "durability" => experiments::durability(&scale),
             "sortledton" => experiments::sortledton(&scale),
             "verify" => experiments::verify(&scale),
             "g500" => experiments::g500(&scale),

@@ -22,11 +22,21 @@
 //!   intended small drifts (a constant tweak) while catching order-of-
 //!   magnitude regressions (a broken α-expansion that rebuilds per insert).
 //!
+//! - **Latency counts** ([`LATENCY_HISTOGRAMS`]): the histogram *counts*
+//!   (how many batch applies, per-source group applies, and kernel
+//!   invocations were recorded) are as deterministic as the structural
+//!   counters — one record per event, events fixed by seed and scale — so
+//!   they are gated by **exact equality**. The bucketed values themselves
+//!   are wall-clock and never compared. A cell whose baseline carries
+//!   histograms but whose current run records none fails (silent loss of
+//!   latency coverage).
+//!
 //! Cells are matched by `(engine, dataset, batch_size)`; a baseline cell
 //! missing from the current run is an error (losing coverage silently would
 //! defeat the gate).
 
 use crate::report::BenchReport;
+use lsgraph_api::LatencySnapshot;
 
 /// Counters that must be **zero** in a correct build (see module docs).
 ///
@@ -34,22 +44,38 @@ use crate::report::BenchReport;
 /// counters (`apply_run_panics` and friends) belong here: a benchmark run
 /// with failpoints disabled must never quarantine a vertex, so any nonzero
 /// value means a *real* panic escaped into the batch pipeline.
-pub const INVARIANT_COUNTERS: [&str; 5] = [
+pub const INVARIANT_COUNTERS: [&str; 6] = [
     "ria_bound_exceeded",
     "lia_vertical_premature",
     "apply_run_panics",
     "vertices_quarantined",
     "vertices_repaired",
+    // A benchmark run writes and recovers its own WAL under controlled
+    // shutdowns; discarding frames means the harness tore its own log.
+    "recovery_frames_discarded",
 ];
 
 /// Counters gated against the baseline with tolerance (see module docs).
-pub const GATED_COUNTERS: [&str; 5] = [
+pub const GATED_COUNTERS: [&str; 7] = [
     "ria_rebuilds",
     "ria_ripples",
     "lia_model_retrains",
     "tier_upgrades",
     "hitree_node_upgrades",
+    "wal_frames_appended",
+    "recovery_frames_replayed",
 ];
+
+/// Latency histograms whose counts are gated by exact equality.
+pub const LATENCY_HISTOGRAMS: [&str; 3] = ["batch_apply", "group_apply", "kernel"];
+
+fn histogram_count(lat: &LatencySnapshot, name: &str) -> u64 {
+    lat.fields()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, h)| h.count())
+        .unwrap_or(0)
+}
 
 /// Tolerances for the gated comparison.
 #[derive(Clone, Copy, Debug)]
@@ -99,6 +125,9 @@ pub enum ViolationKind {
     Regression,
     /// The current run has no cell matching a baseline cell.
     MissingCell,
+    /// A latency histogram's count differs from the baseline's (counts are
+    /// deterministic; equality is exact).
+    LatencyCount,
 }
 
 impl ViolationKind {
@@ -107,6 +136,7 @@ impl ViolationKind {
             ViolationKind::Invariant => "invariant",
             ViolationKind::Regression => "regression",
             ViolationKind::MissingCell => "missing_cell",
+            ViolationKind::LatencyCount => "latency_count",
         }
     }
 }
@@ -132,6 +162,16 @@ impl Violation {
                 self.current,
                 self.baseline,
                 self.allowed
+            ),
+            ViolationKind::LatencyCount => format!(
+                "[latency_count] {}/{}/bs={}: {} count = {} differs from baseline {} \
+                 (counts are deterministic; must match exactly)",
+                self.engine,
+                self.dataset,
+                self.batch_size,
+                self.counter,
+                self.current,
+                self.baseline
             ),
         }
     }
@@ -210,6 +250,27 @@ pub fn compare(
             });
             continue;
         };
+        // Latency-histogram counts: exact equality wherever the baseline
+        // recorded histograms (a current run without them counts as 0 and
+        // fails — silently losing latency coverage defeats the gate).
+        if let Some(blat) = &b.latency {
+            for name in LATENCY_HISTOGRAMS {
+                let base = histogram_count(blat, name);
+                let cur = c.latency.as_ref().map_or(0, |l| histogram_count(l, name));
+                if cur != base {
+                    out.push(Violation {
+                        engine: b.engine.clone(),
+                        dataset: b.dataset.clone(),
+                        batch_size: b.batch_size,
+                        counter: format!("latency.{name}"),
+                        kind: ViolationKind::LatencyCount,
+                        baseline: base,
+                        current: cur,
+                        allowed: base,
+                    });
+                }
+            }
+        }
         // Only cells with structural counters participate (baselines from
         // PMA-family engines carry OpCounters, which are workload-shaped
         // rather than invariant-bearing).
@@ -275,6 +336,21 @@ mod tests {
             footprint: None,
             latency: None,
             kernels: Vec::new(),
+            durability: None,
+        }
+    }
+
+    /// A latency snapshot with `n` batch applies (one 100ns sample each)
+    /// and nothing else.
+    fn lat(n: u64) -> lsgraph_api::LatencySnapshot {
+        let h = lsgraph_api::LatencyHistogram::new();
+        for _ in 0..n {
+            h.record(100);
+        }
+        lsgraph_api::LatencySnapshot {
+            batch_apply: h.snapshot(),
+            group_apply: lsgraph_api::HistogramSnapshot::default(),
+            kernel: lsgraph_api::HistogramSnapshot::default(),
         }
     }
 
@@ -362,6 +438,82 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].kind, ViolationKind::MissingCell);
         assert_eq!(v[0].engine, "Terrace");
+    }
+
+    #[test]
+    fn equal_latency_counts_pass() {
+        let mut a = cell("LSGraph", Some(stats(10)));
+        a.latency = Some(lat(7));
+        let b = report(vec![a.clone()]);
+        let c = report(vec![a]);
+        assert!(compare(&b, &c, CheckOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn drifted_latency_count_fails_exactly() {
+        let mut base = cell("LSGraph", Some(stats(10)));
+        base.latency = Some(lat(7));
+        let mut cur = cell("LSGraph", Some(stats(10)));
+        // One extra batch apply: within any throughput tolerance, but the
+        // count gate is exact.
+        cur.latency = Some(lat(8));
+        let v = compare(
+            &report(vec![base]),
+            &report(vec![cur]),
+            CheckOptions::default(),
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::LatencyCount);
+        assert_eq!(v[0].counter, "latency.batch_apply");
+        assert_eq!((v[0].baseline, v[0].current), (7, 8));
+        assert!(v[0].human().contains("latency_count"));
+    }
+
+    #[test]
+    fn losing_latency_coverage_fails() {
+        let mut base = cell("LSGraph", Some(stats(10)));
+        base.latency = Some(lat(3));
+        let cur = cell("LSGraph", Some(stats(10)));
+        let v = compare(
+            &report(vec![base]),
+            &report(vec![cur]),
+            CheckOptions::default(),
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::LatencyCount);
+        assert_eq!(v[0].current, 0);
+    }
+
+    #[test]
+    fn torn_wal_counter_is_an_invariant() {
+        let b = report(vec![cell("LSGraph", Some(StructSnapshot::default()))]);
+        let torn = StructSnapshot {
+            recovery_frames_discarded: 1,
+            ..StructSnapshot::default()
+        };
+        let c = report(vec![cell("LSGraph", Some(torn))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Invariant);
+        assert_eq!(v[0].counter, "recovery_frames_discarded");
+    }
+
+    #[test]
+    fn wal_frame_volume_is_gated() {
+        let base = StructSnapshot {
+            wal_frames_appended: 100,
+            ..StructSnapshot::default()
+        };
+        let blown = StructSnapshot {
+            wal_frames_appended: 200,
+            ..StructSnapshot::default()
+        };
+        let b = report(vec![cell("LSGraph", Some(base))]);
+        let c = report(vec![cell("LSGraph", Some(blown))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Regression);
+        assert_eq!(v[0].counter, "wal_frames_appended");
     }
 
     #[test]

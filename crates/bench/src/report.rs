@@ -24,7 +24,15 @@ use lsgraph_api::{CounterSnapshot, HistogramSnapshot, LatencySnapshot, StructSna
 /// v3 adds the fault-handling structural counters (`apply_run_panics`,
 /// `vertices_quarantined`, `vertices_repaired`) to `struct_stats`. Also
 /// additive: older documents parse with those counters at zero.
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4 adds the durability layer: the WAL/checkpoint/recovery counters
+/// (`wal_frames_appended`, `checkpoint_bytes`, `recovery_frames_replayed`,
+/// `recovery_frames_discarded`) to `struct_stats`, and a per-engine
+/// `durability` object (WAL append throughput, checkpoint size/time,
+/// recovery replay rate) emitted by the `durability` experiment. Additive:
+/// v1–v3 documents parse with the counters at zero and `durability` as
+/// `None`.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Memory footprint of one engine after the measured updates (schema v2).
 #[derive(Clone, Debug, PartialEq)]
@@ -39,6 +47,30 @@ pub struct FootprintReport {
     /// The configured amplification bound α, when the engine has one
     /// (LSGraph's RIA gap factor); 0 means "not applicable".
     pub space_amp_alpha: f64,
+}
+
+/// Durability measurements for one engine cell (schema v4; only the
+/// `durability` experiment populates it).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DurabilityReport {
+    /// Frames appended to the WAL during the cell (measured rounds plus
+    /// the post-checkpoint tail the recovery replays).
+    pub wal_frames: u64,
+    /// WAL bytes written during the cell.
+    pub wal_bytes: u64,
+    /// Logged-update throughput: edges per second through WAL append +
+    /// group commit + the in-memory apply.
+    pub wal_append_eps: f64,
+    /// Size of the checkpoint image written at the end of the cell.
+    pub checkpoint_bytes: u64,
+    /// Wall time of that checkpoint (includes the covering WAL sync).
+    pub checkpoint_nanos: u64,
+    /// Wall time of the recovery that reopened the store.
+    pub recovery_nanos: u64,
+    /// WAL frames replayed by that recovery.
+    pub replay_frames: u64,
+    /// Replay throughput: edges per second through the recovery path.
+    pub replay_eps: f64,
 }
 
 /// Wall time of one analytics kernel on one engine (schema v2).
@@ -80,6 +112,9 @@ pub struct EngineReport {
     /// Per-kernel wall times (schema v2; empty for update-only experiments
     /// and v1 documents).
     pub kernels: Vec<KernelTime>,
+    /// WAL/checkpoint/recovery measurements (schema v4; None everywhere
+    /// except the `durability` experiment and in v1–v3 documents).
+    pub durability: Option<DurabilityReport>,
 }
 
 /// A full experiment report.
@@ -202,6 +237,30 @@ impl BenchReport {
                 w.close('}');
             }
             w.close(']');
+            w.field("durability");
+            match &e.durability {
+                None => w.raw("null"),
+                Some(d) => {
+                    w.open('{');
+                    w.field("wal_frames");
+                    w.raw(&d.wal_frames.to_string());
+                    w.field("wal_bytes");
+                    w.raw(&d.wal_bytes.to_string());
+                    w.field("wal_append_eps");
+                    w.raw(&fmt_f64(d.wal_append_eps));
+                    w.field("checkpoint_bytes");
+                    w.raw(&d.checkpoint_bytes.to_string());
+                    w.field("checkpoint_nanos");
+                    w.raw(&d.checkpoint_nanos.to_string());
+                    w.field("recovery_nanos");
+                    w.raw(&d.recovery_nanos.to_string());
+                    w.field("replay_frames");
+                    w.raw(&d.replay_frames.to_string());
+                    w.field("replay_eps");
+                    w.raw(&fmt_f64(d.replay_eps));
+                    w.close('}');
+                }
+            }
             w.close('}');
         }
         w.close(']');
@@ -277,6 +336,27 @@ impl BenchReport {
                                 })
                             })
                             .collect::<Result<Vec<_>, String>>()?,
+                    },
+                    // v4 field: absent in v1–v3 documents.
+                    durability: match get_opt(o, "durability") {
+                        None | Some(Json::Null) => None,
+                        Some(d) => {
+                            let dd = d.as_object("durability")?;
+                            Some(DurabilityReport {
+                                wal_frames: get(dd, "wal_frames")?.as_u64("wal_frames")?,
+                                wal_bytes: get(dd, "wal_bytes")?.as_u64("wal_bytes")?,
+                                wal_append_eps: get(dd, "wal_append_eps")?
+                                    .as_f64("wal_append_eps")?,
+                                checkpoint_bytes: get(dd, "checkpoint_bytes")?
+                                    .as_u64("checkpoint_bytes")?,
+                                checkpoint_nanos: get(dd, "checkpoint_nanos")?
+                                    .as_u64("checkpoint_nanos")?,
+                                recovery_nanos: get(dd, "recovery_nanos")?
+                                    .as_u64("recovery_nanos")?,
+                                replay_frames: get(dd, "replay_frames")?.as_u64("replay_frames")?,
+                                replay_eps: get(dd, "replay_eps")?.as_f64("replay_eps")?,
+                            })
+                        }
                     },
                 })
             })
@@ -725,6 +805,16 @@ mod tests {
                             wall_nanos: 9_999,
                         },
                     ],
+                    durability: Some(DurabilityReport {
+                        wal_frames: 12,
+                        wal_bytes: 65_536,
+                        wal_append_eps: 2.5e6,
+                        checkpoint_bytes: 40_960,
+                        checkpoint_nanos: 750_000,
+                        recovery_nanos: 1_500_000,
+                        replay_frames: 6,
+                        replay_eps: 1.75e6,
+                    }),
                 },
                 EngineReport {
                     engine: "Aspen".to_string(),
@@ -744,6 +834,7 @@ mod tests {
                     footprint: None,
                     latency: None,
                     kernels: Vec::new(),
+                    durability: None,
                 },
             ],
         }
@@ -791,7 +882,23 @@ mod tests {
                 "struct_stats",
                 "footprint",
                 "latency",
-                "kernels"
+                "kernels",
+                "durability"
+            ]
+        );
+        let dur = get(e0, "durability").unwrap().as_object("dur").unwrap();
+        let dur_keys: Vec<&str> = dur.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            dur_keys,
+            [
+                "wal_frames",
+                "wal_bytes",
+                "wal_append_eps",
+                "checkpoint_bytes",
+                "checkpoint_nanos",
+                "recovery_nanos",
+                "replay_frames",
+                "replay_eps"
             ]
         );
         let lat = get(e0, "latency").unwrap().as_object("lat").unwrap();
@@ -870,7 +977,7 @@ mod tests {
     fn future_schema_versions_are_rejected() {
         let doc = sample()
             .to_json()
-            .replacen("\"schema_version\": 3", "\"schema_version\": 4", 1);
+            .replacen("\"schema_version\": 4", "\"schema_version\": 5", 1);
         let err = BenchReport::from_json(&doc).unwrap_err();
         assert!(err.contains("unsupported schema_version"), "{err}");
     }

@@ -203,6 +203,31 @@ impl Spill {
         v
     }
 
+    /// Appends every neighbor to `out` in ascending order, walking each
+    /// tier's container natively — the checkpoint serialization visitor:
+    ///
+    /// * **Array**: one contiguous slice copy;
+    /// * **RIA**: block-by-block via the redundant index array
+    ///   ([`Ria::for_each_block`]), asserting the index/first-element
+    ///   redundancy so a corrupt index cannot serialize silently;
+    /// * **PMA** (ablation): occupied slots in order;
+    /// * **HITree**: the tree's ascending iterator.
+    pub fn checkpoint_extend(&self, out: &mut Vec<u32>) {
+        match self {
+            Spill::Array(v) => out.extend_from_slice(v),
+            Spill::Ria(r) => r.for_each_block(|first, block| {
+                debug_assert_eq!(
+                    block.first().copied(),
+                    (!block.is_empty()).then_some(first),
+                    "RIA index entry disagrees with its block"
+                );
+                out.extend_from_slice(block);
+            }),
+            Spill::Pma(p) => out.extend(p.iter()),
+            Spill::Tree(t) => out.extend(t.iter()),
+        }
+    }
+
     /// Iterates neighbors in ascending order.
     pub fn iter(&self) -> SpillIter<'_> {
         match self {

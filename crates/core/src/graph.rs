@@ -400,6 +400,46 @@ impl LsGraph {
         })
     }
 
+    /// Tier tag of `v` plus its adjacency appended to `out` in ascending
+    /// order, walked tier-natively (see
+    /// [`VertexBlock::checkpoint_neighbors`]) — the per-vertex checkpoint
+    /// serialization visitor.
+    pub fn checkpoint_vertex(&self, v: VertexId, out: &mut Vec<u32>) -> crate::stats::Tier {
+        let tier = self.tier(v);
+        self.vertices[v as usize].checkpoint_neighbors(out);
+        tier
+    }
+
+    /// Installs `v`'s adjacency from a strictly-ascending duplicate-free
+    /// slice during checkpoint restore, growing the vertex table as needed
+    /// and keeping `num_edges` exact. The block's tier is rebuilt
+    /// deterministically from the degree ([`VertexBlock::from_sorted_neighbors`]);
+    /// a live graph's hysteresis-held tier may legitimately differ, which
+    /// only changes layout, never content.
+    pub fn restore_vertex_from_sorted(&mut self, v: VertexId, ns: &[u32]) {
+        debug_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        self.grow_to(v);
+        let vb = &mut self.vertices[v as usize];
+        self.num_edges -= vb.degree();
+        *vb = VertexBlock::from_sorted_neighbors(ns, &self.cfg);
+        self.num_edges += ns.len();
+    }
+
+    /// Re-marks `v` as quarantined during checkpoint restore, so WAL-tail
+    /// replay skips the same runs the pre-crash process skipped. The vertex
+    /// must currently be empty (quarantined blocks always are).
+    pub fn restore_quarantine(&mut self, v: VertexId) -> Result<(), GraphError> {
+        if v as usize >= self.vertices.len() {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.vertices.len(),
+            });
+        }
+        debug_assert_eq!(self.vertices[v as usize].degree(), 0);
+        self.quarantined.insert(v);
+        Ok(())
+    }
+
     /// Whether `v` is quarantined after an apply panic.
     pub fn is_quarantined(&self, v: VertexId) -> bool {
         self.quarantined.contains(&v)

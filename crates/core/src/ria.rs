@@ -111,6 +111,17 @@ impl Ria {
         &self.data[b * BKS..b * BKS + self.counts[b] as usize]
     }
 
+    /// Walks the occupied blocks in order via the redundant index array,
+    /// calling `f(index_entry, block_elements)` per block — the
+    /// serialization visitor checkpoints use. For every non-empty block the
+    /// index entry equals the block's first element (the RIA's core
+    /// redundancy invariant).
+    pub fn for_each_block(&self, mut f: impl FnMut(u32, &[u32])) {
+        for b in 0..self.counts.len() {
+            f(self.index[b], self.block(b));
+        }
+    }
+
     /// Locates the block that would hold `key`.
     ///
     /// Sound because blocks are never empty while `len > 0` (deletes refill

@@ -25,6 +25,31 @@ pub enum Tier {
     HiTree,
 }
 
+impl Tier {
+    /// The one-byte tag this tier is recorded as in checkpoint images.
+    pub fn tag(self) -> u8 {
+        match self {
+            Tier::Inline => 0,
+            Tier::Array => 1,
+            Tier::Ria => 2,
+            Tier::Pma => 3,
+            Tier::HiTree => 4,
+        }
+    }
+
+    /// Inverse of [`Tier::tag`]; `None` for an unknown byte.
+    pub fn from_tag(tag: u8) -> Option<Tier> {
+        Some(match tag {
+            0 => Tier::Inline,
+            1 => Tier::Array,
+            2 => Tier::Ria,
+            3 => Tier::Pma,
+            4 => Tier::HiTree,
+            _ => return None,
+        })
+    }
+}
+
 /// Per-tier vertex and edge counts.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TierStats {

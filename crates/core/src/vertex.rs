@@ -212,6 +212,17 @@ impl VertexBlock {
         v
     }
 
+    /// Appends all neighbors to `out` in ascending order for checkpointing:
+    /// the inline line first, then the spill walked tier-natively
+    /// ([`Spill::checkpoint_extend`]).
+    pub fn checkpoint_neighbors(&self, out: &mut Vec<u32>) {
+        out.reserve(self.degree());
+        out.extend_from_slice(self.inline_neighbors());
+        if let Some(spill) = &self.spill {
+            spill.checkpoint_extend(out);
+        }
+    }
+
     /// Iterates neighbors in ascending order (inline line, then spill).
     pub fn iter(&self) -> NeighborIter<'_> {
         NeighborIter {

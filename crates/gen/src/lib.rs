@@ -17,8 +17,11 @@
 //!   exactly, plus degree-histogram extraction;
 //! * [`loader`]: SNAP-style edge-list text and a compact binary format, so
 //!   real datasets can be dropped in when available;
+//! * [`binio`]: the hand-rolled CRC32 and checksummed-frame helpers shared
+//!   by the binary loader and the durability layer (`lsgraph-persist`);
 //! * [`csr`]: a static CSR snapshot used as the analytics ground truth.
 
+pub mod binio;
 pub mod chunglu;
 pub mod csr;
 pub mod loader;

@@ -1,0 +1,445 @@
+//! Tier-aware checkpoints: a versioned binary image of the hierarchical
+//! representation plus a manifest naming the newest image.
+//!
+//! A checkpoint serializes every non-empty vertex through the engine's
+//! tier-native walk ([`LsGraph::checkpoint_vertex`]): the inline line, then
+//! the spill container traversed per tier — sorted array as a slice, RIA
+//! block-by-block via its redundant index, HITree through its iterator.
+//! Each record carries the vertex's tier tag, so images document the
+//! hierarchy they froze even though restore rebuilds tiers deterministically
+//! from degree.
+//!
+//! On-disk layout: the magic `LSGCKPT1`, then one [`binio`] frame
+//! (`u32 len | u32 CRC32 | body`), so a torn or bit-flipped image fails
+//! closed exactly like a torn WAL frame. The body is
+//!
+//! ```text
+//! u64 α bits | u64 A | u64 M                  -- config fingerprint
+//! u64 num_vertices | u64 num_edges
+//! u64 wal_offset | u64 next_seq               -- WAL position it covers
+//! u64 quarantined_count | ids…                -- re-quarantined on restore
+//! u64 record_count
+//! records: u32 id | u8 tier tag | u32 degree | neighbors…
+//! ```
+//!
+//! The frame's u32 length caps an image at 4 GiB, plenty for this engine's
+//! in-memory scale. Images are written to a temp file, fsynced, and renamed
+//! into place; the `MANIFEST` (same magic-plus-frame shape) is updated after
+//! the image lands, and recovery falls back to scanning for the newest valid
+//! image if the manifest itself is lost.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use lsgraph_api::{fail_point, Graph};
+use lsgraph_core::{Config, LsGraph, Tier};
+use lsgraph_gen::binio;
+
+/// Magic header of a checkpoint image.
+const CKPT_MAGIC: &[u8; 8] = b"LSGCKPT1";
+
+/// Magic header of the manifest.
+const MANIFEST_MAGIC: &[u8; 8] = b"LSGMANI1";
+
+/// Name of the manifest file inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Identity and coverage of one checkpoint image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Monotonic checkpoint id (also in the file name).
+    pub id: u64,
+    /// WAL byte offset the image covers; replay resumes here.
+    pub wal_offset: u64,
+    /// Sequence number the first replayed WAL frame must carry.
+    pub next_seq: u64,
+    /// Size of the image file in bytes.
+    pub bytes: u64,
+}
+
+/// File name of checkpoint `id` (zero-padded so lexical order = numeric).
+pub fn checkpoint_file(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{id:016}.img"))
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Serializes `g` into checkpoint image `id` under `dir` and updates the
+/// manifest. Quarantined vertices contribute their id to the quarantine
+/// list but never an adjacency record (they are degree 0 by invariant).
+/// Records `checkpoint_bytes` into the graph's stats.
+///
+/// # Errors
+///
+/// Propagates I/O errors; the image is written to a temp file and renamed,
+/// so a failed write never clobbers an older checkpoint.
+pub fn write_checkpoint(
+    dir: &Path,
+    id: u64,
+    g: &LsGraph,
+    wal_offset: u64,
+    next_seq: u64,
+) -> io::Result<CheckpointMeta> {
+    fail_point!("checkpoint_write");
+    let cfg = g.config();
+    let mut body = Vec::with_capacity(64 + g.num_edges() * 4);
+    body.extend_from_slice(&cfg.alpha.to_bits().to_le_bytes());
+    body.extend_from_slice(&(cfg.a as u64).to_le_bytes());
+    body.extend_from_slice(&(cfg.m as u64).to_le_bytes());
+    body.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+    body.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
+    body.extend_from_slice(&wal_offset.to_le_bytes());
+    body.extend_from_slice(&next_seq.to_le_bytes());
+    let quarantined = g.quarantined_vertices();
+    body.extend_from_slice(&(quarantined.len() as u64).to_le_bytes());
+    for &q in &quarantined {
+        body.extend_from_slice(&q.to_le_bytes());
+    }
+    let record_count_at = body.len();
+    body.extend_from_slice(&0u64.to_le_bytes());
+    let mut records = 0u64;
+    let mut ns = Vec::new();
+    for v in 0..g.num_vertices() as u32 {
+        ns.clear();
+        let tier = g.checkpoint_vertex(v, &mut ns);
+        if ns.is_empty() {
+            continue;
+        }
+        debug_assert!(
+            !g.is_quarantined(v),
+            "quarantined vertex {v} has a non-empty adjacency"
+        );
+        body.extend_from_slice(&v.to_le_bytes());
+        body.push(tier.tag());
+        body.extend_from_slice(&(ns.len() as u32).to_le_bytes());
+        for &u in &ns {
+            body.extend_from_slice(&u.to_le_bytes());
+        }
+        records += 1;
+    }
+    body[record_count_at..record_count_at + 8].copy_from_slice(&records.to_le_bytes());
+
+    let path = checkpoint_file(dir, id);
+    let tmp = path.with_extension("img.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(CKPT_MAGIC)?;
+        binio::write_frame(&mut f, &body)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, &path)?;
+    let bytes = fs::metadata(&path)?.len();
+    g.stats().record_checkpoint_bytes(bytes);
+    let meta = CheckpointMeta {
+        id,
+        wal_offset,
+        next_seq,
+        bytes,
+    };
+    write_manifest(dir, meta)?;
+    Ok(meta)
+}
+
+/// Parses and restores the checkpoint image at `path`, rebuilding the graph
+/// under `cfg` (whose α/A/M must match the image's fingerprint).
+///
+/// # Errors
+///
+/// `InvalidData` for a bad magic, torn frame, config mismatch, or any
+/// structural inconsistency; other I/O errors propagate.
+pub fn load_checkpoint(path: &Path, cfg: Config) -> io::Result<(LsGraph, CheckpointMeta)> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    let disp = path.display();
+    if raw.len() < CKPT_MAGIC.len() || &raw[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+        return Err(invalid(format!("{disp}: not an LSGCKPT1 image")));
+    }
+    let (body, consumed) = binio::parse_frame(&raw[CKPT_MAGIC.len()..])
+        .ok_or_else(|| invalid(format!("{disp}: torn or corrupt checkpoint frame")))?;
+    if CKPT_MAGIC.len() + consumed != raw.len() {
+        return Err(invalid(format!("{disp}: trailing bytes after image frame")));
+    }
+
+    let mut cur = Cursor { body, pos: 0 };
+    let alpha_bits = cur.u64(&disp)?;
+    let a = cur.u64(&disp)?;
+    let m = cur.u64(&disp)?;
+    if alpha_bits != cfg.alpha.to_bits() || a != cfg.a as u64 || m != cfg.m as u64 {
+        return Err(invalid(format!(
+            "{disp}: image config (α={}, A={a}, M={m}) does not match engine config \
+             (α={}, A={}, M={})",
+            f64::from_bits(alpha_bits),
+            cfg.alpha,
+            cfg.a,
+            cfg.m
+        )));
+    }
+    let num_vertices = cur.u64(&disp)? as usize;
+    let num_edges = cur.u64(&disp)? as usize;
+    let wal_offset = cur.u64(&disp)?;
+    let next_seq = cur.u64(&disp)?;
+    let n_quarantined = cur.u64(&disp)? as usize;
+    let mut quarantined = Vec::with_capacity(n_quarantined.min(1 << 20));
+    for _ in 0..n_quarantined {
+        quarantined.push(cur.u32(&disp)?);
+    }
+    let records = cur.u64(&disp)?;
+
+    let mut g =
+        LsGraph::try_with_config(num_vertices, cfg).map_err(|e| invalid(format!("{disp}: {e}")))?;
+    let mut ns = Vec::new();
+    for _ in 0..records {
+        let v = cur.u32(&disp)?;
+        let tag = cur.u8(&disp)?;
+        if Tier::from_tag(tag).is_none() {
+            return Err(invalid(format!("{disp}: unknown tier tag {tag}")));
+        }
+        let degree = cur.u32(&disp)? as usize;
+        ns.clear();
+        ns.reserve(degree);
+        for _ in 0..degree {
+            ns.push(cur.u32(&disp)?);
+        }
+        if !ns.windows(2).all(|w| w[0] < w[1]) {
+            return Err(invalid(format!(
+                "{disp}: vertex {v} adjacency not ascending"
+            )));
+        }
+        g.restore_vertex_from_sorted(v, &ns);
+    }
+    if cur.pos != body.len() {
+        return Err(invalid(format!("{disp}: unread bytes after last record")));
+    }
+    if g.num_edges() != num_edges {
+        return Err(invalid(format!(
+            "{disp}: restored {} edges but the image claims {num_edges}",
+            g.num_edges()
+        )));
+    }
+    for &q in &quarantined {
+        g.restore_quarantine(q)
+            .map_err(|e| invalid(format!("{disp}: {e}")))?;
+    }
+    let bytes = raw.len() as u64;
+    let id = checkpoint_id_from_path(path).unwrap_or(0);
+    Ok((
+        g,
+        CheckpointMeta {
+            id,
+            wal_offset,
+            next_seq,
+            bytes,
+        },
+    ))
+}
+
+/// Little-endian cursor over a checkpoint body.
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn slice(&mut self, n: usize, disp: &dyn std::fmt::Display) -> io::Result<&[u8]> {
+        let s = self
+            .body
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| invalid(format!("{disp}: image body truncated")))?;
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, disp: &dyn std::fmt::Display) -> io::Result<u8> {
+        Ok(self.slice(1, disp)?[0])
+    }
+
+    fn u32(&mut self, disp: &dyn std::fmt::Display) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.slice(4, disp)?.try_into().expect("4-byte slice"),
+        ))
+    }
+
+    fn u64(&mut self, disp: &dyn std::fmt::Display) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.slice(8, disp)?.try_into().expect("8-byte slice"),
+        ))
+    }
+}
+
+/// Extracts the id from a `checkpoint-<id>.img` file name.
+fn checkpoint_id_from_path(path: &Path) -> Option<u64> {
+    path.file_name()?
+        .to_str()?
+        .strip_prefix("checkpoint-")?
+        .strip_suffix(".img")?
+        .parse()
+        .ok()
+}
+
+/// Writes the manifest naming checkpoint `meta` (temp file + rename).
+fn write_manifest(dir: &Path, meta: CheckpointMeta) -> io::Result<()> {
+    let mut body = Vec::with_capacity(24);
+    body.extend_from_slice(&meta.id.to_le_bytes());
+    body.extend_from_slice(&meta.wal_offset.to_le_bytes());
+    body.extend_from_slice(&meta.next_seq.to_le_bytes());
+    let path = dir.join(MANIFEST_FILE);
+    let tmp = dir.join("MANIFEST.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(MANIFEST_MAGIC)?;
+        binio::write_frame(&mut f, &body)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, &path)
+}
+
+/// Reads the manifest; `Ok(None)` if it is missing or fails validation
+/// (recovery then falls back to a directory scan).
+fn read_manifest(dir: &Path) -> io::Result<Option<u64>> {
+    let mut raw = Vec::new();
+    match File::open(dir.join(MANIFEST_FILE)) {
+        Ok(mut f) => f.read_to_end(&mut raw).map(|_| ())?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    if raw.len() < MANIFEST_MAGIC.len() || &raw[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+        return Ok(None);
+    }
+    let Some((body, _)) = binio::parse_frame(&raw[MANIFEST_MAGIC.len()..]) else {
+        return Ok(None);
+    };
+    if body.len() != 24 {
+        return Ok(None);
+    }
+    Ok(Some(u64::from_le_bytes(
+        body[0..8].try_into().expect("8-byte slice"),
+    )))
+}
+
+/// Loads the newest valid checkpoint under `dir`: the manifest's image if it
+/// validates, else the highest-id image that does. `Ok(None)` when no valid
+/// image exists (cold start, or every image is corrupt).
+///
+/// # Errors
+///
+/// Propagates directory-scan I/O errors; individually corrupt images are
+/// skipped, not errors.
+pub fn load_newest_checkpoint(
+    dir: &Path,
+    cfg: Config,
+) -> io::Result<Option<(LsGraph, CheckpointMeta)>> {
+    if let Some(id) = read_manifest(dir)? {
+        if let Ok(loaded) = load_checkpoint(&checkpoint_file(dir, id), cfg) {
+            return Ok(Some(loaded));
+        }
+    }
+    let mut ids: Vec<u64> = fs::read_dir(dir)?
+        .filter_map(|e| checkpoint_id_from_path(&e.ok()?.path()))
+        .collect();
+    ids.sort_unstable_by(|x, y| y.cmp(x));
+    for id in ids {
+        if let Ok(loaded) = load_checkpoint(&checkpoint_file(dir, id), cfg) {
+            return Ok(Some(loaded));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsgraph_api::{DynamicGraph, Edge};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lsgraph-ckpt-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn skewed_graph(cfg: Config) -> LsGraph {
+        let mut g = LsGraph::with_config(400, cfg);
+        let mut batch = Vec::new();
+        // Vertex 0 deep into the HITree tier, 1 in RIA, 2 in array, 3 inline.
+        batch.extend((0..900u32).map(|i| Edge::new(0, i + 1)));
+        batch.extend((0..80u32).map(|i| Edge::new(1, 2 * i + 1)));
+        batch.extend((0..20u32).map(|i| Edge::new(2, 3 * i + 2)));
+        batch.extend((0..5u32).map(|i| Edge::new(3, i + 7)));
+        g.insert_batch(&batch);
+        g
+    }
+
+    fn small_cfg() -> Config {
+        Config {
+            m: 256,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_every_tier() {
+        let dir = tmpdir("roundtrip");
+        let g = skewed_graph(small_cfg());
+        let meta = write_checkpoint(&dir, 1, &g, 123, 9).unwrap();
+        assert_eq!(meta.wal_offset, 123);
+        assert_eq!(meta.next_seq, 9);
+        assert_eq!(g.stats().snapshot().checkpoint_bytes, meta.bytes);
+        let (r, rmeta) = load_checkpoint(&checkpoint_file(&dir, 1), small_cfg()).unwrap();
+        assert_eq!(rmeta, meta);
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(r.num_vertices(), g.num_vertices());
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(r.neighbors(v), g.neighbors(v), "vertex {v}");
+        }
+        r.check_invariants();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_image_fails_closed_and_scan_falls_back() {
+        let dir = tmpdir("corrupt");
+        let g = skewed_graph(small_cfg());
+        write_checkpoint(&dir, 1, &g, 10, 1).unwrap();
+        write_checkpoint(&dir, 2, &g, 20, 2).unwrap();
+        // Corrupt image 2 (the manifest's pick): flip a payload byte.
+        let p2 = checkpoint_file(&dir, 2);
+        let mut bytes = std::fs::read(&p2).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&p2, &bytes).unwrap();
+        assert!(load_checkpoint(&p2, small_cfg()).is_err());
+        // Recovery falls back to the newest *valid* image.
+        let (_, meta) = load_newest_checkpoint(&dir, small_cfg()).unwrap().unwrap();
+        assert_eq!(meta.id, 1);
+        assert_eq!(meta.wal_offset, 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        let dir = tmpdir("cfgmismatch");
+        let g = skewed_graph(small_cfg());
+        write_checkpoint(&dir, 1, &g, 0, 0).unwrap();
+        let other = Config {
+            m: 512,
+            ..Config::default()
+        };
+        let err = match load_checkpoint(&checkpoint_file(&dir, 1), other) {
+            Err(e) => e,
+            Ok(_) => panic!("config mismatch must be rejected"),
+        };
+        assert!(err.to_string().contains("does not match"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_dir_loads_nothing() {
+        let dir = tmpdir("empty");
+        assert!(load_newest_checkpoint(&dir, Config::default())
+            .unwrap()
+            .is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

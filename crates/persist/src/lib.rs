@@ -1,0 +1,33 @@
+//! Durability tier for LSGraph: write-ahead logging, tier-aware
+//! checkpoints, and crash recovery with torn-write handling.
+//!
+//! The engine itself ([`lsgraph_core::LsGraph`]) is a purely in-memory
+//! structure; this crate wraps it in a [`Store`] that makes streamed
+//! updates survive a crash:
+//!
+//! - [`wal`] — every batch is appended as a length-prefixed, CRC32-checked
+//!   frame *before* it is applied (write-ahead rule), with group-commit
+//!   buffering and explicit [`Store::sync`] durability points.
+//! - [`checkpoint`] — a full serialization of the hierarchical
+//!   representation, walking each vertex's tier natively (inline line,
+//!   sorted array, RIA via its redundant index, HITree via its iterator)
+//!   into a versioned, self-validating binary image plus a manifest that
+//!   records the WAL offset the image covers.
+//! - [`store`] — recovery: newest valid checkpoint + WAL-tail replay
+//!   through the normal batch pipeline, truncating the log at the first
+//!   torn or corrupt frame and reporting what was reconstructed and what
+//!   was discarded in a [`RecoveryReport`].
+//!
+//! Durability work is observable through four
+//! [`StructStats`](lsgraph_api::StructStats) counters
+//! (`wal_frames_appended`, `checkpoint_bytes`, `recovery_frames_replayed`,
+//! `recovery_frames_discarded`) and injectable at four failpoint sites
+//! (`wal_append`, `wal_sync`, `checkpoint_write`, `recovery_replay`).
+
+pub mod checkpoint;
+pub mod store;
+pub mod wal;
+
+pub use checkpoint::CheckpointMeta;
+pub use store::{RecoveryReport, Store, StoreError, WAL_FILE};
+pub use wal::{Wal, WalOp};

@@ -1,0 +1,434 @@
+//! The durable store: an [`LsGraph`] fronted by a WAL, with tier-aware
+//! checkpoints and crash recovery.
+//!
+//! Write path: every batch is appended to the WAL **before**
+//! [`LsGraph::try_insert_batch`] / [`try_delete_batch`] applies it
+//! (write-ahead rule), so the log is always a superset of the in-memory
+//! state up to group-commit buffering. [`Store::sync`] is the durability
+//! point; [`Store::checkpoint`] syncs the log and freezes the full
+//! hierarchical representation so the covered WAL prefix never needs
+//! replaying again.
+//!
+//! Recovery ([`Store::open`]): load the newest valid checkpoint (or start
+//! empty), scan the WAL tail it does not cover, replay cleanly-decoded
+//! frames through the normal batch pipeline, and physically truncate the
+//! log at the first torn or corrupt frame. The caller gets a
+//! [`RecoveryReport`] and the stats counters
+//! `recovery_frames_replayed` / `recovery_frames_discarded` are updated.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use lsgraph_api::{fail_point, Edge, Graph};
+use lsgraph_core::{BatchOutcome, Config, GraphError, LsGraph};
+
+use crate::checkpoint::{self, CheckpointMeta};
+use crate::wal::{self, Wal, WalOp};
+
+/// Name of the write-ahead log inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Errors from store operations: I/O from the durability layer, or a
+/// structural error surfaced by the engine's fallible batch API.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The WAL, checkpoint, or manifest I/O failed.
+    Io(io::Error),
+    /// The engine rejected the operation.
+    Graph(GraphError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Graph(e) => write!(f, "store graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Graph(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<GraphError> for StoreError {
+    fn from(e: GraphError) -> Self {
+        StoreError::Graph(e)
+    }
+}
+
+/// What [`Store::open`] reconstructed and what it had to throw away.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Id of the checkpoint image loaded, if any.
+    pub checkpoint_loaded: Option<u64>,
+    /// WAL frames replayed through the batch pipeline.
+    pub frames_replayed: u64,
+    /// Truncation events in the WAL tail (1 if a torn/corrupt tail was cut).
+    pub frames_discarded: u64,
+    /// Bytes discarded from the torn tail.
+    pub bytes_discarded: u64,
+    /// Edges in the graph after recovery completed.
+    pub edges_restored: u64,
+    /// Sequence number the next logged batch will carry — equivalently, the
+    /// number of batches (checkpointed + replayed) the recovered state holds.
+    pub next_seq: u64,
+}
+
+/// A durable [`LsGraph`]: WAL + checkpoints + recovery in one directory.
+pub struct Store {
+    dir: PathBuf,
+    graph: LsGraph,
+    wal: Wal,
+    next_checkpoint_id: u64,
+}
+
+impl Store {
+    /// Opens the store at `dir` (created if missing), running recovery:
+    /// newest valid checkpoint, then WAL-tail replay, then torn-tail
+    /// truncation. `n` sizes a cold-start graph; an existing checkpoint's
+    /// own vertex count wins (the graph grows lazily past either bound).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the directory, WAL, or checkpoint files; a config
+    /// rejected by the engine; or a replay failure from the batch pipeline.
+    /// Individually corrupt checkpoint images are skipped, not errors.
+    pub fn open(dir: &Path, n: usize, cfg: Config) -> Result<(Store, RecoveryReport), StoreError> {
+        fs::create_dir_all(dir)?;
+        let (mut graph, ckpt) = match checkpoint::load_newest_checkpoint(dir, cfg)? {
+            Some((g, meta)) => (g, Some(meta)),
+            None => (
+                LsGraph::try_with_config(n, cfg).map_err(GraphError::InvalidConfig)?,
+                None,
+            ),
+        };
+        let (wal_offset, mut next_seq) = ckpt.map_or((0, 0), |m| (m.wal_offset, m.next_seq));
+        let wal_path = dir.join(WAL_FILE);
+        let scan = wal::scan(&wal_path, wal_offset, next_seq)?;
+        let mut frames_replayed = 0u64;
+        for frame in &scan.frames {
+            fail_point!("recovery_replay");
+            match frame.op {
+                WalOp::Insert => graph.try_insert_batch(&frame.edges)?,
+                WalOp::Delete => graph.try_delete_batch(&frame.edges)?,
+            };
+            graph.stats().record_recovery_frame_replayed();
+            frames_replayed += 1;
+        }
+        graph
+            .stats()
+            .record_recovery_frames_discarded(scan.frames_discarded);
+        next_seq += frames_replayed;
+        let wal = Wal::open(&wal_path, scan.valid_len, next_seq)?;
+        let report = RecoveryReport {
+            checkpoint_loaded: ckpt.map(|m| m.id),
+            frames_replayed,
+            frames_discarded: scan.frames_discarded,
+            bytes_discarded: scan.bytes_discarded,
+            edges_restored: graph.num_edges() as u64,
+            next_seq,
+        };
+        let store = Store {
+            dir: dir.to_path_buf(),
+            graph,
+            wal,
+            next_checkpoint_id: ckpt.map_or(1, |m| m.id + 1),
+        };
+        Ok((store, report))
+    }
+
+    /// Logs `batch` to the WAL, then inserts it. The frame is crash-durable
+    /// only after the next [`Store::sync`] (group commit).
+    ///
+    /// # Errors
+    ///
+    /// WAL I/O errors (the batch is then *not* applied), or an engine error
+    /// from the fallible batch pipeline.
+    pub fn insert_batch(&mut self, batch: &[Edge]) -> Result<BatchOutcome, StoreError> {
+        self.wal.append(WalOp::Insert, batch, self.graph.stats())?;
+        Ok(self.graph.try_insert_batch(batch)?)
+    }
+
+    /// Logs `batch` to the WAL, then deletes it. Mirrors
+    /// [`Store::insert_batch`].
+    ///
+    /// # Errors
+    ///
+    /// WAL I/O errors (the batch is then *not* applied), or an engine error
+    /// from the fallible batch pipeline.
+    pub fn delete_batch(&mut self, batch: &[Edge]) -> Result<BatchOutcome, StoreError> {
+        self.wal.append(WalOp::Delete, batch, self.graph.stats())?;
+        Ok(self.graph.try_delete_batch(batch)?)
+    }
+
+    /// Flushes and fsyncs the WAL — everything logged so far becomes
+    /// crash-durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the flush or fsync.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        Ok(self.wal.sync()?)
+    }
+
+    /// Syncs the WAL, then writes a checkpoint image covering the entire
+    /// log so far. Recovery from this image replays nothing unless more
+    /// batches land afterwards. The log itself is kept (it stays a full
+    /// history); images carry the offset where replay must resume.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL sync and image-write I/O errors; a failed image write
+    /// never clobbers an older checkpoint.
+    pub fn checkpoint(&mut self) -> Result<CheckpointMeta, StoreError> {
+        self.wal.sync()?;
+        let meta = checkpoint::write_checkpoint(
+            &self.dir,
+            self.next_checkpoint_id,
+            &self.graph,
+            self.wal.logical_len(),
+            self.wal.next_seq(),
+        )?;
+        self.next_checkpoint_id = meta.id + 1;
+        Ok(meta)
+    }
+
+    /// The recovered / live graph.
+    pub fn graph(&self) -> &LsGraph {
+        &self.graph
+    }
+
+    /// Mutable access for out-of-band surgery (e.g.
+    /// [`LsGraph::repair_vertex`]). Such mutations bypass the WAL: they are
+    /// durable only once a subsequent [`Store::checkpoint`] freezes them.
+    pub fn graph_mut(&mut self) -> &mut LsGraph {
+        &mut self.graph
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// WAL length in bytes including group-commit-buffered frames.
+    pub fn wal_len(&self) -> u64 {
+        self.wal.logical_len()
+    }
+
+    /// The sequence number the next logged batch will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lsgraph-store-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn cfg() -> Config {
+        Config {
+            m: 256,
+            ..Config::default()
+        }
+    }
+
+    /// Deterministic mixed workload: `rounds` insert batches with a delete
+    /// batch every third round.
+    fn workload(rounds: u64) -> Vec<(WalOp, Vec<Edge>)> {
+        let mut out = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for r in 0..rounds {
+            let mut ins = Vec::new();
+            for _ in 0..40 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let src = ((x >> 33) % 64) as u32;
+                let dst = ((x >> 17) % 500) as u32;
+                ins.push(Edge::new(src, dst));
+            }
+            out.push((WalOp::Insert, ins.clone()));
+            if r % 3 == 2 {
+                let del = ins.iter().step_by(4).copied().collect();
+                out.push((WalOp::Delete, del));
+            }
+        }
+        out
+    }
+
+    fn shadow(batches: &[(WalOp, Vec<Edge>)]) -> BTreeSet<(u32, u32)> {
+        let mut s = BTreeSet::new();
+        for (op, b) in batches {
+            for e in b {
+                match op {
+                    WalOp::Insert => {
+                        s.insert((e.src, e.dst));
+                    }
+                    WalOp::Delete => {
+                        s.remove(&(e.src, e.dst));
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    fn assert_matches_shadow(g: &LsGraph, s: &BTreeSet<(u32, u32)>) {
+        assert_eq!(g.num_edges(), s.len());
+        for v in 0..g.num_vertices() as u32 {
+            let want: Vec<u32> = s.range((v, 0)..=(v, u32::MAX)).map(|&(_, d)| d).collect();
+            assert_eq!(g.neighbors(v), want, "vertex {v}");
+        }
+        g.check_invariants();
+    }
+
+    fn run(store: &mut Store, batches: &[(WalOp, Vec<Edge>)]) {
+        for (op, b) in batches {
+            match op {
+                WalOp::Insert => store.insert_batch(b).unwrap(),
+                WalOp::Delete => store.delete_batch(b).unwrap(),
+            };
+        }
+    }
+
+    #[test]
+    fn cold_start_log_replay() {
+        let dir = tmpdir("cold");
+        let batches = workload(12);
+        {
+            let (mut store, report) = Store::open(&dir, 64, cfg()).unwrap();
+            assert_eq!(report, RecoveryReport::default());
+            run(&mut store, &batches);
+            store.sync().unwrap();
+        }
+        let (store, report) = Store::open(&dir, 64, cfg()).unwrap();
+        assert_eq!(report.checkpoint_loaded, None);
+        assert_eq!(report.frames_replayed, batches.len() as u64);
+        assert_eq!(report.frames_discarded, 0);
+        assert_eq!(report.next_seq, batches.len() as u64);
+        assert_matches_shadow(store.graph(), &shadow(&batches));
+        assert_eq!(
+            store.graph().stats().snapshot().recovery_frames_replayed,
+            batches.len() as u64
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_covers_prefix_replay_covers_tail() {
+        let dir = tmpdir("ckpt-tail");
+        let batches = workload(12);
+        let half = batches.len() / 2;
+        {
+            let (mut store, _) = Store::open(&dir, 64, cfg()).unwrap();
+            run(&mut store, &batches[..half]);
+            let meta = store.checkpoint().unwrap();
+            assert_eq!(meta.next_seq, half as u64);
+            run(&mut store, &batches[half..]);
+            store.sync().unwrap();
+        }
+        let (store, report) = Store::open(&dir, 64, cfg()).unwrap();
+        assert_eq!(report.checkpoint_loaded, Some(1));
+        assert_eq!(report.frames_replayed, (batches.len() - half) as u64);
+        assert_eq!(report.next_seq, batches.len() as u64);
+        assert_matches_shadow(store.graph(), &shadow(&batches));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_and_reported() {
+        let dir = tmpdir("torn");
+        let batches = workload(8);
+        {
+            let (mut store, _) = Store::open(&dir, 64, cfg()).unwrap();
+            run(&mut store, &batches);
+            store.sync().unwrap();
+        }
+        // Physically tear the last frame mid-payload.
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 5]).unwrap();
+        let (store, report) = Store::open(&dir, 64, cfg()).unwrap();
+        assert_eq!(report.frames_replayed, batches.len() as u64 - 1);
+        assert_eq!(report.frames_discarded, 1);
+        assert!(report.bytes_discarded > 0);
+        assert_eq!(
+            store.graph().stats().snapshot().recovery_frames_discarded,
+            1
+        );
+        // The torn bytes are physically gone and the store's state equals
+        // a clean run of the surviving prefix.
+        assert!(std::fs::metadata(&wal_path).unwrap().len() < bytes.len() as u64);
+        assert_matches_shadow(store.graph(), &shadow(&batches[..batches.len() - 1]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_after_torn_truncation_appends_cleanly() {
+        let dir = tmpdir("torn-resume");
+        let batches = workload(6);
+        {
+            let (mut store, _) = Store::open(&dir, 64, cfg()).unwrap();
+            run(&mut store, &batches);
+            store.sync().unwrap();
+        }
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 2]).unwrap();
+        let tail = workload(3);
+        let survivors = {
+            let (mut store, report) = Store::open(&dir, 64, cfg()).unwrap();
+            let survivors = report.frames_replayed as usize;
+            run(&mut store, &tail);
+            store.sync().unwrap();
+            survivors
+        };
+        let (store, report) = Store::open(&dir, 64, cfg()).unwrap();
+        assert_eq!(report.frames_discarded, 0, "second recovery is clean");
+        let mut expect: Vec<(WalOp, Vec<Edge>)> = batches[..survivors].to_vec();
+        expect.extend(tail.iter().cloned());
+        assert_eq!(report.frames_replayed, expect.len() as u64);
+        assert_matches_shadow(store.graph(), &shadow(&expect));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unsynced_buffered_frames_are_lost_not_torn() {
+        let dir = tmpdir("unsynced");
+        let batches = workload(4);
+        {
+            let (mut store, _) = Store::open(&dir, 64, cfg()).unwrap();
+            run(&mut store, &batches[..2]);
+            store.sync().unwrap();
+            // These stay in the group-commit buffer: never written.
+            run(&mut store, &batches[2..]);
+            assert!(store.wal_len() > 0);
+        }
+        let (store, report) = Store::open(&dir, 64, cfg()).unwrap();
+        assert_eq!(report.frames_replayed, 2);
+        assert_eq!(report.frames_discarded, 0, "a lost buffer is not a tear");
+        assert_matches_shadow(store.graph(), &shadow(&batches[..2]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
