@@ -1,0 +1,112 @@
+//! Snapshot-taking kernel entry points: analytics over a frozen view.
+//!
+//! Every kernel in this crate is generic over [`Graph`], so it already runs
+//! against an immutable snapshot handle unchanged. What this module adds is
+//! the *taking*: entry points generic over [`SnapshotSource`] that flip a
+//! snapshot first and run the kernel against that frozen view, so the
+//! result is a function of one well-defined graph state even when the
+//! source is being updated between calls.
+//!
+//! For analytics genuinely concurrent with writes, use [`freeze`] to obtain
+//! an owned snapshot, move it to a reader thread (it is `Send + Sync +
+//! Clone`), and run any kernel there while the writer keeps applying
+//! batches — the pattern the `repro mixed` experiment measures.
+
+use lsgraph_api::SnapshotSource;
+
+use crate::tc::TcResult;
+
+/// Flips and returns an owned snapshot of `g` — the handle to hand to
+/// reader threads for analytics concurrent with a streaming writer.
+pub fn freeze<S: SnapshotSource + ?Sized>(g: &S) -> S::Snapshot {
+    g.snapshot()
+}
+
+/// BFS distances from `src` over a freshly frozen view of `g`.
+pub fn bfs_snapshot<S: SnapshotSource + ?Sized>(g: &S, src: u32) -> Vec<u32> {
+    crate::bfs(&g.snapshot(), src)
+}
+
+/// Connected-components labels over a freshly frozen view of `g`.
+pub fn connected_components_snapshot<S: SnapshotSource + ?Sized>(g: &S) -> Vec<u32> {
+    crate::connected_components(&g.snapshot())
+}
+
+/// PageRank over a freshly frozen view of `g` (`iters` power iterations,
+/// damping `d`).
+pub fn pagerank_snapshot<S: SnapshotSource + ?Sized>(g: &S, iters: usize, d: f64) -> Vec<f64> {
+    crate::pagerank(&g.snapshot(), iters, d)
+}
+
+/// K-core numbers over a freshly frozen view of `g`.
+pub fn kcore_snapshot<S: SnapshotSource + ?Sized>(g: &S) -> Vec<u32> {
+    crate::kcore(&g.snapshot())
+}
+
+/// Triangle count over a freshly frozen view of `g`.
+pub fn triangle_count_snapshot<S: SnapshotSource + ?Sized>(g: &S) -> TcResult {
+    crate::triangle_count(&g.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsgraph_api::{DynamicGraph, Edge, Graph};
+    use lsgraph_core::LsGraph;
+
+    fn ring(n: u32) -> LsGraph {
+        let mut g = LsGraph::new(n as usize);
+        let edges: Vec<Edge> = (0..n).map(|v| Edge::new(v, (v + 1) % n)).collect();
+        g.insert_batch_undirected(&edges);
+        g
+    }
+
+    #[test]
+    fn snapshot_kernels_match_live_kernels() {
+        let g = ring(32);
+        assert_eq!(bfs_snapshot(&g, 0), crate::bfs(&g, 0));
+        assert_eq!(
+            connected_components_snapshot(&g),
+            crate::connected_components(&g)
+        );
+        assert_eq!(kcore_snapshot(&g), crate::kcore(&g));
+        assert_eq!(
+            triangle_count_snapshot(&g).triangles,
+            crate::triangle_count(&g).triangles
+        );
+        let pr_snap = pagerank_snapshot(&g, 10, 0.85);
+        let pr_live = crate::pagerank(&g, 10, 0.85);
+        assert_eq!(pr_snap, pr_live, "same frozen input, same iterations");
+    }
+
+    #[test]
+    fn frozen_view_is_immune_to_later_writes() {
+        let mut g = ring(16);
+        let snap = freeze(&g);
+        let before = crate::bfs(&snap, 0);
+        // Cut the ring after the freeze: live BFS changes, frozen doesn't.
+        g.delete_batch_undirected(&[Edge::new(7, 8)]);
+        assert_ne!(crate::bfs(&g, 0), before);
+        assert_eq!(crate::bfs(&snap, 0), before);
+        assert_eq!(snap.num_edges(), 32);
+    }
+
+    #[test]
+    fn kernels_run_on_a_moved_snapshot_while_writer_continues() {
+        let mut g = ring(24);
+        let snap = freeze(&g);
+        let handle = std::thread::spawn(move || {
+            (
+                crate::connected_components(&snap).iter().max().copied(),
+                crate::triangle_count(&snap).triangles,
+            )
+        });
+        // Writer keeps streaming while the reader thread works.
+        for v in 0..24u32 {
+            g.insert_batch(&[Edge::new(v, (v + 5) % 24)]);
+        }
+        let (cc_max, tc) = handle.join().unwrap();
+        assert_eq!(cc_max, Some(0), "ring is one component labeled by min id");
+        assert_eq!(tc, 0, "a plain ring has no triangles");
+    }
+}

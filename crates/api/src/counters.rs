@@ -272,6 +272,18 @@ pub struct StructStats {
     /// WAL frames discarded as torn/corrupt during recovery.
     pub recovery_frames_discarded: AtomicU64,
 
+    /// Read snapshots taken from the live graph (epoch registrations).
+    pub snapshots_taken: AtomicU64,
+    /// Read snapshots dropped (epoch deregistrations).
+    pub snapshots_retired: AtomicU64,
+    /// Vertex blocks copied on write because a snapshot still referenced
+    /// them when a batch mutated the vertex.
+    pub cow_block_copies: AtomicU64,
+    /// Retired block versions awaiting epoch reclamation (gauge, not a
+    /// sum). Must return to zero once the last snapshot drops; `repro
+    /// check` treats a nonzero value as an invariant violation.
+    pub epoch_reclaim_backlog: AtomicU64,
+
     /// Nanoseconds in the batch sort+dedup phase.
     pub phase_sort_nanos: AtomicU64,
     /// Nanoseconds grouping keys into per-source runs.
@@ -317,6 +329,10 @@ impl StructStats {
             checkpoint_bytes: AtomicU64::new(0),
             recovery_frames_replayed: AtomicU64::new(0),
             recovery_frames_discarded: AtomicU64::new(0),
+            snapshots_taken: AtomicU64::new(0),
+            snapshots_retired: AtomicU64::new(0),
+            cow_block_copies: AtomicU64::new(0),
+            epoch_reclaim_backlog: AtomicU64::new(0),
             phase_sort_nanos: AtomicU64::new(0),
             phase_group_nanos: AtomicU64::new(0),
             phase_apply_nanos: AtomicU64::new(0),
@@ -486,6 +502,31 @@ impl StructStats {
             .fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one read snapshot taken (epoch registered).
+    #[inline]
+    pub fn record_snapshot_taken(&self) {
+        self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one read snapshot dropped (epoch deregistered).
+    #[inline]
+    pub fn record_snapshot_retired(&self) {
+        self.snapshots_retired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one vertex block copied on write under an outstanding
+    /// snapshot.
+    #[inline]
+    pub fn record_cow_block_copy(&self) {
+        self.cow_block_copies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the current epoch-reclamation backlog (gauge).
+    #[inline]
+    pub fn record_epoch_backlog(&self, n: u64) {
+        self.epoch_reclaim_backlog.store(n, Ordering::Relaxed);
+    }
+
     /// Starts a scoped timer attributing wall-clock time to `phase`; the
     /// elapsed nanoseconds are added when the returned guard drops. For the
     /// batch-pipeline phases the guard also carries a trace span (see
@@ -564,6 +605,14 @@ impl StructStats {
             .store(s.recovery_frames_replayed, Ordering::Relaxed);
         self.recovery_frames_discarded
             .store(s.recovery_frames_discarded, Ordering::Relaxed);
+        self.snapshots_taken
+            .store(s.snapshots_taken, Ordering::Relaxed);
+        self.snapshots_retired
+            .store(s.snapshots_retired, Ordering::Relaxed);
+        self.cow_block_copies
+            .store(s.cow_block_copies, Ordering::Relaxed);
+        self.epoch_reclaim_backlog
+            .store(s.epoch_reclaim_backlog, Ordering::Relaxed);
         self.phase_sort_nanos
             .store(s.phase_sort_nanos, Ordering::Relaxed);
         self.phase_group_nanos
@@ -605,6 +654,10 @@ impl StructStats {
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
             recovery_frames_replayed: self.recovery_frames_replayed.load(Ordering::Relaxed),
             recovery_frames_discarded: self.recovery_frames_discarded.load(Ordering::Relaxed),
+            snapshots_taken: self.snapshots_taken.load(Ordering::Relaxed),
+            snapshots_retired: self.snapshots_retired.load(Ordering::Relaxed),
+            cow_block_copies: self.cow_block_copies.load(Ordering::Relaxed),
+            epoch_reclaim_backlog: self.epoch_reclaim_backlog.load(Ordering::Relaxed),
             phase_sort_nanos: self.phase_sort_nanos.load(Ordering::Relaxed),
             phase_group_nanos: self.phase_group_nanos.load(Ordering::Relaxed),
             phase_apply_nanos: self.phase_apply_nanos.load(Ordering::Relaxed),
@@ -694,6 +747,14 @@ pub struct StructSnapshot {
     pub recovery_frames_replayed: u64,
     /// See [`StructStats::recovery_frames_discarded`].
     pub recovery_frames_discarded: u64,
+    /// See [`StructStats::snapshots_taken`].
+    pub snapshots_taken: u64,
+    /// See [`StructStats::snapshots_retired`].
+    pub snapshots_retired: u64,
+    /// See [`StructStats::cow_block_copies`].
+    pub cow_block_copies: u64,
+    /// See [`StructStats::epoch_reclaim_backlog`] (gauge).
+    pub epoch_reclaim_backlog: u64,
     /// See [`StructStats::phase_sort_nanos`].
     pub phase_sort_nanos: u64,
     /// See [`StructStats::phase_group_nanos`].
@@ -706,9 +767,9 @@ pub struct StructSnapshot {
 
 impl StructSnapshot {
     /// Difference `self - earlier` for monotonic counters, saturating at
-    /// zero. The gauges `ria_max_ripple_span`, `ria_bound`, and
-    /// `checkpoint_bytes` keep `self`'s value (a max and a most-recent value
-    /// do not subtract meaningfully).
+    /// zero. The gauges `ria_max_ripple_span`, `ria_bound`,
+    /// `checkpoint_bytes`, and `epoch_reclaim_backlog` keep `self`'s value
+    /// (a max and a most-recent value do not subtract meaningfully).
     pub fn since(self, earlier: StructSnapshot) -> StructSnapshot {
         StructSnapshot {
             vb_inline_hits: self.vb_inline_hits.saturating_sub(earlier.vb_inline_hits),
@@ -777,6 +838,14 @@ impl StructSnapshot {
             recovery_frames_discarded: self
                 .recovery_frames_discarded
                 .saturating_sub(earlier.recovery_frames_discarded),
+            snapshots_taken: self.snapshots_taken.saturating_sub(earlier.snapshots_taken),
+            snapshots_retired: self
+                .snapshots_retired
+                .saturating_sub(earlier.snapshots_retired),
+            cow_block_copies: self
+                .cow_block_copies
+                .saturating_sub(earlier.cow_block_copies),
+            epoch_reclaim_backlog: self.epoch_reclaim_backlog,
             phase_sort_nanos: self
                 .phase_sort_nanos
                 .saturating_sub(earlier.phase_sort_nanos),
@@ -800,7 +869,7 @@ impl StructSnapshot {
     /// `(field name, value)` pairs in a fixed order — the serialization
     /// schema. Report writers and schema-stability tests both read this, so
     /// renaming a field here is a deliberate schema change.
-    pub fn fields(self) -> [(&'static str, u64); 32] {
+    pub fn fields(self) -> [(&'static str, u64); 36] {
         [
             ("vb_inline_hits", self.vb_inline_hits),
             ("vb_inline_shifts", self.vb_inline_shifts),
@@ -833,6 +902,10 @@ impl StructSnapshot {
             ("checkpoint_bytes", self.checkpoint_bytes),
             ("recovery_frames_replayed", self.recovery_frames_replayed),
             ("recovery_frames_discarded", self.recovery_frames_discarded),
+            ("snapshots_taken", self.snapshots_taken),
+            ("snapshots_retired", self.snapshots_retired),
+            ("cow_block_copies", self.cow_block_copies),
+            ("epoch_reclaim_backlog", self.epoch_reclaim_backlog),
             ("phase_sort_nanos", self.phase_sort_nanos),
             ("phase_group_nanos", self.phase_group_nanos),
             ("phase_apply_nanos", self.phase_apply_nanos),
@@ -886,6 +959,10 @@ impl StructSnapshot {
                 "checkpoint_bytes" => s.checkpoint_bytes = v,
                 "recovery_frames_replayed" => s.recovery_frames_replayed = v,
                 "recovery_frames_discarded" => s.recovery_frames_discarded = v,
+                "snapshots_taken" => s.snapshots_taken = v,
+                "snapshots_retired" => s.snapshots_retired = v,
+                "cow_block_copies" => s.cow_block_copies = v,
+                "epoch_reclaim_backlog" => s.epoch_reclaim_backlog = v,
                 "phase_sort_nanos" => s.phase_sort_nanos = v,
                 "phase_group_nanos" => s.phase_group_nanos = v,
                 "phase_apply_nanos" => s.phase_apply_nanos = v,
@@ -1021,7 +1098,7 @@ mod tests {
             .iter()
             .map(|(n, _)| *n)
             .collect();
-        assert_eq!(names.len(), 32);
+        assert_eq!(names.len(), 36);
         // A rename here must be an intentional schema change.
         assert!(names.contains(&"ria_cross_block_moves"));
         assert!(names.contains(&"lia_vertical_child_creates"));
@@ -1032,6 +1109,10 @@ mod tests {
         assert!(names.contains(&"checkpoint_bytes"));
         assert!(names.contains(&"recovery_frames_replayed"));
         assert!(names.contains(&"recovery_frames_discarded"));
+        assert!(names.contains(&"snapshots_taken"));
+        assert!(names.contains(&"snapshots_retired"));
+        assert!(names.contains(&"cow_block_copies"));
+        assert!(names.contains(&"epoch_reclaim_backlog"));
         assert!(names.contains(&"phase_apply_nanos"));
     }
 }

@@ -37,7 +37,9 @@ use std::sync::Mutex;
 /// | `wal_sync` | buffered WAL frames are flushed + fsynced |
 /// | `checkpoint_write` | a checkpoint image is serialized to disk |
 /// | `recovery_replay` | a WAL-tail frame is replayed during recovery |
-pub const SITES: [&str; 9] = [
+/// | `snapshot_flip` | a read snapshot registers its epoch (mid-flip) |
+/// | `epoch_reclaim` | retired block versions are reclaimed |
+pub const SITES: [&str; 11] = [
     "ria_rebuild",
     "lia_retrain",
     "hitree_vertical",
@@ -47,6 +49,8 @@ pub const SITES: [&str; 9] = [
     "wal_sync",
     "checkpoint_write",
     "recovery_replay",
+    "snapshot_flip",
+    "epoch_reclaim",
 ];
 
 /// When a configured site fires.

@@ -280,7 +280,7 @@ impl HistogramSnapshot {
     }
 }
 
-/// The three latency distributions the engine and harness record.
+/// The latency distributions the engine and harness record.
 #[derive(Debug, Default)]
 pub struct LatencyStats {
     /// Wall-clock latency of one whole batch-apply phase (one sample per
@@ -292,6 +292,10 @@ pub struct LatencyStats {
     /// Wall-clock latency of one analytics kernel invocation (one sample
     /// per [`kernel_scope`] guard).
     pub kernel: LatencyHistogram,
+    /// Wall-clock latency of one snapshot read operation, recorded by
+    /// readers running against a `GraphSnapshot` while the writer streams
+    /// batches (the `repro mixed` experiment).
+    pub reader: LatencyHistogram,
 }
 
 /// Process-wide sink for call paths not wired to an engine instance — in
@@ -305,6 +309,7 @@ impl LatencyStats {
             batch_apply: LatencyHistogram::new(),
             group_apply: LatencyHistogram::new(),
             kernel: LatencyHistogram::new(),
+            reader: LatencyHistogram::new(),
         }
     }
 
@@ -313,20 +318,22 @@ impl LatencyStats {
         &GLOBAL_LATENCY
     }
 
-    /// Merged snapshot of all three histograms.
+    /// Merged snapshot of all histograms.
     pub fn snapshot(&self) -> LatencySnapshot {
         LatencySnapshot {
             batch_apply: self.batch_apply.snapshot(),
             group_apply: self.group_apply.snapshot(),
             kernel: self.kernel.snapshot(),
+            reader: self.reader.snapshot(),
         }
     }
 
-    /// Zeroes all three histograms.
+    /// Zeroes all histograms.
     pub fn reset(&self) {
         self.batch_apply.reset();
         self.group_apply.reset();
         self.kernel.reset();
+        self.reader.reset();
     }
 }
 
@@ -339,6 +346,8 @@ pub struct LatencySnapshot {
     pub group_apply: HistogramSnapshot,
     /// See [`LatencyStats::kernel`].
     pub kernel: HistogramSnapshot,
+    /// See [`LatencyStats::reader`].
+    pub reader: HistogramSnapshot,
 }
 
 impl LatencySnapshot {
@@ -348,15 +357,17 @@ impl LatencySnapshot {
             batch_apply: self.batch_apply.since(&earlier.batch_apply),
             group_apply: self.group_apply.since(&earlier.group_apply),
             kernel: self.kernel.since(&earlier.kernel),
+            reader: self.reader.since(&earlier.reader),
         }
     }
 
     /// `(name, histogram)` pairs in the fixed serialization order.
-    pub fn fields(&self) -> [(&'static str, &HistogramSnapshot); 3] {
+    pub fn fields(&self) -> [(&'static str, &HistogramSnapshot); 4] {
         [
             ("batch_apply", &self.batch_apply),
             ("group_apply", &self.group_apply),
             ("kernel", &self.kernel),
+            ("reader", &self.reader),
         ]
     }
 }

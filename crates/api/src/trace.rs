@@ -16,7 +16,16 @@
 //! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): complete
 //! events (`"ph":"X"`) with microsecond `ts`/`dur` relative to the first
 //! [`enable`] call.
+//!
+//! For long runs where the most-recent-window semantics of the rings would
+//! clip history, [`stream_to_file`] switches the facility into **streaming
+//! mode**: every completed span is appended directly to a buffered file
+//! sink as it drops (bypassing the rings entirely), so an arbitrarily long
+//! traced run loses zero events. [`finish_stream`] terminates the JSON
+//! document with a `droppedEvents: 0` footer and returns the event count.
 
+use std::io::Write;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -103,6 +112,19 @@ impl Ring {
 /// All rings ever created, so events from exited threads still export.
 static REGISTRY: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
 
+/// Incremental on-disk sink for streaming mode ([`stream_to_file`]).
+struct StreamSink {
+    w: std::io::BufWriter<std::fs::File>,
+    /// Events written so far (drives comma placement and the final count).
+    events: u64,
+}
+
+static SINK: Mutex<Option<StreamSink>> = Mutex::new(None);
+
+/// Fast-path flag mirroring `SINK.is_some()`, so `Span::drop` only takes
+/// the sink lock when streaming is actually active.
+static STREAMING: AtomicBool = AtomicBool::new(false);
+
 thread_local! {
     static MY_RING: Arc<Mutex<Ring>> = {
         let ring = Arc::new(Mutex::new(Ring {
@@ -183,15 +205,93 @@ impl Drop for Span {
                 start_ns,
                 dur_ns,
             };
-            MY_RING.with(|ring| ring.lock().unwrap().push(e));
+            MY_RING.with(|ring| {
+                let mut r = ring.lock().unwrap();
+                if STREAMING.load(Ordering::Relaxed) && write_streamed(r.tid, &e) {
+                    return;
+                }
+                r.push(e);
+            });
         }
     }
+}
+
+/// Appends one event to the streaming sink. Returns `false` when no sink is
+/// installed (or the write failed), in which case the caller falls back to
+/// the thread's ring so the event is not lost.
+fn write_streamed(tid: u64, e: &Event) -> bool {
+    let mut guard = SINK.lock().unwrap_or_else(|p| p.into_inner());
+    let Some(sink) = guard.as_mut() else {
+        return false;
+    };
+    let sep = if sink.events == 0 { "\n" } else { ",\n" };
+    let line = format!("{sep}    {}", event_json(tid, e));
+    if sink.w.write_all(line.as_bytes()).is_ok() {
+        sink.events += 1;
+        true
+    } else {
+        false
+    }
+}
+
+/// Starts streaming every subsequently recorded span to `path` as
+/// chrome://tracing JSON, bypassing the bounded per-thread rings so no
+/// event is ever dropped. Replaces any previously active stream without
+/// terminating it; call [`finish_stream`] first if its footer matters.
+///
+/// Events already sitting in the rings are not copied over — enable
+/// streaming before the traced workload starts.
+pub fn stream_to_file(path: &Path) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(f);
+    w.write_all(b"{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [")?;
+    let mut guard = SINK.lock().unwrap_or_else(|p| p.into_inner());
+    *guard = Some(StreamSink { w, events: 0 });
+    STREAMING.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Whether a streaming sink is currently installed.
+pub fn is_streaming() -> bool {
+    STREAMING.load(Ordering::Relaxed)
+}
+
+/// Terminates the active stream: writes the `traceEvents` array terminator
+/// and a `droppedEvents: 0` footer (streaming never drops), flushes, and
+/// returns the number of events written. Returns `Ok(None)` when no stream
+/// was active.
+pub fn finish_stream() -> std::io::Result<Option<u64>> {
+    STREAMING.store(false, Ordering::Relaxed);
+    let sink = SINK.lock().unwrap_or_else(|p| p.into_inner()).take();
+    let Some(mut sink) = sink else {
+        return Ok(None);
+    };
+    sink.w.write_all(b"\n  ],\n  \"droppedEvents\": 0\n}\n")?;
+    sink.w.flush()?;
+    Ok(Some(sink.events))
 }
 
 fn fmt_us(ns: u64) -> String {
     // Microseconds with 3 decimals (i.e. nanosecond precision), as
     // chrome://tracing expects fractional-µs floats.
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// One complete event in chrome://tracing JSON form (no trailing comma).
+fn event_json(tid: u64, e: &Event) -> String {
+    let label = if e.name.is_empty() {
+        e.kind.name().to_string()
+    } else {
+        format!("{}:{}", e.kind.name(), e.name)
+    };
+    format!(
+        "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}}}",
+        label,
+        e.kind.name(),
+        tid,
+        fmt_us(e.start_ns),
+        fmt_us(e.dur_ns)
+    )
 }
 
 /// Serializes every recorded event as chrome://tracing `trace_event` JSON
@@ -231,18 +331,9 @@ pub fn export_chrome_json() -> (String, u64) {
     out.push_str("],\n");
     out.push_str("  \"traceEvents\": [\n");
     for (i, (tid, e)) in all.iter().enumerate() {
-        let label = if e.name.is_empty() {
-            e.kind.name().to_string()
-        } else {
-            format!("{}:{}", e.kind.name(), e.name)
-        };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}}}{}\n",
-            label,
-            e.kind.name(),
-            tid,
-            fmt_us(e.start_ns),
-            fmt_us(e.dur_ns),
+            "    {}{}\n",
+            event_json(*tid, e),
             if i + 1 < all.len() { "," } else { "" }
         ));
     }
@@ -254,10 +345,19 @@ pub fn export_chrome_json() -> (String, u64) {
 mod tests {
     use super::*;
 
-    // Tracing state is process-global, so exercise everything in one test
-    // to avoid cross-test interference under the parallel test runner.
+    /// Tracing state (rings, sink, enabled flag) is process-global;
+    /// serialize the tests that touch it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    // Ring-based recording and export are exercised in one test to avoid
+    // interleaving enable/disable windows under the parallel test runner.
     #[test]
     fn spans_record_and_export_only_when_enabled() {
+        let _g = locked();
         reset();
         disable();
         {
@@ -319,6 +419,50 @@ mod tests {
             "overflowing tid missing from metadata: {json}"
         );
         REGISTRY.lock().unwrap().retain(|r| !Arc::ptr_eq(r, &fake));
+    }
+
+    #[test]
+    fn streaming_sink_drops_zero_events_past_ring_capacity() {
+        let _g = locked();
+        reset();
+        let path = std::env::temp_dir().join(format!(
+            "lsgraph_trace_stream_test_{}.json",
+            std::process::id()
+        ));
+        stream_to_file(&path).unwrap();
+        assert!(is_streaming());
+        enable();
+        // Well past RING_CAP: ring mode would overwrite the oldest
+        // `total - RING_CAP` events; streaming must keep every one.
+        let total = RING_CAP as u64 + 100;
+        for _ in 0..total {
+            let _s = span(SpanKind::Apply);
+        }
+        disable();
+        let written = finish_stream().unwrap().expect("stream was active");
+        assert!(!is_streaming());
+        assert_eq!(written, total, "streamed event count");
+
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            json.matches("\"ph\": \"X\"").count() as u64,
+            total,
+            "every span must appear in the streamed file"
+        );
+        assert!(json.contains("\"droppedEvents\": 0"));
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.trim_end().ends_with('}'));
+
+        // The rings were bypassed entirely: nothing recorded, nothing
+        // dropped, so the in-memory export stays empty.
+        let (ring_json, dropped) = export_chrome_json();
+        assert_eq!(dropped, 0);
+        assert!(!ring_json.contains("\"name\": \"apply\""));
+
+        // A second finish with no active stream is a no-op.
+        assert_eq!(finish_stream().unwrap(), None);
+        std::fs::remove_file(&path).ok();
+        reset();
     }
 
     #[test]

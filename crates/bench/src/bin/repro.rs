@@ -6,19 +6,20 @@
 //! ```
 //!
 //! Experiments: `fig3 fig4 fig12 small ablation fig13 table2 table3 fig14
-//! fig15 fig16 fig17 table4 g500 durability all`. Sizes scale with
+//! fig15 fig16 fig17 table4 g500 durability mixed all`. Sizes scale with
 //! `REPRO_SCALE` (extra powers of two), `REPRO_BASE` (log2 base vertex
 //! count, default 15), and `REPRO_TRIALS` (default 3).
 //!
 //! With `--json`, experiments that support it (`fig12`, `small`, `fig13`,
-//! `durability`) write a schema-stable `BENCH_<experiment>.json` with
-//! per-engine throughput, phase timings, instrumentation counters, latency
-//! histograms, and footprints instead of printing a table (see
+//! `durability`, `mixed`) write a schema-stable `BENCH_<experiment>.json`
+//! with per-engine throughput, phase timings, instrumentation counters,
+//! latency histograms, and footprints instead of printing a table (see
 //! EXPERIMENTS.md for the schema).
 //!
 //! With `--trace <path>`, structural trace spans (sort/group/apply/kernel/
-//! ria_rebuild/lia_retrain/tier_upgrade) are recorded during the experiments
-//! and exported as chrome://tracing JSON — open the file in
+//! ria_rebuild/lia_retrain/tier_upgrade) are **streamed** to `<path>` as
+//! they complete — long runs drop zero events to ring overflow — and the
+//! chrome://tracing JSON is finalized on exit; open the file in
 //! `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
 //! `check --baseline BENCH_<exp>.json` re-runs that experiment at the
@@ -83,6 +84,7 @@ fn run_check(baseline_path: &str) -> ! {
         "small" => experiments::small_batches_report(&scale),
         "fig13" => experiments::fig13_report(&scale),
         "durability" => experiments::durability_report(&scale),
+        "mixed" => experiments::mixed_report(&scale),
         other => {
             eprintln!("[repro] no check support for experiment '{other}'");
             std::process::exit(2);
@@ -126,7 +128,7 @@ fn main() {
     let scale = Scale::from_env();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig3|fig4|fig12|small|ablation|fig13|table2|table3|fig14|fig15|fig16|fig17|table4|g500|durability|all> [--json] [--trace out.json]\n       repro check --baseline BENCH_<experiment>.json"
+            "usage: repro <fig3|fig4|fig12|small|ablation|fig13|table2|table3|fig14|fig15|fig16|fig17|table4|g500|durability|mixed|all> [--json] [--trace out.json]\n       repro check --baseline BENCH_<experiment>.json"
         );
         std::process::exit(2);
     }
@@ -134,7 +136,13 @@ fn main() {
         "[repro] base=2^{} shift={} trials={}",
         scale.base, scale.shift, scale.trials
     );
-    if trace_path.is_some() {
+    if let Some(path) = &trace_path {
+        // Stream spans to disk as they complete: a long run never loses
+        // events to ring-buffer overflow.
+        if let Err(e) = trace::stream_to_file(std::path::Path::new(path)) {
+            eprintln!("[repro] cannot open trace file {path}: {e}");
+            std::process::exit(1);
+        }
         trace::enable();
     }
     for arg in &args {
@@ -154,6 +162,10 @@ fn main() {
                 }
                 "durability" => {
                     emit(&experiments::durability_report(&scale));
+                    continue;
+                }
+                "mixed" => {
+                    emit(&experiments::mixed_report(&scale));
                     continue;
                 }
                 other => {
@@ -176,6 +188,7 @@ fn main() {
             "fig17" => experiments::fig17(&scale),
             "table4" => experiments::table4(&scale),
             "durability" => experiments::durability(&scale),
+            "mixed" => experiments::mixed(&scale),
             "sortledton" => experiments::sortledton(&scale),
             "verify" => experiments::verify(&scale),
             "g500" => experiments::g500(&scale),
@@ -188,19 +201,13 @@ fn main() {
     }
     if let Some(path) = trace_path {
         trace::disable();
-        let (doc, dropped) = trace::export_chrome_json();
-        match std::fs::write(&path, doc) {
-            Ok(()) => {
-                if dropped > 0 {
-                    eprintln!(
-                        "[repro] wrote trace {path} ({dropped} events dropped to ring overflow)"
-                    );
-                } else {
-                    eprintln!("[repro] wrote trace {path}");
-                }
+        match trace::finish_stream() {
+            Ok(Some(events)) => {
+                eprintln!("[repro] wrote trace {path} ({events} events, 0 dropped)")
             }
+            Ok(None) => eprintln!("[repro] trace stream to {path} was not active"),
             Err(e) => {
-                eprintln!("[repro] failed to write trace {path}: {e}");
+                eprintln!("[repro] failed to finalize trace {path}: {e}");
                 std::process::exit(1);
             }
         }

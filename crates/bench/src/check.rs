@@ -44,7 +44,7 @@ use lsgraph_api::LatencySnapshot;
 /// counters (`apply_run_panics` and friends) belong here: a benchmark run
 /// with failpoints disabled must never quarantine a vertex, so any nonzero
 /// value means a *real* panic escaped into the batch pipeline.
-pub const INVARIANT_COUNTERS: [&str; 6] = [
+pub const INVARIANT_COUNTERS: [&str; 7] = [
     "ria_bound_exceeded",
     "lia_vertical_premature",
     "apply_run_panics",
@@ -53,10 +53,13 @@ pub const INVARIANT_COUNTERS: [&str; 6] = [
     // A benchmark run writes and recovers its own WAL under controlled
     // shutdowns; discarding frames means the harness tore its own log.
     "recovery_frames_discarded",
+    // Every experiment drops its snapshots and reclaims before sampling
+    // stats, so a lingering backlog means retired block versions leaked.
+    "epoch_reclaim_backlog",
 ];
 
 /// Counters gated against the baseline with tolerance (see module docs).
-pub const GATED_COUNTERS: [&str; 7] = [
+pub const GATED_COUNTERS: [&str; 10] = [
     "ria_rebuilds",
     "ria_ripples",
     "lia_model_retrains",
@@ -64,10 +67,13 @@ pub const GATED_COUNTERS: [&str; 7] = [
     "hitree_node_upgrades",
     "wal_frames_appended",
     "recovery_frames_replayed",
+    "snapshots_taken",
+    "snapshots_retired",
+    "cow_block_copies",
 ];
 
 /// Latency histograms whose counts are gated by exact equality.
-pub const LATENCY_HISTOGRAMS: [&str; 3] = ["batch_apply", "group_apply", "kernel"];
+pub const LATENCY_HISTOGRAMS: [&str; 4] = ["batch_apply", "group_apply", "kernel", "reader"];
 
 fn histogram_count(lat: &LatencySnapshot, name: &str) -> u64 {
     lat.fields()
@@ -337,6 +343,7 @@ mod tests {
             latency: None,
             kernels: Vec::new(),
             durability: None,
+            mixed: None,
         }
     }
 
@@ -351,6 +358,7 @@ mod tests {
             batch_apply: h.snapshot(),
             group_apply: lsgraph_api::HistogramSnapshot::default(),
             kernel: lsgraph_api::HistogramSnapshot::default(),
+            reader: lsgraph_api::HistogramSnapshot::default(),
         }
     }
 
@@ -514,6 +522,40 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].kind, ViolationKind::Regression);
         assert_eq!(v[0].counter, "wal_frames_appended");
+    }
+
+    #[test]
+    fn lingering_epoch_backlog_is_an_invariant() {
+        let b = report(vec![cell("LSGraph", Some(StructSnapshot::default()))]);
+        let leaked = StructSnapshot {
+            epoch_reclaim_backlog: 3,
+            ..StructSnapshot::default()
+        };
+        let c = report(vec![cell("LSGraph", Some(leaked))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Invariant);
+        assert_eq!(v[0].counter, "epoch_reclaim_backlog");
+    }
+
+    #[test]
+    fn snapshot_volume_is_gated() {
+        let base = StructSnapshot {
+            snapshots_taken: 32,
+            snapshots_retired: 32,
+            cow_block_copies: 1_000,
+            ..StructSnapshot::default()
+        };
+        let blown = StructSnapshot {
+            cow_block_copies: 10_000,
+            ..base
+        };
+        let b = report(vec![cell("LSGraph", Some(base))]);
+        let c = report(vec![cell("LSGraph", Some(blown))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Regression);
+        assert_eq!(v[0].counter, "cow_block_copies");
     }
 
     #[test]

@@ -137,6 +137,7 @@ fn measure_cell(
         latency: g.latency_stats(),
         kernels: Vec::new(),
         durability: None,
+        mixed: None,
     }
 }
 
@@ -424,6 +425,7 @@ pub fn fig13_report(scale: &Scale) -> BenchReport {
                     },
                 ],
                 durability: None,
+                mixed: None,
             });
         }
     }
@@ -883,6 +885,7 @@ fn durability_cell(
             replay_frames: recovery.frames_replayed,
             replay_eps: tail_edges as f64 / rec_d.as_secs_f64().max(1e-12),
         }),
+        mixed: None,
     };
     std::fs::remove_dir_all(&dir).ok();
     report
@@ -929,6 +932,183 @@ pub fn durability(scale: &Scale) {
             d.checkpoint_bytes as f64 / (1024.0 * 1024.0),
             d.checkpoint_nanos as f64 / 1e6,
             format!("{:.2e}", d.replay_eps),
+        );
+    }
+}
+
+/// Number of concurrent reader threads in the `mixed` experiment.
+const MIXED_READERS: usize = 4;
+
+/// Measures one mixed reader/writer cell at batch size `bs`: a writer
+/// streams `rounds` update batches, flipping a [`GraphSnapshot`] after
+/// every batch, while [`MIXED_READERS`] reader threads hammer the latest
+/// published snapshot with a **fixed** number of read ops each, recording
+/// per-op latency into the `reader` histogram.
+///
+/// The protocol keeps the gated counters deterministic: the writer holds
+/// every snapshot until the readers finish (so each per-source run copies
+/// its block exactly once per batch, making `cow_block_copies` a pure
+/// function of the seeded batches), the reader op count is fixed per thread
+/// (so the `reader` histogram count is exactly readers × ops), and the cell
+/// ends with a drop-everything + reclaim quiescence check that must drain
+/// the epoch backlog to zero.
+fn mixed_cell(
+    dataset: &str,
+    n: usize,
+    base: &[Edge],
+    gscale: u32,
+    shift: u32,
+    bs: usize,
+    trials: usize,
+) -> EngineReport {
+    use lsgraph_core::GraphSnapshot;
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+
+    let rounds = 8 * trials.max(1);
+    let ops_per_reader = 64 * rounds;
+
+    let cfg = crate::runner::scaled_config(shift);
+    let mut g = LsGraph::from_edges(n, base, cfg);
+    g.reset_instrumentation();
+
+    // Seed the published slot so readers have a frozen view from op one.
+    let published: Arc<Mutex<GraphSnapshot>> = Arc::new(Mutex::new(g.snapshot()));
+    let mut handles = Vec::new();
+    for r in 0..MIXED_READERS {
+        let published = Arc::clone(&published);
+        handles.push(std::thread::spawn(move || {
+            let start = Instant::now();
+            for i in 0..ops_per_reader {
+                // Cloning the handle bumps one refcount on the shared
+                // snapshot state, never the per-block Arcs, so reads do not
+                // perturb the writer's copy-on-write accounting.
+                let snap = published.lock().expect("published snapshot").clone();
+                let op_start = Instant::now();
+                let v = ((r * ops_per_reader + i) * 97 % snap.num_vertices().max(1)) as u32;
+                std::hint::black_box(snap.neighbors(v).len());
+                snap.record_reader_duration(op_start.elapsed());
+            }
+            start.elapsed()
+        }));
+    }
+
+    // Writer: stream batches (a delete round every third), flip + publish a
+    // snapshot after each, and hold them all until measurement ends.
+    let mut snaps = Vec::with_capacity(rounds);
+    let mut ins = Duration::ZERO;
+    let mut del = Duration::ZERO;
+    let mut ins_edges = 0usize;
+    let mut del_edges = 0usize;
+    let writer_start = std::time::Instant::now();
+    for t in 0..rounds {
+        let batch = update_batch(gscale, bs, 1_000 + t as u64);
+        if t % 3 == 2 {
+            del_edges += batch.len();
+            let (_, d) = time(|| g.delete_batch(&batch));
+            del += d;
+        } else {
+            ins_edges += batch.len();
+            let (_, d) = time(|| g.insert_batch(&batch));
+            ins += d;
+        }
+        let snap = g.snapshot();
+        *published.lock().expect("published snapshot") = snap.clone();
+        snaps.push(snap);
+    }
+    let writer_d = writer_start.elapsed();
+    let reader_walls: Vec<Duration> = handles
+        .into_iter()
+        .map(|h| h.join().expect("reader thread panicked"))
+        .collect();
+    let max_reader_wall = reader_walls.iter().copied().max().unwrap_or(Duration::ZERO);
+
+    // Quiescence: every snapshot handle is gone, so reclamation must drain
+    // the retired-version pool; a nonzero backlog here is a leak.
+    drop(snaps);
+    drop(published);
+    g.reclaim_epochs();
+    let backlog = g.epoch_backlog();
+    assert_eq!(backlog, 0, "mixed/{dataset}/bs={bs}: epoch backlog leaked");
+    if let Err(e) = g.validate_structure() {
+        panic!("structure invalid after mixed/{dataset}/bs={bs}: {e}");
+    }
+
+    let ss = g.struct_stats().expect("struct stats");
+    let writer_edges = (ins_edges + del_edges) as u64;
+    let reader_ops = (MIXED_READERS * ops_per_reader) as u64;
+    EngineReport {
+        engine: "LSGraph+Snapshots".to_string(),
+        dataset: dataset.to_string(),
+        batch_size: bs,
+        insert_eps: ins_edges as f64 / ins.as_secs_f64().max(1e-12),
+        delete_eps: del_edges as f64 / del.as_secs_f64().max(1e-12),
+        insert_nanos: ins.as_nanos() as u64,
+        delete_nanos: del.as_nanos() as u64,
+        counters: None,
+        struct_stats: Some(ss),
+        footprint: Some(measure_footprint(&g)),
+        latency: g.latency_stats(),
+        kernels: Vec::new(),
+        durability: None,
+        mixed: Some(crate::report::MixedReport {
+            writer_batches: rounds as u64,
+            writer_edges,
+            writer_eps: writer_edges as f64 / writer_d.as_secs_f64().max(1e-12),
+            reader_threads: MIXED_READERS as u64,
+            reader_ops,
+            reader_ops_per_sec: reader_ops as f64 / max_reader_wall.as_secs_f64().max(1e-12),
+            snapshots_taken: ss.snapshots_taken,
+            cow_block_copies: ss.cow_block_copies,
+            final_backlog: backlog as u64,
+        }),
+    }
+}
+
+/// Mixed experiment (schema v5): concurrent analytics-style reads over
+/// snapshots while the writer streams updates, across batch sizes on OR.
+pub fn mixed_report(scale: &Scale) -> BenchReport {
+    let p = DatasetProfile::by_name("OR").expect("profile exists");
+    let shift = shift_for(&p, scale);
+    let gscale = p.log_vertices - shift;
+    let n = p.scaled_vertices(shift);
+    let base = p.generate(shift, 42);
+    let engines = scale
+        .batch_sizes()
+        .into_iter()
+        .map(|bs| mixed_cell(p.name, n, &base, gscale, shift, bs, scale.trials))
+        .collect();
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        experiment: "mixed".to_string(),
+        base: scale.base,
+        shift: scale.shift,
+        trials: scale.trials,
+        engines,
+    }
+}
+
+/// Mixed experiment, human-readable table: writer and reader throughput
+/// plus reader latency percentiles under write load.
+pub fn mixed(scale: &Scale) {
+    println!("# mixed: snapshot readers under write load (OR, {MIXED_READERS} readers)");
+    println!(
+        "{:>10}{:>14}{:>14}{:>10}{:>10}{:>10}{:>10}",
+        "batch", "writer-eps", "reader-ops/s", "p50-ns", "p90-ns", "p99-ns", "cow"
+    );
+    let r = mixed_report(scale);
+    for e in &r.engines {
+        let m = e.mixed.as_ref().expect("mixed cell");
+        let reader = e.latency.as_ref().map(|l| l.reader).unwrap_or_default();
+        println!(
+            "{:>10}{:>14}{:>14}{:>10}{:>10}{:>10}{:>10}",
+            e.batch_size,
+            format!("{:.2e}", m.writer_eps),
+            format!("{:.2e}", m.reader_ops_per_sec),
+            reader.p50(),
+            reader.p90(),
+            reader.p99(),
+            m.cow_block_copies,
         );
     }
 }
@@ -1049,5 +1229,37 @@ mod tests {
         // The report round-trips through the schema v4 JSON.
         let back = crate::report::BenchReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn smoke_mixed() {
+        let scale = Scale::tiny();
+        let r = mixed_report(&scale);
+        assert!(!r.engines.is_empty());
+        let rounds = 8 * scale.trials.max(1) as u64;
+        for e in &r.engines {
+            let m = e.mixed.as_ref().expect("mixed payload");
+            assert_eq!(m.writer_batches, rounds);
+            assert_eq!(m.reader_threads, MIXED_READERS as u64);
+            // Fixed ops per reader: the histogram count is deterministic.
+            assert_eq!(m.reader_ops, MIXED_READERS as u64 * 64 * rounds);
+            let lat = e.latency.as_ref().expect("latency");
+            assert_eq!(lat.reader.count(), m.reader_ops);
+            assert_eq!(lat.batch_apply.count(), rounds);
+            // One seed flip before the stream plus one per batch, all
+            // retired by the end-of-cell quiescence.
+            let ss = e.struct_stats.expect("struct stats");
+            assert_eq!(ss.snapshots_taken, rounds + 1);
+            assert_eq!(ss.snapshots_retired, ss.snapshots_taken);
+            assert!(ss.cow_block_copies > 0);
+            assert_eq!(m.final_backlog, 0);
+            assert_eq!(ss.epoch_reclaim_backlog, 0);
+        }
+        // The report round-trips through the schema v5 JSON, and a
+        // self-comparison under the regression gate is clean.
+        let back = crate::report::BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        let v = crate::check::compare(&r, &back, crate::check::CheckOptions::default());
+        assert!(v.is_empty(), "{v:?}");
     }
 }

@@ -32,7 +32,15 @@ use lsgraph_api::{CounterSnapshot, HistogramSnapshot, LatencySnapshot, StructSna
 /// recovery replay rate) emitted by the `durability` experiment. Additive:
 /// v1–v3 documents parse with the counters at zero and `durability` as
 /// `None`.
-pub const SCHEMA_VERSION: u32 = 4;
+///
+/// v5 adds the snapshot read layer: the snapshot/epoch structural counters
+/// (`snapshots_taken`, `snapshots_retired`, `cow_block_copies`,
+/// `epoch_reclaim_backlog`) to `struct_stats`, a `reader` histogram
+/// (per-read-op latency on snapshots under write load) to `latency`, and a
+/// per-engine `mixed` object (concurrent reader/writer throughput) emitted
+/// by the `mixed` experiment. Additive: v1–v4 documents parse with the
+/// counters at zero, `reader` empty, and `mixed` as `None`.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Memory footprint of one engine after the measured updates (schema v2).
 #[derive(Clone, Debug, PartialEq)]
@@ -71,6 +79,33 @@ pub struct DurabilityReport {
     pub replay_frames: u64,
     /// Replay throughput: edges per second through the recovery path.
     pub replay_eps: f64,
+}
+
+/// Concurrent reader/writer measurements for one engine cell (schema v5;
+/// only the `mixed` experiment populates it). Reader latency percentiles
+/// ride the `reader` histogram in the engine's `latency` object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MixedReport {
+    /// Update batches the writer applied during the measured window.
+    pub writer_batches: u64,
+    /// Edges in those batches (insert + delete).
+    pub writer_edges: u64,
+    /// Writer throughput while readers ran: edges per second.
+    pub writer_eps: f64,
+    /// Concurrent reader threads.
+    pub reader_threads: u64,
+    /// Total read operations completed across all readers (fixed per
+    /// thread, so this count is deterministic and gateable).
+    pub reader_ops: u64,
+    /// Aggregate reader throughput: operations per second.
+    pub reader_ops_per_sec: f64,
+    /// Snapshots flipped during the window (one per writer batch).
+    pub snapshots_taken: u64,
+    /// Blocks copied on write because a snapshot still shared them.
+    pub cow_block_copies: u64,
+    /// Epoch-reclamation backlog after the last snapshot dropped — 0 by
+    /// the quiescence invariant, gated by `repro check`.
+    pub final_backlog: u64,
 }
 
 /// Wall time of one analytics kernel on one engine (schema v2).
@@ -115,6 +150,9 @@ pub struct EngineReport {
     /// WAL/checkpoint/recovery measurements (schema v4; None everywhere
     /// except the `durability` experiment and in v1–v3 documents).
     pub durability: Option<DurabilityReport>,
+    /// Concurrent reader/writer measurements (schema v5; None everywhere
+    /// except the `mixed` experiment and in v1–v4 documents).
+    pub mixed: Option<MixedReport>,
 }
 
 /// A full experiment report.
@@ -261,6 +299,32 @@ impl BenchReport {
                     w.close('}');
                 }
             }
+            w.field("mixed");
+            match &e.mixed {
+                None => w.raw("null"),
+                Some(m) => {
+                    w.open('{');
+                    w.field("writer_batches");
+                    w.raw(&m.writer_batches.to_string());
+                    w.field("writer_edges");
+                    w.raw(&m.writer_edges.to_string());
+                    w.field("writer_eps");
+                    w.raw(&fmt_f64(m.writer_eps));
+                    w.field("reader_threads");
+                    w.raw(&m.reader_threads.to_string());
+                    w.field("reader_ops");
+                    w.raw(&m.reader_ops.to_string());
+                    w.field("reader_ops_per_sec");
+                    w.raw(&fmt_f64(m.reader_ops_per_sec));
+                    w.field("snapshots_taken");
+                    w.raw(&m.snapshots_taken.to_string());
+                    w.field("cow_block_copies");
+                    w.raw(&m.cow_block_copies.to_string());
+                    w.field("final_backlog");
+                    w.raw(&m.final_backlog.to_string());
+                    w.close('}');
+                }
+            }
             w.close('}');
         }
         w.close(']');
@@ -320,6 +384,11 @@ impl BenchReport {
                                 batch_apply: parse_histogram(get(lo, "batch_apply")?)?,
                                 group_apply: parse_histogram(get(lo, "group_apply")?)?,
                                 kernel: parse_histogram(get(lo, "kernel")?)?,
+                                // v5 histogram: absent in v1–v4 documents.
+                                reader: match get_opt(lo, "reader") {
+                                    None | Some(Json::Null) => HistogramSnapshot::default(),
+                                    Some(h) => parse_histogram(h)?,
+                                },
                             })
                         }
                     },
@@ -355,6 +424,29 @@ impl BenchReport {
                                     .as_u64("recovery_nanos")?,
                                 replay_frames: get(dd, "replay_frames")?.as_u64("replay_frames")?,
                                 replay_eps: get(dd, "replay_eps")?.as_f64("replay_eps")?,
+                            })
+                        }
+                    },
+                    // v5 field: absent in v1–v4 documents.
+                    mixed: match get_opt(o, "mixed") {
+                        None | Some(Json::Null) => None,
+                        Some(m) => {
+                            let mo = m.as_object("mixed")?;
+                            Some(MixedReport {
+                                writer_batches: get(mo, "writer_batches")?
+                                    .as_u64("writer_batches")?,
+                                writer_edges: get(mo, "writer_edges")?.as_u64("writer_edges")?,
+                                writer_eps: get(mo, "writer_eps")?.as_f64("writer_eps")?,
+                                reader_threads: get(mo, "reader_threads")?
+                                    .as_u64("reader_threads")?,
+                                reader_ops: get(mo, "reader_ops")?.as_u64("reader_ops")?,
+                                reader_ops_per_sec: get(mo, "reader_ops_per_sec")?
+                                    .as_f64("reader_ops_per_sec")?,
+                                snapshots_taken: get(mo, "snapshots_taken")?
+                                    .as_u64("snapshots_taken")?,
+                                cow_block_copies: get(mo, "cow_block_copies")?
+                                    .as_u64("cow_block_copies")?,
+                                final_backlog: get(mo, "final_backlog")?.as_u64("final_backlog")?,
                             })
                         }
                     },
@@ -762,6 +854,7 @@ mod tests {
             batch_apply: h.snapshot(),
             group_apply: lsgraph_api::HistogramSnapshot::default(),
             kernel: h.snapshot(),
+            reader: h.snapshot(),
         }
     }
 
@@ -815,6 +908,17 @@ mod tests {
                         replay_frames: 6,
                         replay_eps: 1.75e6,
                     }),
+                    mixed: Some(MixedReport {
+                        writer_batches: 32,
+                        writer_edges: 32_768,
+                        writer_eps: 1.1e6,
+                        reader_threads: 4,
+                        reader_ops: 1_024,
+                        reader_ops_per_sec: 5.0e4,
+                        snapshots_taken: 32,
+                        cow_block_copies: 4_100,
+                        final_backlog: 0,
+                    }),
                 },
                 EngineReport {
                     engine: "Aspen".to_string(),
@@ -835,6 +939,7 @@ mod tests {
                     latency: None,
                     kernels: Vec::new(),
                     durability: None,
+                    mixed: None,
                 },
             ],
         }
@@ -883,7 +988,8 @@ mod tests {
                 "footprint",
                 "latency",
                 "kernels",
-                "durability"
+                "durability",
+                "mixed"
             ]
         );
         let dur = get(e0, "durability").unwrap().as_object("dur").unwrap();
@@ -901,9 +1007,25 @@ mod tests {
                 "replay_eps"
             ]
         );
+        let mixed = get(e0, "mixed").unwrap().as_object("mixed").unwrap();
+        let mixed_keys: Vec<&str> = mixed.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            mixed_keys,
+            [
+                "writer_batches",
+                "writer_edges",
+                "writer_eps",
+                "reader_threads",
+                "reader_ops",
+                "reader_ops_per_sec",
+                "snapshots_taken",
+                "cow_block_copies",
+                "final_backlog"
+            ]
+        );
         let lat = get(e0, "latency").unwrap().as_object("lat").unwrap();
         let lat_keys: Vec<&str> = lat.iter().map(|(k, _)| k.as_str()).collect();
-        assert_eq!(lat_keys, ["batch_apply", "group_apply", "kernel"]);
+        assert_eq!(lat_keys, ["batch_apply", "group_apply", "kernel", "reader"]);
         let h = get(lat, "batch_apply").unwrap().as_object("h").unwrap();
         let h_keys: Vec<&str> = h.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(
@@ -977,7 +1099,7 @@ mod tests {
     fn future_schema_versions_are_rejected() {
         let doc = sample()
             .to_json()
-            .replacen("\"schema_version\": 4", "\"schema_version\": 5", 1);
+            .replacen("\"schema_version\": 5", "\"schema_version\": 6", 1);
         let err = BenchReport::from_json(&doc).unwrap_err();
         assert!(err.contains("unsupported schema_version"), "{err}");
     }

@@ -5,16 +5,17 @@ use lsgraph_api::batch::{max_vertex_id, runs_by_src, sorted_dedup_keys, SrcRun};
 use lsgraph_api::fail_point;
 use lsgraph_api::{
     DynamicGraph, Edge, Footprint, Graph, IterableGraph, LatencySnapshot, LatencyStats,
-    MemoryFootprint, Phase, StructSnapshot, StructStats, VertexId,
+    MemoryFootprint, Phase, SnapshotSource, StructSnapshot, StructStats, VertexId,
 };
 use rayon::prelude::*;
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::config::{Config, ConfigError};
 use crate::error::{BatchOutcome, GraphError, InvariantError};
+use crate::snapshot::{EpochRegistry, GraphSnapshot, SnapInner};
 use crate::vertex::VertexBlock;
 
 /// A shared-memory streaming graph engine with locality-centric storage.
@@ -31,21 +32,27 @@ use crate::vertex::VertexBlock;
 /// assert_eq!(g.neighbors(0), vec![1, 2]);
 /// ```
 pub struct LsGraph {
-    vertices: Vec<VertexBlock>,
+    /// The vertex-block directory. Each block sits behind its own [`Arc`] so
+    /// a snapshot ([`LsGraph::snapshot`]) is a clone of this vector —
+    /// reference bumps only — and writes copy-on-write exactly the blocks
+    /// they touch while any snapshot is outstanding.
+    vertices: Vec<Arc<VertexBlock>>,
     cfg: Config,
     num_edges: usize,
     /// Structural observability counters; shared by the parallel apply tasks
-    /// (relaxed atomics, see [`StructStats`]).
-    stats: StructStats,
+    /// (relaxed atomics, see [`StructStats`]) and by outstanding snapshots.
+    stats: Arc<StructStats>,
     /// Latency distributions: one `batch_apply` sample per batch, one
     /// `group_apply` sample per per-source run (recorded from the worker
-    /// that applied it).
-    latency: LatencyStats,
+    /// that applied it), one `reader` sample per snapshot read probe.
+    latency: Arc<LatencyStats>,
     /// Vertices whose apply task panicked: their adjacency was dropped
     /// (degree 0) so the rest of the graph stays exact. They answer queries
     /// as isolated vertices, are skipped by later batches, and can be
     /// restored with [`LsGraph::repair_vertex`].
     quarantined: BTreeSet<VertexId>,
+    /// Snapshot epochs and the retired-block reclamation pool.
+    epochs: Arc<EpochRegistry>,
 }
 
 /// Result of one panic-isolated parallel apply pass.
@@ -61,9 +68,9 @@ struct RunApplyResult {
 /// Raw pointer to the vertex table, shared across the batch-apply tasks.
 ///
 /// Send/Sync are sound because the batch pipeline guarantees each task
-/// exclusively owns the vertex blocks of the sources in its runs (runs are
-/// grouped by source id and each source appears in exactly one run).
-struct TablePtr(*mut VertexBlock);
+/// exclusively owns the vertex-block slots of the sources in its runs (runs
+/// are grouped by source id and each source appears in exactly one run).
+struct TablePtr(*mut Arc<VertexBlock>);
 
 // SAFETY: see the type-level comment; disjoint-index access only.
 unsafe impl Send for TablePtr {}
@@ -71,17 +78,41 @@ unsafe impl Send for TablePtr {}
 unsafe impl Sync for TablePtr {}
 
 impl TablePtr {
-    /// Returns a mutable reference to the block at `i`.
+    /// Returns a mutable reference to the block slot at `i`.
     ///
     /// # Safety
     ///
     /// The caller must guarantee `i` is in bounds and that no other task
     /// accesses index `i` for the lifetime of the returned reference.
     #[allow(clippy::mut_from_ref)]
-    unsafe fn at(&self, i: usize) -> &mut VertexBlock {
+    unsafe fn at(&self, i: usize) -> &mut Arc<VertexBlock> {
         // SAFETY: bounds and exclusivity are the caller's contract.
         unsafe { &mut *self.0.add(i) }
     }
+}
+
+/// Copy-on-write entry to a directory slot: returns exclusive access to the
+/// block, cloning it first (shallow — the spill rides along by reference)
+/// when an outstanding snapshot still shares this version.
+///
+/// Sound without synchronization because the writer holds `&mut self` for
+/// the whole batch: no snapshot can be *created* concurrently, so the
+/// strong count can only decrease under us. A count of 1 is therefore
+/// definitively exclusive; a racing snapshot-drop after we observe > 1
+/// costs at most one harmless extra copy. The displaced version goes to the
+/// epoch pool rather than being freed inline.
+fn cow_block<'a>(
+    slot: &'a mut Arc<VertexBlock>,
+    stats: &StructStats,
+    epochs: &EpochRegistry,
+) -> &'a mut VertexBlock {
+    if Arc::strong_count(slot) > 1 {
+        let old = Arc::clone(slot);
+        *slot = Arc::new((**slot).clone());
+        stats.record_cow_block_copy();
+        epochs.retire(old);
+    }
+    Arc::get_mut(slot).expect("block exclusive after copy-on-write")
 }
 
 impl LsGraph {
@@ -106,12 +137,13 @@ impl LsGraph {
     pub fn try_with_config(n: usize, cfg: Config) -> Result<Self, ConfigError> {
         cfg.validate()?;
         Ok(LsGraph {
-            vertices: (0..n).map(|_| VertexBlock::new()).collect(),
+            vertices: (0..n).map(|_| Arc::new(VertexBlock::new())).collect(),
             cfg,
             num_edges: 0,
-            stats: StructStats::new(),
-            latency: LatencyStats::new(),
+            stats: Arc::new(StructStats::new()),
+            latency: Arc::new(LatencyStats::new()),
             quarantined: BTreeSet::new(),
+            epochs: Arc::new(EpochRegistry::new()),
         })
     }
 
@@ -157,8 +189,10 @@ impl LsGraph {
                         // SAFETY: `run.src < n` (the table was sized to the
                         // max id) and runs have pairwise-distinct sources, so
                         // this is the only task touching `vertices[run.src]`.
-                        let vb = unsafe { ptr.at(run.src as usize) };
-                        *vb = VertexBlock::from_sorted_neighbors(&ns, cfg);
+                        // No snapshot can exist yet (the graph is still being
+                        // built), so plain replacement needs no retirement.
+                        let slot = unsafe { ptr.at(run.src as usize) };
+                        *slot = Arc::new(VertexBlock::from_sorted_neighbors(&ns, cfg));
                         ns.len()
                     };
                     match catch_unwind(AssertUnwindSafe(task)) {
@@ -176,7 +210,7 @@ impl LsGraph {
         for &src in &quarantined {
             // A panicked build may have left the block partially assigned;
             // force it back to a pristine empty block.
-            g.vertices[src as usize] = VertexBlock::new();
+            g.vertices[src as usize] = Arc::new(VertexBlock::new());
             g.quarantined.insert(src);
             g.stats.record_apply_run_panic();
             g.stats.record_vertex_quarantined();
@@ -217,7 +251,19 @@ impl LsGraph {
     fn grow_to(&mut self, max_id: u32) {
         if max_id as usize >= self.vertices.len() {
             self.vertices
-                .resize_with(max_id as usize + 1, VertexBlock::new);
+                .resize_with(max_id as usize + 1, || Arc::new(VertexBlock::new()));
+        }
+    }
+
+    /// Replaces `v`'s block wholesale, retiring the displaced version when
+    /// an outstanding snapshot still references it. Used by every
+    /// whole-block replacement path (quarantine reset, clear, restore,
+    /// repair); batched per-edge mutation goes through [`cow_block`]
+    /// instead.
+    fn install_block(&mut self, v: VertexId, vb: VertexBlock) {
+        let old = std::mem::replace(&mut self.vertices[v as usize], Arc::new(vb));
+        if Arc::strong_count(&old) > 1 {
+            self.epochs.retire(old);
         }
     }
 
@@ -242,8 +288,9 @@ impl LsGraph {
         let applied = {
             let ptr = TablePtr(self.vertices.as_mut_ptr());
             let cfg = &self.cfg;
-            let stats = &self.stats;
+            let stats = &*self.stats;
             let latency = &self.latency;
+            let epochs = &*self.epochs;
             let quarantined = &self.quarantined;
             let skipped = &Mutex::new(0usize);
             let _apply = stats.time(Phase::Apply);
@@ -257,12 +304,13 @@ impl LsGraph {
                     }
                     // SAFETY: runs are grouped by distinct source ids and the
                     // table has been grown to cover every id in the batch, so
-                    // each block is mutated by exactly one task.
-                    let vb = unsafe { ptr.at(run.src as usize) };
-                    let d_pre = vb.degree();
+                    // each slot is mutated by exactly one task.
+                    let slot = unsafe { ptr.at(run.src as usize) };
+                    let d_pre = slot.degree();
                     let run_start = Instant::now();
                     let task = || {
                         fail_point!("apply_run");
+                        let vb = cow_block(slot, stats, epochs);
                         op(vb, &keys[run.start..run.end], cfg, stats)
                     };
                     match catch_unwind(AssertUnwindSafe(task)) {
@@ -285,8 +333,11 @@ impl LsGraph {
         panicked.sort_unstable();
         for &(src, _) in &panicked {
             // The panicked task may have left this block arbitrarily
-            // corrupt; drop its adjacency and quarantine the vertex.
-            self.vertices[src as usize] = VertexBlock::new();
+            // corrupt; drop its adjacency and quarantine the vertex. If a
+            // snapshot shares the version the panic landed on, it still
+            // sees the pre-copy state (the CoW clone happens before any
+            // mutation), so retiring it through `install_block` is safe.
+            self.install_block(src, VertexBlock::new());
             self.quarantined.insert(src);
             self.stats.record_apply_run_panic();
             self.stats.record_vertex_quarantined();
@@ -302,9 +353,8 @@ impl LsGraph {
     /// (vertex deletion for directed use; for symmetric graphs pair with
     /// [`LsGraph::clear_vertex_undirected`]).
     pub fn clear_vertex(&mut self, v: VertexId) -> usize {
-        let vb = &mut self.vertices[v as usize];
-        let removed = vb.degree();
-        *vb = VertexBlock::new();
+        let removed = self.vertices[v as usize].degree();
+        self.install_block(v, VertexBlock::new());
         self.num_edges -= removed;
         removed
     }
@@ -354,6 +404,7 @@ impl LsGraph {
         // failed source's full pre-batch adjacency (its partial in-run
         // mutations were never counted), so the accounting stays exact.
         self.num_edges = self.num_edges + r.applied - edges_lost;
+        self.epochs.reclaim(&self.stats);
         Ok(BatchOutcome {
             applied: r.applied,
             quarantined: r.panicked.iter().map(|&(v, _)| v).collect(),
@@ -392,6 +443,7 @@ impl LsGraph {
         });
         let edges_lost: usize = r.panicked.iter().map(|&(_, d_pre)| d_pre).sum();
         self.num_edges -= r.applied + edges_lost;
+        self.epochs.reclaim(&self.stats);
         Ok(BatchOutcome {
             applied: r.applied,
             quarantined: r.panicked.iter().map(|&(v, _)| v).collect(),
@@ -419,9 +471,9 @@ impl LsGraph {
     pub fn restore_vertex_from_sorted(&mut self, v: VertexId, ns: &[u32]) {
         debug_assert!(ns.windows(2).all(|w| w[0] < w[1]));
         self.grow_to(v);
-        let vb = &mut self.vertices[v as usize];
-        self.num_edges -= vb.degree();
-        *vb = VertexBlock::from_sorted_neighbors(ns, &self.cfg);
+        self.num_edges -= self.vertices[v as usize].degree();
+        let vb = VertexBlock::from_sorted_neighbors(ns, &self.cfg);
+        self.install_block(v, vb);
         self.num_edges += ns.len();
     }
 
@@ -471,7 +523,8 @@ impl LsGraph {
         let mut ns = neighbors.to_vec();
         ns.sort_unstable();
         ns.dedup();
-        self.vertices[v as usize] = VertexBlock::from_sorted_neighbors(&ns, &self.cfg);
+        let vb = VertexBlock::from_sorted_neighbors(&ns, &self.cfg);
+        self.install_block(v, vb);
         // A quarantined block has degree 0, so the whole adjacency is new.
         self.num_edges += ns.len();
         self.stats.record_vertex_repaired();
@@ -551,6 +604,74 @@ impl LsGraph {
     pub fn index_overhead(&self) -> f64 {
         self.footprint().index_ratio()
     }
+
+    /// Freezes the current state into an immutable [`GraphSnapshot`].
+    ///
+    /// The flip clones the vertex-block directory — per-block reference
+    /// bumps, no adjacency payload — and registers an epoch; later batches
+    /// copy-on-write the blocks they touch, so the snapshot keeps reading
+    /// exactly the state at the flip. Taking a snapshot requires `&self`,
+    /// so it interleaves with batches at batch boundaries; the returned
+    /// handle is `Clone + Send + Sync` and outlives the graph's borrow, so
+    /// readers on other threads proceed wait-free while the writer streams.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lsgraph_core::LsGraph;
+    /// use lsgraph_api::{DynamicGraph, Graph, Edge};
+    ///
+    /// let mut g = LsGraph::new(3);
+    /// g.insert_batch(&[Edge::new(0, 1)]);
+    /// let snap = g.snapshot();
+    /// g.insert_batch(&[Edge::new(0, 2)]);
+    /// assert_eq!(snap.neighbors(0), vec![1]); // frozen at the flip
+    /// assert_eq!(g.neighbors(0), vec![1, 2]); // live view moved on
+    /// ```
+    pub fn snapshot(&self) -> GraphSnapshot {
+        // Clone the directory *before* registering the epoch: if the flip
+        // faults here (`snapshot_flip`), unwinding drops the clone and every
+        // reference count returns to its pre-flip value — the live graph
+        // and all outstanding snapshots are untouched, and neither
+        // `snapshots_taken` nor the live-epoch table ever saw the attempt.
+        let blocks = self.vertices.clone();
+        fail_point!("snapshot_flip");
+        let epoch = self.epochs.register();
+        self.stats.record_snapshot_taken();
+        GraphSnapshot::new(SnapInner {
+            blocks,
+            num_edges: self.num_edges,
+            cfg: self.cfg,
+            quarantined: self.quarantined.clone(),
+            epoch,
+            registry: Arc::clone(&self.epochs),
+            stats: Arc::clone(&self.stats),
+            latency: Arc::clone(&self.latency),
+        })
+    }
+
+    /// Retired block versions currently awaiting epoch reclamation.
+    ///
+    /// Returns to 0 once every snapshot has dropped and a reclaim has run
+    /// (batch boundaries and snapshot drops both reclaim).
+    pub fn epoch_backlog(&self) -> usize {
+        self.epochs.backlog()
+    }
+
+    /// Runs an epoch reclamation pass outside a batch boundary, freeing
+    /// retired block versions no live snapshot can reference and refreshing
+    /// the `epoch_reclaim_backlog` gauge.
+    pub fn reclaim_epochs(&self) {
+        self.epochs.reclaim(&self.stats);
+    }
+}
+
+impl SnapshotSource for LsGraph {
+    type Snapshot = GraphSnapshot;
+
+    fn snapshot(&self) -> GraphSnapshot {
+        LsGraph::snapshot(self)
+    }
 }
 
 impl Graph for LsGraph {
@@ -628,7 +749,7 @@ impl MemoryFootprint for LsGraph {
         let spills: Footprint = self
             .vertices
             .par_iter()
-            .map(VertexBlock::spill_footprint)
+            .map(|vb| vb.spill_footprint())
             .reduce(Footprint::default, Footprint::add);
         blocks + spills
     }

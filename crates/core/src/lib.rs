@@ -40,6 +40,7 @@ pub mod hitree;
 pub mod model;
 pub mod ria;
 pub mod search;
+pub mod snapshot;
 pub mod stats;
 pub mod vertex;
 
@@ -50,5 +51,6 @@ pub use hitree::HiTree;
 pub use hitree::HiTreeIter;
 pub use hitree::SlotOccupancy;
 pub use ria::{Ria, RiaIter};
+pub use snapshot::GraphSnapshot;
 pub use stats::{Tier, TierStats};
 pub use vertex::NeighborIter;

@@ -6,6 +6,8 @@
 //! majority under power-law distributions — are therefore served by a single
 //! cache-line read.
 
+use std::sync::Arc;
+
 use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 
 use crate::adjacency::Spill;
@@ -16,12 +18,18 @@ use crate::config::{Config, INLINE_CAP};
 /// Invariant: `inline[..degree.min(INLINE_CAP)]` holds the vertex's smallest
 /// neighbors in ascending order, and every spilled neighbor is greater than
 /// the last inline one.
+///
+/// The spill is held through an [`Arc`] (same 64-byte layout — the pointer
+/// is niche-optimized) so that cloning a block for snapshot copy-on-write
+/// is a shallow reference bump; the spill payload itself is only copied
+/// ([`Arc::make_mut`]) when a write lands on a spill still shared with an
+/// outstanding snapshot.
 #[repr(C, align(64))]
 #[derive(Clone, Debug, Default)]
 pub struct VertexBlock {
     degree: u32,
     inline: [u32; INLINE_CAP],
-    spill: Option<Box<Spill>>,
+    spill: Option<Arc<Spill>>,
 }
 
 impl VertexBlock {
@@ -38,7 +46,7 @@ impl VertexBlock {
         vb.inline[..inline_n].copy_from_slice(&ns[..inline_n]);
         vb.degree = ns.len() as u32;
         if ns.len() > INLINE_CAP {
-            vb.spill = Some(Box::new(Spill::from_sorted(&ns[INLINE_CAP..], cfg)));
+            vb.spill = Some(Arc::new(Spill::from_sorted(&ns[INLINE_CAP..], cfg)));
         }
         vb
     }
@@ -112,8 +120,8 @@ impl VertexBlock {
                     stats.record_vb_spill_eviction();
                     let spill = self
                         .spill
-                        .get_or_insert_with(|| Box::new(Spill::Array(Vec::new())));
-                    let added = spill.insert_with(evicted, cfg, stats);
+                        .get_or_insert_with(|| Arc::new(Spill::Array(Vec::new())));
+                    let added = Arc::make_mut(spill).insert_with(evicted, cfg, stats);
                     debug_assert!(added, "evicted inline neighbor was already spilled");
                     self.degree += 1;
                     true
@@ -121,8 +129,8 @@ impl VertexBlock {
                 Err(_) => {
                     let spill = self
                         .spill
-                        .get_or_insert_with(|| Box::new(Spill::Array(Vec::new())));
-                    if spill.insert_with(u, cfg, stats) {
+                        .get_or_insert_with(|| Arc::new(Spill::Array(Vec::new())));
+                    if Arc::make_mut(spill).insert_with(u, cfg, stats) {
                         stats.record_vb_spill_insert();
                         self.degree += 1;
                         true
@@ -152,6 +160,7 @@ impl VertexBlock {
                 // the smallest neighbors.
                 let mut emptied = false;
                 if let Some(spill) = self.spill.as_mut() {
+                    let spill = Arc::make_mut(spill);
                     if let Some(min) = spill.pop_min_with(cfg, stats) {
                         self.inline[n - 1] = min;
                         stats.record_vb_spill_refill();
@@ -168,6 +177,7 @@ impl VertexBlock {
                 let Some(spill) = self.spill.as_mut() else {
                     return false;
                 };
+                let spill = Arc::make_mut(spill);
                 if spill.delete_with(u, cfg, stats) {
                     if spill.is_empty() {
                         self.spill = None;

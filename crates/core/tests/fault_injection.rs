@@ -324,6 +324,113 @@ fn quarantined_sources_are_skipped_until_repaired() {
 }
 
 #[test]
+fn faults_at_snapshot_flip_leave_live_graph_and_snapshots_intact() {
+    let _l = lock();
+    quiet_failpoint_panics();
+    for seed in 1..=4u64 {
+        failpoints::reset();
+        let mut rng = SmallRng::seed_from_u64(0xF11B + seed);
+        let mut g = LsGraph::with_config(N, cfg());
+        let mut shadow: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); N];
+        let batch = gen_batch(&mut rng);
+        g.insert_batch(&batch);
+        for e in &batch {
+            shadow[e.src as usize].insert(e.dst);
+        }
+        let survivor = g.snapshot();
+        let frozen: Vec<Vec<u32>> = (0..N as u32).map(|v| g.neighbors(v)).collect();
+        let frozen_m = g.num_edges();
+
+        // The flip itself faults: the attempt must vanish without a trace.
+        failpoints::configure("snapshot_flip", FailMode::Nth(1));
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.snapshot()));
+        assert!(attempt.is_err(), "seed {seed}: armed flip must panic");
+        assert_eq!(failpoints::fired("snapshot_flip"), 1, "fires exactly once");
+        failpoints::configure("snapshot_flip", FailMode::Off);
+
+        // Live graph intact and oracle-equal.
+        g.validate_invariants().unwrap();
+        for v in 0..N as VertexId {
+            assert_eq!(g.neighbors(v), shadow_neighbors(&shadow, v), "seed {seed}");
+        }
+        // The pre-fault snapshot survived untouched.
+        survivor.validate_invariants().unwrap();
+        assert_eq!(survivor.num_edges(), frozen_m);
+        for v in 0..N as VertexId {
+            assert_eq!(survivor.neighbors(v), frozen[v as usize], "seed {seed}");
+        }
+        // The failed attempt never registered: only the survivor was taken,
+        // and snapshotting still works afterwards.
+        assert_eq!(g.struct_snapshot().snapshots_taken, 1, "seed {seed}");
+        let after = g.snapshot();
+        g.insert_batch(&gen_batch(&mut rng));
+        assert_eq!(after.num_edges(), frozen_m, "seed {seed}");
+        after.validate_invariants().unwrap();
+
+        drop((survivor, after));
+        g.reclaim_epochs();
+        assert_eq!(g.epoch_backlog(), 0, "seed {seed}");
+        assert_eq!(g.struct_snapshot().snapshots_retired, 2, "seed {seed}");
+    }
+    failpoints::reset();
+}
+
+#[test]
+fn faults_at_epoch_reclaim_leave_graph_and_snapshots_intact() {
+    let _l = lock();
+    quiet_failpoint_panics();
+    for seed in 1..=4u64 {
+        failpoints::reset();
+        let mut rng = SmallRng::seed_from_u64(0xEC1A + seed);
+        let mut g = LsGraph::with_config(N, cfg());
+        let mut shadow: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); N];
+        let batch = gen_batch(&mut rng);
+        g.insert_batch(&batch);
+        for e in &batch {
+            shadow[e.src as usize].insert(e.dst);
+        }
+        let snap = g.snapshot();
+        let frozen: Vec<Vec<u32>> = (0..N as u32).map(|v| g.neighbors(v)).collect();
+        let frozen_m = g.num_edges();
+
+        // The next batch retires CoW-displaced versions and then reclaims at
+        // the batch boundary; the armed site panics at the very top of that
+        // reclaim — after the batch has fully applied and been accounted.
+        let batch2 = gen_batch(&mut rng);
+        failpoints::configure("epoch_reclaim", FailMode::Nth(1));
+        let attempt =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.try_insert_batch(&batch2)));
+        assert!(attempt.is_err(), "seed {seed}: armed reclaim must panic");
+        assert_eq!(failpoints::fired("epoch_reclaim"), 1, "fires exactly once");
+        failpoints::configure("epoch_reclaim", FailMode::Off);
+        for e in &batch2 {
+            shadow[e.src as usize].insert(e.dst);
+        }
+
+        // The batch committed before the reclaim fault: live view is
+        // oracle-equal including batch2, and the snapshot still reads the
+        // pre-batch2 state.
+        g.validate_invariants().unwrap();
+        for v in 0..N as VertexId {
+            assert_eq!(g.neighbors(v), shadow_neighbors(&shadow, v), "seed {seed}");
+        }
+        snap.validate_invariants().unwrap();
+        assert_eq!(snap.num_edges(), frozen_m);
+        for v in 0..N as VertexId {
+            assert_eq!(snap.neighbors(v), frozen[v as usize], "seed {seed}");
+        }
+        // The aborted reclaim freed nothing (the snapshot still pins the
+        // displaced versions anyway); quiescence drains it as usual.
+        assert!(g.epoch_backlog() > 0, "seed {seed}: CoW retired versions");
+        drop(snap);
+        g.reclaim_epochs();
+        assert_eq!(g.epoch_backlog(), 0, "seed {seed}");
+        assert_eq!(g.struct_snapshot().epoch_reclaim_backlog, 0, "seed {seed}");
+    }
+    failpoints::reset();
+}
+
+#[test]
 fn try_from_edges_contains_bulk_load_faults() {
     let _l = lock();
     quiet_failpoint_panics();

@@ -32,9 +32,64 @@ use std::fs::{self, File};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
-use lsgraph_api::{fail_point, Graph};
-use lsgraph_core::{Config, LsGraph, Tier};
+use lsgraph_api::{fail_point, Graph, StructStats};
+use lsgraph_core::{Config, GraphSnapshot, LsGraph, Tier};
 use lsgraph_gen::binio;
+
+/// A graph state a checkpoint can serialize: the live [`LsGraph`] or a
+/// [`GraphSnapshot`] frozen at a batch boundary. The snapshot impl is what
+/// lets [`crate::Store::begin_checkpoint`] hand the image write to another
+/// thread while the writer keeps applying batches — the image is a faithful
+/// picture of the flip point no matter how far the live graph moves on.
+pub trait CheckpointView: Graph {
+    /// The engine configuration, fingerprinted into the image header.
+    fn config(&self) -> &Config;
+    /// Vertices quarantined at this state, re-quarantined on restore.
+    fn quarantined_vertices(&self) -> Vec<u32>;
+    /// Whether `v` is quarantined (degree 0 by invariant).
+    fn is_quarantined(&self, v: u32) -> bool;
+    /// Tier-native adjacency walk of `v` into `out`; returns the tier tag
+    /// recorded alongside it.
+    fn checkpoint_vertex(&self, v: u32, out: &mut Vec<u32>) -> Tier;
+    /// Structural counters to record `checkpoint_bytes` into.
+    fn stats(&self) -> &StructStats;
+}
+
+impl CheckpointView for LsGraph {
+    fn config(&self) -> &Config {
+        LsGraph::config(self)
+    }
+    fn quarantined_vertices(&self) -> Vec<u32> {
+        LsGraph::quarantined_vertices(self)
+    }
+    fn is_quarantined(&self, v: u32) -> bool {
+        LsGraph::is_quarantined(self, v)
+    }
+    fn checkpoint_vertex(&self, v: u32, out: &mut Vec<u32>) -> Tier {
+        LsGraph::checkpoint_vertex(self, v, out)
+    }
+    fn stats(&self) -> &StructStats {
+        LsGraph::stats(self)
+    }
+}
+
+impl CheckpointView for GraphSnapshot {
+    fn config(&self) -> &Config {
+        GraphSnapshot::config(self)
+    }
+    fn quarantined_vertices(&self) -> Vec<u32> {
+        GraphSnapshot::quarantined_vertices(self)
+    }
+    fn is_quarantined(&self, v: u32) -> bool {
+        GraphSnapshot::is_quarantined(self, v)
+    }
+    fn checkpoint_vertex(&self, v: u32, out: &mut Vec<u32>) -> Tier {
+        GraphSnapshot::checkpoint_vertex(self, v, out)
+    }
+    fn stats(&self) -> &StructStats {
+        GraphSnapshot::stats(self)
+    }
+}
 
 /// Magic header of a checkpoint image.
 const CKPT_MAGIC: &[u8; 8] = b"LSGCKPT1";
@@ -72,14 +127,17 @@ fn invalid(msg: String) -> io::Error {
 /// list but never an adjacency record (they are degree 0 by invariant).
 /// Records `checkpoint_bytes` into the graph's stats.
 ///
+/// `g` is any [`CheckpointView`] — the live graph, or a frozen
+/// [`GraphSnapshot`] when the image is written off-thread.
+///
 /// # Errors
 ///
 /// Propagates I/O errors; the image is written to a temp file and renamed,
 /// so a failed write never clobbers an older checkpoint.
-pub fn write_checkpoint(
+pub fn write_checkpoint<V: CheckpointView + ?Sized>(
     dir: &Path,
     id: u64,
-    g: &LsGraph,
+    g: &V,
     wal_offset: u64,
     next_seq: u64,
 ) -> io::Result<CheckpointMeta> {
@@ -414,6 +472,32 @@ mod tests {
         let (_, meta) = load_newest_checkpoint(&dir, small_cfg()).unwrap().unwrap();
         assert_eq!(meta.id, 1);
         assert_eq!(meta.wal_offset, 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_checkpoint_freezes_the_flip_point() {
+        let dir = tmpdir("snap-ckpt");
+        let mut g = skewed_graph(small_cfg());
+        let snap = g.snapshot();
+        let frozen_edges = g.num_edges();
+        // The live graph moves on before the image is written; the image
+        // must serialize the flip point, not the current state.
+        g.insert_batch(&(0..300u32).map(|i| Edge::new(5, i + 1)).collect::<Vec<_>>());
+        assert_ne!(g.num_edges(), frozen_edges);
+        let meta = write_checkpoint(&dir, 1, &snap, 77, 3).unwrap();
+        let (r, rmeta) = load_checkpoint(&checkpoint_file(&dir, 1), small_cfg()).unwrap();
+        assert_eq!(rmeta, meta);
+        assert_eq!(r.num_edges(), frozen_edges);
+        for v in 0..r.num_vertices() as u32 {
+            assert_eq!(r.neighbors(v), snap.neighbors(v), "vertex {v}");
+        }
+        assert_eq!(
+            r.neighbors(5),
+            Vec::<u32>::new(),
+            "post-flip batch excluded"
+        );
+        r.check_invariants();
         std::fs::remove_dir_all(&dir).ok();
     }
 

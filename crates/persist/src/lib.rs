@@ -16,7 +16,11 @@
 //! - [`store`] — recovery: newest valid checkpoint + WAL-tail replay
 //!   through the normal batch pipeline, truncating the log at the first
 //!   torn or corrupt frame and reporting what was reconstructed and what
-//!   was discarded in a [`RecoveryReport`].
+//!   was discarded in a [`RecoveryReport`]. Checkpoints are also takeable
+//!   *without pausing the writer*: [`Store::begin_checkpoint`] freezes a
+//!   [`lsgraph_core::GraphSnapshot`] and returns a [`PendingCheckpoint`]
+//!   whose image write can run on another thread while batches keep
+//!   landing.
 //!
 //! Durability work is observable through four
 //! [`StructStats`](lsgraph_api::StructStats) counters
@@ -28,6 +32,6 @@ pub mod checkpoint;
 pub mod store;
 pub mod wal;
 
-pub use checkpoint::CheckpointMeta;
-pub use store::{RecoveryReport, Store, StoreError, WAL_FILE};
+pub use checkpoint::{CheckpointMeta, CheckpointView};
+pub use store::{PendingCheckpoint, RecoveryReport, Store, StoreError, WAL_FILE};
 pub use wal::{Wal, WalOp};

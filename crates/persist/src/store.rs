@@ -22,7 +22,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use lsgraph_api::{fail_point, Edge, Graph};
-use lsgraph_core::{BatchOutcome, Config, GraphError, LsGraph};
+use lsgraph_core::{BatchOutcome, Config, GraphError, GraphSnapshot, LsGraph};
 
 use crate::checkpoint::{self, CheckpointMeta};
 use crate::wal::{self, Wal, WalOp};
@@ -207,6 +207,35 @@ impl Store {
         Ok(meta)
     }
 
+    /// Syncs the WAL and freezes a checkpoint *without writing it*: the
+    /// returned [`PendingCheckpoint`] captures a [`GraphSnapshot`] plus the
+    /// WAL position it covers, and can be moved to another thread and
+    /// written there while this store keeps logging and applying batches.
+    /// Batches that land after this call are simply not covered by the
+    /// image — recovery replays them from the WAL tail, exactly as with a
+    /// synchronous [`Store::checkpoint`].
+    ///
+    /// The checkpoint id is claimed eagerly, so interleaved synchronous
+    /// checkpoints never collide with a pending one. A pending checkpoint
+    /// that is dropped unwritten leaves a gap in the id sequence, which
+    /// recovery tolerates (it scans for the newest valid image).
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL sync I/O errors; the snapshot itself cannot fail.
+    pub fn begin_checkpoint(&mut self) -> Result<PendingCheckpoint, StoreError> {
+        self.wal.sync()?;
+        let pending = PendingCheckpoint {
+            dir: self.dir.clone(),
+            id: self.next_checkpoint_id,
+            snapshot: self.graph.snapshot(),
+            wal_offset: self.wal.logical_len(),
+            next_seq: self.wal.next_seq(),
+        };
+        self.next_checkpoint_id += 1;
+        Ok(pending)
+    }
+
     /// The recovered / live graph.
     pub fn graph(&self) -> &LsGraph {
         &self.graph
@@ -232,6 +261,56 @@ impl Store {
     /// The sequence number the next logged batch will carry.
     pub fn next_seq(&self) -> u64 {
         self.wal.next_seq()
+    }
+}
+
+/// A checkpoint frozen by [`Store::begin_checkpoint`] but not yet written.
+///
+/// Holds a [`GraphSnapshot`] of the flip point, so it is `Send` and the
+/// image write ([`PendingCheckpoint::write`]) can run on a background
+/// thread concurrently with the store's writer. The snapshot's block
+/// versions stay alive (and count toward the epoch-reclamation backlog)
+/// until the pending checkpoint is written or dropped.
+pub struct PendingCheckpoint {
+    dir: PathBuf,
+    id: u64,
+    snapshot: GraphSnapshot,
+    wal_offset: u64,
+    next_seq: u64,
+}
+
+impl PendingCheckpoint {
+    /// The checkpoint id the image will carry.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// WAL byte offset the image covers; replay resumes here.
+    pub fn wal_offset(&self) -> u64 {
+        self.wal_offset
+    }
+
+    /// The frozen state the image will serialize.
+    pub fn snapshot(&self) -> &GraphSnapshot {
+        &self.snapshot
+    }
+
+    /// Serializes the frozen snapshot into its image and updates the
+    /// manifest, consuming the pending checkpoint (and releasing the
+    /// snapshot's hold on retired block versions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates image-write I/O errors; a failed write never clobbers an
+    /// older checkpoint.
+    pub fn write(self) -> io::Result<CheckpointMeta> {
+        checkpoint::write_checkpoint(
+            &self.dir,
+            self.id,
+            &self.snapshot,
+            self.wal_offset,
+            self.next_seq,
+        )
     }
 }
 
@@ -352,6 +431,58 @@ mod tests {
         assert_eq!(report.checkpoint_loaded, Some(1));
         assert_eq!(report.frames_replayed, (batches.len() - half) as u64);
         assert_eq!(report.next_seq, batches.len() as u64);
+        assert_matches_shadow(store.graph(), &shadow(&batches));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn background_checkpoint_write_overlaps_the_writer() {
+        let dir = tmpdir("bg-ckpt");
+        let batches = workload(12);
+        let half = batches.len() / 2;
+        {
+            let (mut store, _) = Store::open(&dir, 64, cfg()).unwrap();
+            run(&mut store, &batches[..half]);
+            // Freeze the checkpoint, then hand the image write to another
+            // thread while this one keeps logging and applying batches.
+            let pending = store.begin_checkpoint().unwrap();
+            assert_eq!(pending.id(), 1);
+            let writer = std::thread::spawn(move || pending.write().unwrap());
+            run(&mut store, &batches[half..]);
+            store.sync().unwrap();
+            let meta = writer.join().expect("image writer panicked");
+            assert_eq!(meta.id, 1);
+            assert_eq!(meta.next_seq, half as u64);
+            // Quiescence: the image write dropped the snapshot, so the
+            // retired block versions it pinned are reclaimable.
+            store.graph_mut().reclaim_epochs();
+            assert_eq!(store.graph().epoch_backlog(), 0);
+        }
+        // Recovery: the image covers the first half; the WAL tail replays
+        // the batches that landed while the image was being written.
+        let (store, report) = Store::open(&dir, 64, cfg()).unwrap();
+        assert_eq!(report.checkpoint_loaded, Some(1));
+        assert_eq!(report.frames_replayed, (batches.len() - half) as u64);
+        assert_eq!(report.next_seq, batches.len() as u64);
+        assert_matches_shadow(store.graph(), &shadow(&batches));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dropped_pending_checkpoint_leaves_an_id_gap_recovery_tolerates() {
+        let dir = tmpdir("dropped-pending");
+        let batches = workload(6);
+        {
+            let (mut store, _) = Store::open(&dir, 64, cfg()).unwrap();
+            run(&mut store, &batches[..3]);
+            drop(store.begin_checkpoint().unwrap()); // id 1 claimed, never written
+            run(&mut store, &batches[3..]);
+            let meta = store.checkpoint().unwrap();
+            assert_eq!(meta.id, 2, "synchronous checkpoint skips the claimed id");
+        }
+        let (store, report) = Store::open(&dir, 64, cfg()).unwrap();
+        assert_eq!(report.checkpoint_loaded, Some(2));
+        assert_eq!(report.frames_replayed, 0);
         assert_matches_shadow(store.graph(), &shadow(&batches));
         std::fs::remove_dir_all(&dir).ok();
     }

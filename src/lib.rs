@@ -27,11 +27,11 @@
 
 pub use lsgraph_api::{
     CounterSnapshot, DynamicGraph, Edge, Footprint, Graph, IterableGraph, MemoryFootprint,
-    OpCounters, Phase, PhaseTimer, StructSnapshot, StructStats, VertexId,
+    OpCounters, Phase, PhaseTimer, SnapshotSource, StructSnapshot, StructStats, VertexId,
 };
 pub use lsgraph_core::{
-    Config, ConfigError, HiTree, HighDegreeStore, LiaSearch, LsGraph, MediumStore, Ria,
-    SlotOccupancy, Tier, TierStats,
+    Config, ConfigError, GraphSnapshot, HiTree, HighDegreeStore, LiaSearch, LsGraph, MediumStore,
+    Ria, SlotOccupancy, Tier, TierStats,
 };
 
 /// Analytics kernels (BFS, BC, PR, CC, TC) and the `EdgeMap` framework.

@@ -349,3 +349,187 @@ fn extreme_keys_survive() {
         assert_eq!(t.to_vec(), oracle.into_iter().collect::<Vec<_>>());
     }
 }
+
+#[test]
+fn lsgraph_snapshots_stay_frozen_under_random_interleavings() {
+    use lsgraph::GraphSnapshot;
+    use std::collections::BTreeSet;
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xF000 + case);
+        let cfg = Config {
+            a: 4,
+            m: 16,
+            ..Config::default()
+        };
+        let mut g = LsGraph::with_config(60, cfg);
+        let mut oracle: Vec<BTreeSet<u32>> = vec![Default::default(); 60];
+        // Each held snapshot pairs with its frozen adjacency + edge total.
+        let mut snaps: Vec<(GraphSnapshot, Vec<Vec<u32>>, usize)> = Vec::new();
+        let steps = rng.gen_range(8usize..24);
+        for step in 0..steps {
+            match rng.gen_range(0u32..5) {
+                // Batches dominate; snapshot takes and drops interleave.
+                0..=2 => {
+                    let is_insert = rng.gen_bool(0.6);
+                    let len = rng.gen_range(1usize..60);
+                    let batch: Vec<Edge> = (0..len)
+                        .map(|_| Edge::new(rng.gen_range(0u32..60), rng.gen_range(0u32..60)))
+                        .collect();
+                    if is_insert {
+                        g.insert_batch(&batch);
+                    } else {
+                        g.delete_batch(&batch);
+                    }
+                    for e in &batch {
+                        if is_insert {
+                            oracle[e.src as usize].insert(e.dst);
+                        } else {
+                            oracle[e.src as usize].remove(&e.dst);
+                        }
+                    }
+                }
+                3 => {
+                    let adj: Vec<Vec<u32>> =
+                        oracle.iter().map(|s| s.iter().copied().collect()).collect();
+                    let m = adj.iter().map(Vec::len).sum();
+                    snaps.push((g.snapshot(), adj, m));
+                }
+                _ => {
+                    if !snaps.is_empty() {
+                        let i = rng.gen_range(0..snaps.len());
+                        snaps.swap_remove(i);
+                        g.reclaim_epochs();
+                    }
+                }
+            }
+            // Every snapshot still alive reads exactly its frozen past.
+            for (i, (snap, adj, m)) in snaps.iter().enumerate() {
+                assert_eq!(snap.num_edges(), *m, "case {case} step {step} snap {i}");
+                for v in 0..60u32 {
+                    assert_eq!(
+                        snap.neighbors(v),
+                        adj[v as usize],
+                        "case {case} step {step} snap {i} vertex {v}"
+                    );
+                }
+            }
+        }
+        // The live view converged on the full stream.
+        let total: usize = oracle.iter().map(|s| s.len()).sum();
+        assert_eq!(g.num_edges(), total, "case {case}");
+        for v in 0..60u32 {
+            assert_eq!(
+                g.neighbors(v),
+                oracle[v as usize].iter().copied().collect::<Vec<_>>(),
+                "case {case} vertex {v}"
+            );
+        }
+        // Quiescence: dropping the rest drains the retired-version pool.
+        snaps.clear();
+        g.reclaim_epochs();
+        assert_eq!(g.epoch_backlog(), 0, "case {case}");
+        let s = g.stats().snapshot();
+        assert_eq!(s.snapshots_retired, s.snapshots_taken, "case {case}");
+        assert_eq!(s.epoch_reclaim_backlog, 0, "case {case}");
+        g.check_invariants();
+    }
+}
+
+#[test]
+fn lsgraph_snapshot_quarantine_repair_interleavings() {
+    use lsgraph::GraphSnapshot;
+    use std::collections::BTreeSet;
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x10000 + case);
+        let cfg = Config {
+            a: 4,
+            m: 16,
+            ..Config::default()
+        };
+        let mut g = LsGraph::with_config(60, cfg);
+        let mut oracle: Vec<BTreeSet<u32>> = vec![Default::default(); 60];
+        // Each snapshot freezes adjacency plus the quarantine set at flip.
+        let mut snaps: Vec<(GraphSnapshot, Vec<Vec<u32>>, Vec<u32>)> = Vec::new();
+        let freeze = |oracle: &[BTreeSet<u32>]| -> Vec<Vec<u32>> {
+            oracle.iter().map(|s| s.iter().copied().collect()).collect()
+        };
+        let steps = rng.gen_range(6usize..16);
+        for step in 0..steps {
+            if rng.gen_bool(0.6) {
+                let is_insert = rng.gen_bool(0.6);
+                let len = rng.gen_range(1usize..60);
+                let batch: Vec<Edge> = (0..len)
+                    .map(|_| Edge::new(rng.gen_range(0u32..60), rng.gen_range(0u32..60)))
+                    .collect();
+                if is_insert {
+                    g.insert_batch(&batch);
+                } else {
+                    g.delete_batch(&batch);
+                }
+                for e in &batch {
+                    if is_insert {
+                        oracle[e.src as usize].insert(e.dst);
+                    } else {
+                        oracle[e.src as usize].remove(&e.dst);
+                    }
+                }
+                if rng.gen_bool(0.4) {
+                    snaps.push((g.snapshot(), freeze(&oracle), Vec::new()));
+                }
+            } else {
+                // Post-fault lifecycle on a random vertex: clear, requarantine,
+                // sometimes snapshot the quarantined state, then repair with a
+                // random neighbor list. A snapshot pinned mid-lifecycle must
+                // keep showing the vertex quarantined and empty forever.
+                let v = rng.gen_range(0u32..60);
+                g.clear_vertex(v);
+                g.restore_quarantine(v).unwrap();
+                oracle[v as usize].clear();
+                if rng.gen_bool(0.7) {
+                    snaps.push((g.snapshot(), freeze(&oracle), vec![v]));
+                }
+                let mut fixed: Vec<u32> = (0..rng.gen_range(0usize..12))
+                    .map(|_| rng.gen_range(0u32..60))
+                    .collect();
+                fixed.sort_unstable();
+                fixed.dedup();
+                assert_eq!(g.repair_vertex(v, &fixed).unwrap(), fixed.len());
+                oracle[v as usize] = fixed.into_iter().collect();
+            }
+            for (i, (snap, adj, quar)) in snaps.iter().enumerate() {
+                for v in 0..60u32 {
+                    assert_eq!(
+                        snap.neighbors(v),
+                        adj[v as usize],
+                        "case {case} step {step} snap {i} vertex {v}"
+                    );
+                    assert_eq!(
+                        snap.is_quarantined(v),
+                        quar.contains(&v),
+                        "case {case} step {step} snap {i} vertex {v} quarantine"
+                    );
+                }
+                assert_eq!(
+                    &snap.quarantined_vertices(),
+                    quar,
+                    "case {case} step {step} snap {i}"
+                );
+                snap.validate_invariants()
+                    .unwrap_or_else(|e| panic!("case {case} step {step} snap {i}: {e}"));
+            }
+        }
+        // The live graph left every lifecycle repaired, matching the oracle.
+        assert_eq!(g.quarantined_vertices(), Vec::<u32>::new(), "case {case}");
+        for v in 0..60u32 {
+            assert_eq!(
+                g.neighbors(v),
+                oracle[v as usize].iter().copied().collect::<Vec<_>>(),
+                "case {case} vertex {v}"
+            );
+        }
+        drop(snaps);
+        g.reclaim_epochs();
+        assert_eq!(g.epoch_backlog(), 0, "case {case}");
+        g.check_invariants();
+    }
+}
