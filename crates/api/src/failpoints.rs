@@ -39,7 +39,8 @@ use std::sync::Mutex;
 /// | `recovery_replay` | a WAL-tail frame is replayed during recovery |
 /// | `snapshot_flip` | a read snapshot registers its epoch (mid-flip) |
 /// | `epoch_reclaim` | retired block versions are reclaimed |
-pub const SITES: [&str; 11] = [
+/// | `metrics_sample` | a sampler tick snapshots the metrics registry |
+pub const SITES: [&str; 12] = [
     "ria_rebuild",
     "lia_retrain",
     "hitree_vertical",
@@ -51,6 +52,7 @@ pub const SITES: [&str; 11] = [
     "recovery_replay",
     "snapshot_flip",
     "epoch_reclaim",
+    "metrics_sample",
 ];
 
 /// When a configured site fires.

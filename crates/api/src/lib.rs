@@ -11,6 +11,7 @@ pub mod edge;
 pub mod failpoints;
 pub mod footprint;
 pub mod histogram;
+pub mod metrics;
 pub mod trace;
 
 pub use counters::{CounterSnapshot, OpCounters, Phase, PhaseTimer, StructSnapshot, StructStats};
@@ -19,6 +20,7 @@ pub use footprint::{Footprint, MemoryFootprint};
 pub use histogram::{
     kernel_scope, HistogramSnapshot, KernelScope, LatencyHistogram, LatencySnapshot, LatencyStats,
 };
+pub use metrics::{MetricsRegistry, RegistrySample, Sampler, SamplerThread};
 pub use trace::{Span, SpanKind};
 
 /// Read-only view of a graph.

@@ -239,16 +239,38 @@ fn write_streamed(tid: u64, e: &Event) -> bool {
 /// event is ever dropped. Replaces any previously active stream without
 /// terminating it; call [`finish_stream`] first if its footer matters.
 ///
+/// Returns a [`StreamGuard`] that finalizes the stream on drop, so a traced
+/// run that panics still gets a flushed, parseable trace file instead of a
+/// truncated JSON array. [`finish_stream`] is idempotent: callers that want
+/// the event count call it explicitly before the guard drops.
+///
 /// Events already sitting in the rings are not copied over — enable
 /// streaming before the traced workload starts.
-pub fn stream_to_file(path: &Path) -> std::io::Result<()> {
+pub fn stream_to_file(path: &Path) -> std::io::Result<StreamGuard> {
     let f = std::fs::File::create(path)?;
     let mut w = std::io::BufWriter::new(f);
     w.write_all(b"{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [")?;
     let mut guard = SINK.lock().unwrap_or_else(|p| p.into_inner());
     *guard = Some(StreamSink { w, events: 0 });
     STREAMING.store(true, Ordering::Relaxed);
-    Ok(())
+    Ok(StreamGuard { _private: () })
+}
+
+/// Drop guard returned by [`stream_to_file`]: finalizes the active stream
+/// when dropped (including during a panic unwind), writing the array
+/// terminator and footer so the trace file is never left unparseable.
+#[must_use = "dropping the guard immediately would finalize the stream now"]
+pub struct StreamGuard {
+    _private: (),
+}
+
+impl Drop for StreamGuard {
+    fn drop(&mut self) {
+        // Idempotent: a no-op if the stream was already finished explicitly
+        // (or replaced). Errors are swallowed — drop runs during unwinding,
+        // where the original panic matters more than a flush failure.
+        let _ = finish_stream();
+    }
 }
 
 /// Whether a streaming sink is currently installed.
@@ -429,7 +451,7 @@ mod tests {
             "lsgraph_trace_stream_test_{}.json",
             std::process::id()
         ));
-        stream_to_file(&path).unwrap();
+        let _guard = stream_to_file(&path).unwrap();
         assert!(is_streaming());
         enable();
         // Well past RING_CAP: ring mode would overwrite the oldest
@@ -461,6 +483,36 @@ mod tests {
 
         // A second finish with no active stream is a no-op.
         assert_eq!(finish_stream().unwrap(), None);
+        std::fs::remove_file(&path).ok();
+        reset();
+    }
+
+    #[test]
+    fn stream_guard_finalizes_on_panic() {
+        let _g = locked();
+        reset();
+        let path = std::env::temp_dir().join(format!(
+            "lsgraph_trace_panic_test_{}.json",
+            std::process::id()
+        ));
+        let path2 = path.clone();
+        // A traced run that panics mid-stream: the guard unwinds with it
+        // and must leave a complete, parseable trace document behind.
+        let r = std::panic::catch_unwind(move || {
+            let _guard = stream_to_file(&path2).unwrap();
+            enable();
+            {
+                let _s = span(SpanKind::Apply);
+            }
+            panic!("traced workload died");
+        });
+        assert!(r.is_err());
+        disable();
+        assert!(!is_streaming(), "guard must tear down the stream");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"name\": \"apply\""));
+        assert!(json.contains("\"droppedEvents\": 0"));
+        assert!(json.trim_end().ends_with('}'), "file must be finalized");
         std::fs::remove_file(&path).ok();
         reset();
     }

@@ -1,8 +1,9 @@
 //! Reproduction harness: one subcommand per paper table/figure.
 //!
 //! ```text
-//! cargo run -p lsgraph-bench --release --bin repro -- <experiment> [--json] [--trace out.json]
+//! cargo run -p lsgraph-bench --release --bin repro -- <experiment> [--json] [--trace out.json] [--metrics out.jsonl]
 //! cargo run -p lsgraph-bench --release --bin repro -- check --baseline BENCH_small.json
+//! cargo run -p lsgraph-bench --release --bin repro -- check --metrics metrics.jsonl
 //! ```
 //!
 //! Experiments: `fig3 fig4 fig12 small ablation fig13 table2 table3 fig14
@@ -22,12 +23,21 @@
 //! chrome://tracing JSON is finalized on exit; open the file in
 //! `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
+//! With `--metrics <path>`, instrumented experiments (currently `mixed`)
+//! stream a sampled metrics time-series to `<path>` as JSONL — one
+//! self-describing header line plus one line per sampler tick (engine
+//! counters, gauges, latency histogram summaries, per-round writer eps and
+//! reader p99). The tick count is deterministic (once per writer round plus
+//! a quiescence tick), so the stream itself is checkable.
+//!
 //! `check --baseline BENCH_<exp>.json` re-runs that experiment at the
 //! baseline's recorded scale and exits nonzero if any invariant counter is
 //! nonzero or a structural counter regressed past tolerance; see
-//! `lsgraph_bench::check`.
+//! `lsgraph_bench::check`. `check --metrics <path>` validates a recorded
+//! metrics stream instead (exact sample count, contiguous ticks, monotone
+//! counters, backlog drained by the final sample); the two flags compose.
 
-use lsgraph_api::trace;
+use lsgraph_api::{metrics, trace};
 use lsgraph_bench::{check, experiments};
 use lsgraph_bench::{BenchReport, Scale};
 
@@ -53,9 +63,34 @@ fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(v)
 }
 
+/// Validates a recorded metrics JSONL stream. Returns the number of
+/// violations found (0 = clean).
+fn check_metrics_file(path: &str) -> usize {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[repro] cannot read metrics stream {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let errs = check::check_metrics(&text);
+    for e in &errs {
+        eprintln!("[repro] [metrics] {e}");
+    }
+    if errs.is_empty() {
+        eprintln!("[repro] metrics check PASSED: {path} is a clean time-series");
+    } else {
+        eprintln!(
+            "[repro] metrics check FAILED: {} violation(s) in {path}",
+            errs.len()
+        );
+    }
+    errs.len()
+}
+
 /// Runs the experiment a baseline report records, at the baseline's scale,
 /// and compares structural counters. Exits 0 when clean, 1 on violations.
-fn run_check(baseline_path: &str) -> ! {
+fn run_check(baseline_path: &str, metrics_violations: usize) -> ! {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
         Err(e) => {
@@ -98,7 +133,7 @@ fn run_check(baseline_path: &str) -> ! {
         "{}",
         check::violations_json(&baseline.experiment, &violations)
     );
-    if violations.is_empty() {
+    if violations.is_empty() && metrics_violations == 0 {
         eprintln!(
             "[repro] check PASSED: {} cells match {baseline_path}",
             baseline.engines.len()
@@ -107,7 +142,7 @@ fn run_check(baseline_path: &str) -> ! {
     }
     eprintln!(
         "[repro] check FAILED: {} violation(s) vs {baseline_path}",
-        violations.len()
+        violations.len() + metrics_violations
     );
     std::process::exit(1);
 }
@@ -117,18 +152,26 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     let trace_path = take_value_flag(&mut args, "--trace");
+    let metrics_path = take_value_flag(&mut args, "--metrics");
     let baseline = take_value_flag(&mut args, "--baseline");
     if args.first().map(String::as_str) == Some("check") {
-        let Some(b) = baseline else {
-            eprintln!("usage: repro check --baseline BENCH_<experiment>.json");
-            std::process::exit(2);
-        };
-        run_check(&b);
+        let metrics_violations = metrics_path.as_deref().map(check_metrics_file);
+        match (baseline, metrics_violations) {
+            (Some(b), mv) => run_check(&b, mv.unwrap_or(0)),
+            (None, Some(0)) => std::process::exit(0),
+            (None, Some(_)) => std::process::exit(1),
+            (None, None) => {
+                eprintln!(
+                    "usage: repro check --baseline BENCH_<experiment>.json [--metrics out.jsonl]\n       repro check --metrics out.jsonl"
+                );
+                std::process::exit(2);
+            }
+        }
     }
     let scale = Scale::from_env();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig3|fig4|fig12|small|ablation|fig13|table2|table3|fig14|fig15|fig16|fig17|table4|g500|durability|mixed|all> [--json] [--trace out.json]\n       repro check --baseline BENCH_<experiment>.json"
+            "usage: repro <fig3|fig4|fig12|small|ablation|fig13|table2|table3|fig14|fig15|fig16|fig17|table4|g500|durability|mixed|all> [--json] [--trace out.json] [--metrics out.jsonl]\n       repro check --baseline BENCH_<experiment>.json [--metrics out.jsonl]"
         );
         std::process::exit(2);
     }
@@ -136,14 +179,25 @@ fn main() {
         "[repro] base=2^{} shift={} trials={}",
         scale.base, scale.shift, scale.trials
     );
-    if let Some(path) = &trace_path {
+    // Both guards finalize their stream on drop, so a panicking experiment
+    // still leaves flushed, parseable trace/metrics files behind.
+    let _trace_guard = trace_path.as_ref().map(|path| {
         // Stream spans to disk as they complete: a long run never loses
         // events to ring-buffer overflow.
-        if let Err(e) = trace::stream_to_file(std::path::Path::new(path)) {
+        let guard = trace::stream_to_file(std::path::Path::new(path)).unwrap_or_else(|e| {
             eprintln!("[repro] cannot open trace file {path}: {e}");
             std::process::exit(1);
-        }
+        });
         trace::enable();
+        guard
+    });
+    if let Some(path) = &metrics_path {
+        // Install the metrics sink before the experiments run; instrumented
+        // experiments (currently `mixed`) write the header and tick samples.
+        if let Err(e) = metrics::stream_to_file(std::path::Path::new(path)) {
+            eprintln!("[repro] cannot open metrics stream {path}: {e}");
+            std::process::exit(1);
+        }
     }
     for arg in &args {
         if json {
@@ -208,6 +262,18 @@ fn main() {
             Ok(None) => eprintln!("[repro] trace stream to {path} was not active"),
             Err(e) => {
                 eprintln!("[repro] failed to finalize trace {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = metrics_path {
+        match metrics::finish_stream() {
+            Ok(Some(samples)) => {
+                eprintln!("[repro] wrote metrics {path} ({samples} samples)")
+            }
+            Ok(None) => eprintln!("[repro] metrics stream to {path} was not active"),
+            Err(e) => {
+                eprintln!("[repro] failed to finalize metrics {path}: {e}");
                 std::process::exit(1);
             }
         }

@@ -35,7 +35,7 @@
 //! missing from the current run is an error (losing coverage silently would
 //! defeat the gate).
 
-use crate::report::BenchReport;
+use crate::report::{parse_json, BenchReport, Json};
 use lsgraph_api::LatencySnapshot;
 
 /// Counters that must be **zero** in a correct build (see module docs).
@@ -322,6 +322,179 @@ pub fn compare(
     out
 }
 
+fn jget<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn juint(j: &Json) -> Option<u64> {
+    match j {
+        Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+        _ => None,
+    }
+}
+
+/// Per-cell running state while walking a metrics JSONL stream.
+struct CellState {
+    cell: String,
+    next_tick: u64,
+    last_counters: Vec<(String, u64)>,
+    last_gauges: Vec<(String, u64)>,
+}
+
+/// Validates a metrics JSONL time-series (`repro <exp> --metrics out.jsonl`)
+/// against the properties the sampler guarantees:
+///
+/// - the header line carries the `lsgraph-metrics-v1` schema tag and a
+///   `samples_expected` count that the file must hit **exactly** (the
+///   sampler ticks once per writer round plus once at quiescence — a
+///   deterministic function of the workload);
+/// - per cell, ticks are contiguous from 0 (no dropped or duplicated
+///   samples);
+/// - every counter is monotone non-decreasing sample over sample (counters
+///   only ever accumulate; a decrease means torn sampling or a reset
+///   mid-run);
+/// - the final sample of every cell reads `epoch_reclaim_backlog` = 0 (the
+///   quiescence tick happens after drop-all + reclaim).
+///
+/// Returns human-readable violations; empty means the stream is clean.
+pub fn check_metrics(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let Some((_, header_line)) = lines.next() else {
+        return vec!["metrics stream is empty (no header line)".to_string()];
+    };
+    let header = match parse_json(header_line) {
+        Ok(Json::Obj(m)) => m,
+        Ok(other) => return vec![format!("metrics header is not an object: {other:?}")],
+        Err(e) => return vec![format!("metrics header is not valid JSON: {e}")],
+    };
+    match jget(&header, "schema") {
+        Some(Json::Str(s)) if s == lsgraph_api::metrics::METRICS_SCHEMA => {}
+        other => errs.push(format!(
+            "metrics header schema must be \"{}\", got {other:?}",
+            lsgraph_api::metrics::METRICS_SCHEMA
+        )),
+    }
+    if !matches!(jget(&header, "experiment"), Some(Json::Str(_))) {
+        errs.push("metrics header is missing the experiment name".to_string());
+    }
+    let expected = jget(&header, "samples_expected").and_then(juint);
+    if expected.is_none() {
+        errs.push("metrics header is missing samples_expected".to_string());
+    }
+
+    let mut cells: Vec<CellState> = Vec::new();
+    let mut samples = 0u64;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        let obj = match parse_json(line) {
+            Ok(Json::Obj(m)) => m,
+            Ok(other) => {
+                errs.push(format!("line {lineno}: sample is not an object: {other:?}"));
+                continue;
+            }
+            Err(e) => {
+                errs.push(format!("line {lineno}: invalid JSON: {e}"));
+                continue;
+            }
+        };
+        samples += 1;
+        let Some(Json::Str(cell)) = jget(&obj, "cell") else {
+            errs.push(format!("line {lineno}: sample has no cell label"));
+            continue;
+        };
+        let Some(tick) = jget(&obj, "tick").and_then(juint) else {
+            errs.push(format!("line {lineno}: sample has no integer tick"));
+            continue;
+        };
+        let counters = match jget(&obj, "counters") {
+            Some(Json::Obj(m)) => m
+                .iter()
+                .filter_map(|(k, v)| juint(v).map(|n| (k.clone(), n)))
+                .collect::<Vec<_>>(),
+            _ => {
+                errs.push(format!("line {lineno}: sample has no counters object"));
+                continue;
+            }
+        };
+        let gauges = match jget(&obj, "gauges") {
+            Some(Json::Obj(m)) => m
+                .iter()
+                .filter_map(|(k, v)| juint(v).map(|n| (k.clone(), n)))
+                .collect::<Vec<_>>(),
+            _ => {
+                errs.push(format!("line {lineno}: sample has no gauges object"));
+                continue;
+            }
+        };
+        let state = match cells.iter_mut().find(|c| &c.cell == cell) {
+            Some(s) => s,
+            None => {
+                cells.push(CellState {
+                    cell: cell.clone(),
+                    next_tick: 0,
+                    last_counters: Vec::new(),
+                    last_gauges: Vec::new(),
+                });
+                cells.last_mut().expect("just pushed")
+            }
+        };
+        if tick != state.next_tick {
+            errs.push(format!(
+                "line {lineno}: cell {cell} tick {tick} is not contiguous (expected {})",
+                state.next_tick
+            ));
+        }
+        state.next_tick = tick + 1;
+        for (name, prev) in &state.last_counters {
+            match counters.iter().find(|(n, _)| n == name) {
+                Some((_, cur)) if cur >= prev => {}
+                Some((_, cur)) => errs.push(format!(
+                    "line {lineno}: cell {cell} counter {name} decreased {prev} -> {cur} \
+                     (counters must be monotone non-decreasing)"
+                )),
+                None => errs.push(format!(
+                    "line {lineno}: cell {cell} counter {name} disappeared mid-stream"
+                )),
+            }
+        }
+        state.last_counters = counters;
+        state.last_gauges = gauges;
+    }
+
+    if cells.is_empty() {
+        errs.push("metrics stream has a header but no samples".to_string());
+    }
+    for state in &cells {
+        let backlog = state
+            .last_gauges
+            .iter()
+            .find(|(n, _)| n.ends_with("epoch_reclaim_backlog"));
+        match backlog {
+            Some((name, v)) if *v != 0 => errs.push(format!(
+                "cell {}: final sample has {name} = {v} (must drain to 0 by quiescence)",
+                state.cell
+            )),
+            Some(_) => {}
+            None => errs.push(format!(
+                "cell {}: final sample has no epoch_reclaim_backlog gauge",
+                state.cell
+            )),
+        }
+    }
+    if let Some(expected) = expected {
+        if samples != expected {
+            errs.push(format!(
+                "metrics stream has {samples} samples but the header promised exactly {expected}"
+            ));
+        }
+    }
+    errs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,6 +736,93 @@ mod tests {
         let b = report(vec![cell("Aspen", None)]);
         let c = report(vec![cell("Aspen", None)]);
         assert!(compare(&b, &c, CheckOptions::default()).is_empty());
+    }
+
+    /// Builds one metrics sample line by hand (the sampler's wire format).
+    fn sample_line(cell: &str, tick: u64, ripples: u64, backlog: u64) -> String {
+        format!(
+            "{{\"cell\":\"{cell}\",\"tick\":{tick},\"elapsed_ns\":12345,\"writer_eps\":1.5,\
+             \"counters\":{{\"lsgraph_ria_ripples\":{ripples}}},\
+             \"gauges\":{{\"lsgraph_epoch_reclaim_backlog\":{backlog}}},\"histograms\":{{}}}}"
+        )
+    }
+
+    fn metrics_doc(samples: &[String]) -> String {
+        let mut doc = format!(
+            "{{\"schema\":\"lsgraph-metrics-v1\",\"experiment\":\"mixed\",\
+             \"samples_expected\":{}}}\n",
+            samples.len()
+        );
+        for s in samples {
+            doc.push_str(s);
+            doc.push('\n');
+        }
+        doc
+    }
+
+    #[test]
+    fn clean_metrics_stream_passes() {
+        let doc = metrics_doc(&[
+            sample_line("OR/bs=16", 0, 5, 2),
+            sample_line("OR/bs=16", 1, 9, 1),
+            sample_line("OR/bs=32", 0, 3, 4),
+            sample_line("OR/bs=16", 2, 9, 0),
+            sample_line("OR/bs=32", 1, 3, 0),
+        ]);
+        assert_eq!(check_metrics(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn decreasing_counter_fails_monotonicity() {
+        let doc = metrics_doc(&[
+            sample_line("OR/bs=16", 0, 9, 0),
+            sample_line("OR/bs=16", 1, 5, 0),
+        ]);
+        let errs = check_metrics(&doc);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("decreased 9 -> 5"), "{errs:?}");
+    }
+
+    #[test]
+    fn lingering_final_backlog_fails() {
+        let doc = metrics_doc(&[
+            sample_line("OR/bs=16", 0, 1, 3),
+            sample_line("OR/bs=16", 1, 2, 3),
+        ]);
+        let errs = check_metrics(&doc);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("must drain to 0"), "{errs:?}");
+    }
+
+    #[test]
+    fn sample_count_must_match_header_exactly() {
+        let mut doc = metrics_doc(&[sample_line("OR/bs=16", 0, 1, 0)]);
+        // Promise two samples, deliver one.
+        doc = doc.replace("\"samples_expected\":1", "\"samples_expected\":2");
+        let errs = check_metrics(&doc);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("promised exactly 2"), "{errs:?}");
+    }
+
+    #[test]
+    fn non_contiguous_ticks_fail() {
+        let doc = metrics_doc(&[
+            sample_line("OR/bs=16", 0, 1, 0),
+            sample_line("OR/bs=16", 2, 2, 0),
+        ]);
+        let errs = check_metrics(&doc);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("not contiguous"), "{errs:?}");
+    }
+
+    #[test]
+    fn wrong_schema_and_empty_stream_fail() {
+        assert!(!check_metrics("").is_empty());
+        let bad = "{\"schema\":\"something-else\",\"experiment\":\"mixed\",\
+                   \"samples_expected\":0}\n";
+        let errs = check_metrics(bad);
+        assert!(errs.iter().any(|e| e.contains("schema")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("no samples")), "{errs:?}");
     }
 
     #[test]

@@ -512,6 +512,9 @@ pub fn table3(scale: &Scale) {
             ls.index_overhead() * 100.0,
         );
     }
+    // Self-reported splits above vs what the process actually allocated;
+    // the gap is allocator slack plus harness overhead.
+    println!("# process heap: {}", lsgraph_api::footprint::heap_summary());
 }
 
 /// §6.2 component ablation: PMA-for-RIA, RIA-only, binary search in LIA.
@@ -972,6 +975,21 @@ fn mixed_cell(
     let mut g = LsGraph::from_edges(n, base, cfg);
     g.reset_instrumentation();
 
+    // Live metrics: when `repro ... --metrics` installed a JSONL sink, the
+    // engine's registry is sampled once per writer round plus once at
+    // quiescence — `rounds + 1` samples per cell, an exact function of the
+    // workload, never of wall clock. Without a sink every tick is a no-op.
+    let registry = {
+        let mut r = lsgraph_api::MetricsRegistry::new();
+        r.register_struct_stats("lsgraph", g.stats_handle());
+        r.register_latency_stats("lsgraph", g.latency_handle());
+        Arc::new(r)
+    };
+    let lat = g.latency_handle();
+    let mut sampler = lsgraph_api::Sampler::new(registry, format!("{dataset}/bs={bs}"));
+    let mut tick_edges = 0usize;
+    let mut tick_start = Instant::now();
+
     // Seed the published slot so readers have a frozen view from op one.
     let published: Arc<Mutex<GraphSnapshot>> = Arc::new(Mutex::new(g.snapshot()));
     let mut handles = Vec::new();
@@ -1015,6 +1033,18 @@ fn mixed_cell(
         let snap = g.snapshot();
         *published.lock().expect("published snapshot") = snap.clone();
         snaps.push(snap);
+
+        // One metrics sample per writer round: instantaneous writer eps
+        // since the previous tick, and the readers' running p99 — the
+        // series shows *when* in the run a regression happens.
+        let total = ins_edges + del_edges;
+        let eps = (total - tick_edges) as f64 / tick_start.elapsed().as_secs_f64().max(1e-12);
+        let p99 = lat.reader.snapshot().p99() as f64;
+        sampler
+            .tick(&[("writer_eps", eps), ("reader_p99_ns", p99)])
+            .expect("metrics tick failed");
+        tick_edges = total;
+        tick_start = Instant::now();
     }
     let writer_d = writer_start.elapsed();
     let reader_walls: Vec<Duration> = handles
@@ -1033,6 +1063,15 @@ fn mixed_cell(
     if let Err(e) = g.validate_structure() {
         panic!("structure invalid after mixed/{dataset}/bs={bs}: {e}");
     }
+
+    // Final quiescence sample: the `epoch_reclaim_backlog` gauge must read
+    // 0 here — `repro check --metrics` gates on it.
+    sampler
+        .tick(&[
+            ("writer_eps", 0.0),
+            ("reader_p99_ns", lat.reader.snapshot().p99() as f64),
+        ])
+        .expect("metrics tick failed");
 
     let ss = g.struct_stats().expect("struct stats");
     let writer_edges = (ins_edges + del_edges) as u64;
@@ -1073,6 +1112,13 @@ pub fn mixed_report(scale: &Scale) -> BenchReport {
     let gscale = p.log_vertices - shift;
     let n = p.scaled_vertices(shift);
     let base = p.generate(shift, 42);
+    if lsgraph_api::metrics::is_streaming() {
+        // Deterministic sample budget: (rounds + 1 quiescence tick) per
+        // cell. `repro check --metrics` asserts the file hits it exactly.
+        let rounds = 8 * scale.trials.max(1) as u64;
+        let expected = scale.batch_sizes().len() as u64 * (rounds + 1);
+        lsgraph_api::metrics::write_header("mixed", expected).expect("metrics header failed");
+    }
     let engines = scale
         .batch_sizes()
         .into_iter()

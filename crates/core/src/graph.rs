@@ -664,6 +664,19 @@ impl LsGraph {
     pub fn reclaim_epochs(&self) {
         self.epochs.reclaim(&self.stats);
     }
+
+    /// Shared handle to this engine's structural counters, for registration
+    /// with a [`lsgraph_api::MetricsRegistry`] — a sampler thread can then
+    /// snapshot them live while batches apply.
+    pub fn stats_handle(&self) -> Arc<StructStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Shared handle to this engine's latency histograms (see
+    /// [`LsGraph::stats_handle`]).
+    pub fn latency_handle(&self) -> Arc<LatencyStats> {
+        Arc::clone(&self.latency)
+    }
 }
 
 impl SnapshotSource for LsGraph {

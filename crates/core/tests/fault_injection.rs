@@ -487,3 +487,74 @@ fn try_from_edges_contains_bulk_load_faults() {
         expected.iter().map(BTreeSet::len).sum::<usize>()
     );
 }
+
+#[test]
+fn killed_sampler_never_corrupts_metrics_stream_or_engine_counters() {
+    let _l = lock();
+    quiet_failpoint_panics();
+    failpoints::reset();
+
+    let path = std::env::temp_dir().join(format!(
+        "lsgraph_fault_metrics_{}.jsonl",
+        std::process::id()
+    ));
+    lsgraph_api::metrics::stream_to_file(&path).unwrap();
+    assert!(lsgraph_api::metrics::write_header("fault", 2).unwrap());
+
+    let mut g = LsGraph::with_config(N, cfg());
+    let mut rng = SmallRng::seed_from_u64(0xFA17);
+    g.try_insert_batch(&gen_batch(&mut rng)).unwrap();
+
+    let mut registry = lsgraph_api::MetricsRegistry::new();
+    registry.register_struct_stats("lsgraph", g.stats_handle());
+    registry.register_latency_stats("lsgraph", g.latency_handle());
+    let mut sampler = lsgraph_api::Sampler::new(std::sync::Arc::new(registry), "fault/m=64");
+
+    // Tick 0 succeeds while the site is disarmed.
+    assert!(sampler.tick(&[("writer_eps", 1.0)]).unwrap());
+    assert_eq!(sampler.ticks(), 1);
+
+    // Arm the site and kill the next tick. The failpoint is evaluated
+    // before the registry is read or any byte written, so the panic must
+    // leave both the engine counters and the JSONL prefix untouched.
+    let before = g.stats_handle().snapshot();
+    failpoints::configure("metrics_sample", FailMode::Nth(1));
+    let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = sampler.tick(&[("writer_eps", 1.0)]);
+    }));
+    assert!(killed.is_err(), "armed metrics_sample tick must panic");
+    assert_eq!(failpoints::fired("metrics_sample"), 1);
+    assert_eq!(sampler.ticks(), 1, "killed tick must not count");
+    assert_eq!(
+        g.stats_handle().snapshot(),
+        before,
+        "a killed sampler tick must not perturb engine counters"
+    );
+    failpoints::reset();
+
+    // Sampling resumes cleanly, and the engine keeps working underneath.
+    g.try_insert_batch(&gen_batch(&mut rng)).unwrap();
+    assert!(sampler.tick(&[("writer_eps", 0.0)]).unwrap());
+    assert_eq!(sampler.ticks(), 2);
+    let samples = lsgraph_api::metrics::finish_stream().unwrap();
+    assert_eq!(samples, Some(2));
+    g.validate_invariants().unwrap();
+
+    // The stream on disk is whole lines only: a header plus exactly the
+    // two surviving samples, no torn partial line from the killed tick.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "header + 2 samples, got: {text}");
+    assert!(lines[0].contains("\"schema\":\"lsgraph-metrics-v1\""));
+    assert!(lines[0].contains("\"samples_expected\":2"));
+    for (i, line) in lines[1..].iter().enumerate() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "torn line: {line}"
+        );
+        assert!(line.contains(&format!("\"tick\":{i}")));
+        assert!(line.contains("\"cell\":\"fault/m=64\""));
+        assert!(line.contains("lsgraph_vb_inline_hits"));
+    }
+}

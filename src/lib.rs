@@ -44,6 +44,12 @@ pub mod gen {
     pub use lsgraph_gen::*;
 }
 
+/// Live metrics: unified registry over engine counters/histograms, JSONL
+/// time-series sampling, allocator gauges, and Prometheus exposition.
+pub mod metrics {
+    pub use lsgraph_api::metrics::*;
+}
+
 /// The baseline engines the paper compares against (plus Sortledton, which
 /// §6.1 measured against PaC-tree when selecting baselines).
 pub mod baselines {
