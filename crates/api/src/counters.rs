@@ -272,6 +272,22 @@ pub struct StructStats {
     /// WAL frames discarded as torn/corrupt during recovery.
     pub recovery_frames_discarded: AtomicU64,
 
+    /// WAL segments sealed and rotated out by the segmented log.
+    pub wal_segments_rotated: AtomicU64,
+    /// WAL segments deleted by retention GC.
+    pub wal_segments_deleted: AtomicU64,
+    /// Bytes currently held by live WAL segments on disk (gauge, not a
+    /// sum). Retention GC keeps this bounded by the retention window.
+    pub wal_live_bytes: AtomicU64,
+    /// Delta (dirty-vertex-only) checkpoint images written.
+    pub delta_checkpoints_written: AtomicU64,
+    /// Dirty vertices captured by the most recent checkpoint freeze
+    /// (gauge, not a sum). Delta image size scales with this.
+    pub checkpoint_dirty_vertices: AtomicU64,
+    /// Checkpoint images discarded as corrupt/unlinked while rebuilding the
+    /// recovery chain. Must stay zero on clean runs; `repro check` gates it.
+    pub recovery_images_discarded: AtomicU64,
+
     /// Read snapshots taken from the live graph (epoch registrations).
     pub snapshots_taken: AtomicU64,
     /// Read snapshots dropped (epoch deregistrations).
@@ -329,6 +345,12 @@ impl StructStats {
             checkpoint_bytes: AtomicU64::new(0),
             recovery_frames_replayed: AtomicU64::new(0),
             recovery_frames_discarded: AtomicU64::new(0),
+            wal_segments_rotated: AtomicU64::new(0),
+            wal_segments_deleted: AtomicU64::new(0),
+            wal_live_bytes: AtomicU64::new(0),
+            delta_checkpoints_written: AtomicU64::new(0),
+            checkpoint_dirty_vertices: AtomicU64::new(0),
+            recovery_images_discarded: AtomicU64::new(0),
             snapshots_taken: AtomicU64::new(0),
             snapshots_retired: AtomicU64::new(0),
             cow_block_copies: AtomicU64::new(0),
@@ -502,6 +524,46 @@ impl StructStats {
             .fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one WAL segment sealed and rotated out.
+    #[inline]
+    pub fn record_wal_segment_rotated(&self) {
+        self.wal_segments_rotated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` WAL segments deleted by retention GC.
+    #[inline]
+    pub fn record_wal_segments_deleted(&self, n: u64) {
+        self.wal_segments_deleted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records the bytes currently held by live WAL segments (gauge).
+    #[inline]
+    pub fn record_wal_live_bytes(&self, n: u64) {
+        self.wal_live_bytes.store(n, Ordering::Relaxed);
+    }
+
+    /// Records one delta checkpoint image written.
+    #[inline]
+    pub fn record_delta_checkpoint_written(&self) {
+        self.delta_checkpoints_written
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the dirty-vertex count frozen by the latest checkpoint
+    /// (gauge).
+    #[inline]
+    pub fn record_checkpoint_dirty_vertices(&self, n: u64) {
+        self.checkpoint_dirty_vertices.store(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` checkpoint images discarded while rebuilding the
+    /// recovery chain.
+    #[inline]
+    pub fn record_recovery_images_discarded(&self, n: u64) {
+        self.recovery_images_discarded
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records one read snapshot taken (epoch registered).
     #[inline]
     pub fn record_snapshot_taken(&self) {
@@ -605,6 +667,18 @@ impl StructStats {
             .store(s.recovery_frames_replayed, Ordering::Relaxed);
         self.recovery_frames_discarded
             .store(s.recovery_frames_discarded, Ordering::Relaxed);
+        self.wal_segments_rotated
+            .store(s.wal_segments_rotated, Ordering::Relaxed);
+        self.wal_segments_deleted
+            .store(s.wal_segments_deleted, Ordering::Relaxed);
+        self.wal_live_bytes
+            .store(s.wal_live_bytes, Ordering::Relaxed);
+        self.delta_checkpoints_written
+            .store(s.delta_checkpoints_written, Ordering::Relaxed);
+        self.checkpoint_dirty_vertices
+            .store(s.checkpoint_dirty_vertices, Ordering::Relaxed);
+        self.recovery_images_discarded
+            .store(s.recovery_images_discarded, Ordering::Relaxed);
         self.snapshots_taken
             .store(s.snapshots_taken, Ordering::Relaxed);
         self.snapshots_retired
@@ -654,6 +728,12 @@ impl StructStats {
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
             recovery_frames_replayed: self.recovery_frames_replayed.load(Ordering::Relaxed),
             recovery_frames_discarded: self.recovery_frames_discarded.load(Ordering::Relaxed),
+            wal_segments_rotated: self.wal_segments_rotated.load(Ordering::Relaxed),
+            wal_segments_deleted: self.wal_segments_deleted.load(Ordering::Relaxed),
+            wal_live_bytes: self.wal_live_bytes.load(Ordering::Relaxed),
+            delta_checkpoints_written: self.delta_checkpoints_written.load(Ordering::Relaxed),
+            checkpoint_dirty_vertices: self.checkpoint_dirty_vertices.load(Ordering::Relaxed),
+            recovery_images_discarded: self.recovery_images_discarded.load(Ordering::Relaxed),
             snapshots_taken: self.snapshots_taken.load(Ordering::Relaxed),
             snapshots_retired: self.snapshots_retired.load(Ordering::Relaxed),
             cow_block_copies: self.cow_block_copies.load(Ordering::Relaxed),
@@ -747,6 +827,18 @@ pub struct StructSnapshot {
     pub recovery_frames_replayed: u64,
     /// See [`StructStats::recovery_frames_discarded`].
     pub recovery_frames_discarded: u64,
+    /// See [`StructStats::wal_segments_rotated`].
+    pub wal_segments_rotated: u64,
+    /// See [`StructStats::wal_segments_deleted`].
+    pub wal_segments_deleted: u64,
+    /// See [`StructStats::wal_live_bytes`] (gauge).
+    pub wal_live_bytes: u64,
+    /// See [`StructStats::delta_checkpoints_written`].
+    pub delta_checkpoints_written: u64,
+    /// See [`StructStats::checkpoint_dirty_vertices`] (gauge).
+    pub checkpoint_dirty_vertices: u64,
+    /// See [`StructStats::recovery_images_discarded`].
+    pub recovery_images_discarded: u64,
     /// See [`StructStats::snapshots_taken`].
     pub snapshots_taken: u64,
     /// See [`StructStats::snapshots_retired`].
@@ -768,8 +860,9 @@ pub struct StructSnapshot {
 impl StructSnapshot {
     /// Difference `self - earlier` for monotonic counters, saturating at
     /// zero. The gauges `ria_max_ripple_span`, `ria_bound`,
-    /// `checkpoint_bytes`, and `epoch_reclaim_backlog` keep `self`'s value
-    /// (a max and a most-recent value do not subtract meaningfully).
+    /// `checkpoint_bytes`, `epoch_reclaim_backlog`, `wal_live_bytes`, and
+    /// `checkpoint_dirty_vertices` keep `self`'s value (a max and a
+    /// most-recent value do not subtract meaningfully).
     pub fn since(self, earlier: StructSnapshot) -> StructSnapshot {
         StructSnapshot {
             vb_inline_hits: self.vb_inline_hits.saturating_sub(earlier.vb_inline_hits),
@@ -838,6 +931,20 @@ impl StructSnapshot {
             recovery_frames_discarded: self
                 .recovery_frames_discarded
                 .saturating_sub(earlier.recovery_frames_discarded),
+            wal_segments_rotated: self
+                .wal_segments_rotated
+                .saturating_sub(earlier.wal_segments_rotated),
+            wal_segments_deleted: self
+                .wal_segments_deleted
+                .saturating_sub(earlier.wal_segments_deleted),
+            wal_live_bytes: self.wal_live_bytes,
+            delta_checkpoints_written: self
+                .delta_checkpoints_written
+                .saturating_sub(earlier.delta_checkpoints_written),
+            checkpoint_dirty_vertices: self.checkpoint_dirty_vertices,
+            recovery_images_discarded: self
+                .recovery_images_discarded
+                .saturating_sub(earlier.recovery_images_discarded),
             snapshots_taken: self.snapshots_taken.saturating_sub(earlier.snapshots_taken),
             snapshots_retired: self
                 .snapshots_retired
@@ -869,7 +976,7 @@ impl StructSnapshot {
     /// `(field name, value)` pairs in a fixed order — the serialization
     /// schema. Report writers and schema-stability tests both read this, so
     /// renaming a field here is a deliberate schema change.
-    pub fn fields(self) -> [(&'static str, u64); 36] {
+    pub fn fields(self) -> [(&'static str, u64); 42] {
         [
             ("vb_inline_hits", self.vb_inline_hits),
             ("vb_inline_shifts", self.vb_inline_shifts),
@@ -902,6 +1009,12 @@ impl StructSnapshot {
             ("checkpoint_bytes", self.checkpoint_bytes),
             ("recovery_frames_replayed", self.recovery_frames_replayed),
             ("recovery_frames_discarded", self.recovery_frames_discarded),
+            ("wal_segments_rotated", self.wal_segments_rotated),
+            ("wal_segments_deleted", self.wal_segments_deleted),
+            ("wal_live_bytes", self.wal_live_bytes),
+            ("delta_checkpoints_written", self.delta_checkpoints_written),
+            ("checkpoint_dirty_vertices", self.checkpoint_dirty_vertices),
+            ("recovery_images_discarded", self.recovery_images_discarded),
             ("snapshots_taken", self.snapshots_taken),
             ("snapshots_retired", self.snapshots_retired),
             ("cow_block_copies", self.cow_block_copies),
@@ -959,6 +1072,12 @@ impl StructSnapshot {
                 "checkpoint_bytes" => s.checkpoint_bytes = v,
                 "recovery_frames_replayed" => s.recovery_frames_replayed = v,
                 "recovery_frames_discarded" => s.recovery_frames_discarded = v,
+                "wal_segments_rotated" => s.wal_segments_rotated = v,
+                "wal_segments_deleted" => s.wal_segments_deleted = v,
+                "wal_live_bytes" => s.wal_live_bytes = v,
+                "delta_checkpoints_written" => s.delta_checkpoints_written = v,
+                "checkpoint_dirty_vertices" => s.checkpoint_dirty_vertices = v,
+                "recovery_images_discarded" => s.recovery_images_discarded = v,
                 "snapshots_taken" => s.snapshots_taken = v,
                 "snapshots_retired" => s.snapshots_retired = v,
                 "cow_block_copies" => s.cow_block_copies = v,
@@ -1098,7 +1217,7 @@ mod tests {
             .iter()
             .map(|(n, _)| *n)
             .collect();
-        assert_eq!(names.len(), 36);
+        assert_eq!(names.len(), 42);
         // A rename here must be an intentional schema change.
         assert!(names.contains(&"ria_cross_block_moves"));
         assert!(names.contains(&"lia_vertical_child_creates"));
@@ -1109,6 +1228,12 @@ mod tests {
         assert!(names.contains(&"checkpoint_bytes"));
         assert!(names.contains(&"recovery_frames_replayed"));
         assert!(names.contains(&"recovery_frames_discarded"));
+        assert!(names.contains(&"wal_segments_rotated"));
+        assert!(names.contains(&"wal_segments_deleted"));
+        assert!(names.contains(&"wal_live_bytes"));
+        assert!(names.contains(&"delta_checkpoints_written"));
+        assert!(names.contains(&"checkpoint_dirty_vertices"));
+        assert!(names.contains(&"recovery_images_discarded"));
         assert!(names.contains(&"snapshots_taken"));
         assert!(names.contains(&"snapshots_retired"));
         assert!(names.contains(&"cow_block_copies"));

@@ -40,7 +40,11 @@ use std::sync::Mutex;
 /// | `snapshot_flip` | a read snapshot registers its epoch (mid-flip) |
 /// | `epoch_reclaim` | retired block versions are reclaimed |
 /// | `metrics_sample` | a sampler tick snapshots the metrics registry |
-pub const SITES: [&str; 12] = [
+/// | `wal_rotate` | the WAL seals a full segment and opens the next one |
+/// | `segment_gc` | retention GC deletes superseded segments/images |
+/// | `delta_checkpoint` | a dirty-vertex delta image is serialized to disk |
+/// | `spill_downgrade` | a sparse spill container downgrades to a lower tier |
+pub const SITES: [&str; 16] = [
     "ria_rebuild",
     "lia_retrain",
     "hitree_vertical",
@@ -53,6 +57,10 @@ pub const SITES: [&str; 12] = [
     "snapshot_flip",
     "epoch_reclaim",
     "metrics_sample",
+    "wal_rotate",
+    "segment_gc",
+    "delta_checkpoint",
+    "spill_downgrade",
 ];
 
 /// When a configured site fires.

@@ -54,11 +54,13 @@ pub const METRICS_SCHEMA: &str = "lsgraph-metrics-v1";
 /// [`StructSnapshot::fields`](crate::StructSnapshot::fields) only ever
 /// grows, which is what the `repro check --metrics` monotonicity gate
 /// asserts sample over sample.
-pub const GAUGE_FIELDS: [&str; 4] = [
+pub const GAUGE_FIELDS: [&str; 6] = [
     "ria_max_ripple_span",
     "ria_bound",
     "checkpoint_bytes",
     "epoch_reclaim_backlog",
+    "wal_live_bytes",
+    "checkpoint_dirty_vertices",
 ];
 
 /// Whether a `StructStats` field is a gauge (see [`GAUGE_FIELDS`]).
@@ -180,7 +182,7 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    /// Registers a [`StructStats`] source; its 36 fields become
+    /// Registers a [`StructStats`] source; its 42 fields become
     /// `{prefix}_{field}` counters and gauges (see [`GAUGE_FIELDS`]).
     /// The persist-layer counters (`wal_frames_appended`,
     /// `checkpoint_bytes`, recovery counters) ride along because the
@@ -670,8 +672,8 @@ mod tests {
         stats.record_ria_ripple(2, 5, 6);
         stats.record_epoch_backlog(4);
         let s = r.sample();
-        // 36 struct fields minus 4 gauges; heap gauges only under count-alloc.
-        assert_eq!(s.counters.len(), 32);
+        // 42 struct fields minus 6 gauges; heap gauges only under count-alloc.
+        assert_eq!(s.counters.len(), 36);
         let base_gauges = GAUGE_FIELDS.len() + if heap_gauges().is_some() { 2 } else { 0 };
         assert_eq!(s.gauges.len(), base_gauges);
         assert_eq!(s.histograms.len(), 4);
@@ -695,7 +697,7 @@ mod tests {
         assert_eq!(s.gauges[0], ("lsgraph_ria_max_ripple_span".to_string(), 2));
         assert_eq!(s.gauges[1], ("lsgraph_ria_bound".to_string(), 6));
         assert_eq!(
-            s.gauges[3],
+            s.gauges[5],
             ("lsgraph_epoch_reclaim_backlog".to_string(), 4)
         );
         assert_eq!(s.histograms[0].0, "lsgraph_batch_apply");

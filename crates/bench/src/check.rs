@@ -44,7 +44,7 @@ use lsgraph_api::LatencySnapshot;
 /// counters (`apply_run_panics` and friends) belong here: a benchmark run
 /// with failpoints disabled must never quarantine a vertex, so any nonzero
 /// value means a *real* panic escaped into the batch pipeline.
-pub const INVARIANT_COUNTERS: [&str; 7] = [
+pub const INVARIANT_COUNTERS: [&str; 8] = [
     "ria_bound_exceeded",
     "lia_vertical_premature",
     "apply_run_panics",
@@ -53,19 +53,26 @@ pub const INVARIANT_COUNTERS: [&str; 7] = [
     // A benchmark run writes and recovers its own WAL under controlled
     // shutdowns; discarding frames means the harness tore its own log.
     "recovery_frames_discarded",
+    // Likewise for checkpoint images: every image a benchmark run writes is
+    // fsynced before the shutdown, so a discarded (corrupt or orphaned)
+    // image means the checkpoint writer or retention GC broke its own chain.
+    "recovery_images_discarded",
     // Every experiment drops its snapshots and reclaims before sampling
     // stats, so a lingering backlog means retired block versions leaked.
     "epoch_reclaim_backlog",
 ];
 
 /// Counters gated against the baseline with tolerance (see module docs).
-pub const GATED_COUNTERS: [&str; 10] = [
+pub const GATED_COUNTERS: [&str; 13] = [
     "ria_rebuilds",
     "ria_ripples",
     "lia_model_retrains",
     "tier_upgrades",
     "hitree_node_upgrades",
     "wal_frames_appended",
+    "wal_segments_rotated",
+    "wal_segments_deleted",
+    "delta_checkpoints_written",
     "recovery_frames_replayed",
     "snapshots_taken",
     "snapshots_retired",
@@ -677,6 +684,48 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].kind, ViolationKind::Invariant);
         assert_eq!(v[0].counter, "recovery_frames_discarded");
+    }
+
+    #[test]
+    fn discarded_image_counter_is_an_invariant() {
+        let b = report(vec![cell("LSGraph", Some(StructSnapshot::default()))]);
+        let broken = StructSnapshot {
+            recovery_images_discarded: 1,
+            ..StructSnapshot::default()
+        };
+        let c = report(vec![cell("LSGraph", Some(broken))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Invariant);
+        assert_eq!(v[0].counter, "recovery_images_discarded");
+    }
+
+    #[test]
+    fn rotation_and_delta_volumes_are_gated() {
+        let base = StructSnapshot {
+            wal_segments_rotated: 40,
+            wal_segments_deleted: 30,
+            delta_checkpoints_written: 10,
+            ..StructSnapshot::default()
+        };
+        let blown = StructSnapshot {
+            wal_segments_rotated: 400,
+            wal_segments_deleted: 300,
+            delta_checkpoints_written: 100,
+            ..StructSnapshot::default()
+        };
+        let b = report(vec![cell("LSGraph+WAL/rotating", Some(base))]);
+        let c = report(vec![cell("LSGraph+WAL/rotating", Some(blown))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|x| x.kind == ViolationKind::Regression));
+        for name in [
+            "wal_segments_rotated",
+            "wal_segments_deleted",
+            "delta_checkpoints_written",
+        ] {
+            assert!(v.iter().any(|x| x.counter == name), "missing {name}");
+        }
     }
 
     #[test]

@@ -864,6 +864,7 @@ fn durability_cell(
     let mut cell_stats = stats_after.since(stats_before);
     cell_stats.recovery_frames_replayed = rec_stats.recovery_frames_replayed;
     cell_stats.recovery_frames_discarded = rec_stats.recovery_frames_discarded;
+    cell_stats.recovery_images_discarded = rec_stats.recovery_images_discarded;
     let edges = (bs * trials) as f64;
     let report = EngineReport {
         engine: "LSGraph+WAL".to_string(),
@@ -887,6 +888,11 @@ fn durability_cell(
             recovery_nanos: rec_d.as_nanos() as u64,
             replay_frames: recovery.frames_replayed,
             replay_eps: tail_edges as f64 / rec_d.as_secs_f64().max(1e-12),
+            wal_segments_rotated: cell_stats.wal_segments_rotated,
+            wal_segments_deleted: cell_stats.wal_segments_deleted,
+            delta_checkpoints_written: cell_stats.delta_checkpoints_written,
+            checkpoint_dirty_vertices: cell_stats.checkpoint_dirty_vertices,
+            wal_live_bytes: cell_stats.wal_live_bytes,
         }),
         mixed: None,
     };
@@ -894,19 +900,212 @@ fn durability_cell(
     report
 }
 
-/// Durability experiment (schema v4): WAL append throughput, checkpoint
-/// write cost, and recovery replay rate across batch sizes on OR.
+/// Measures one **rotating** durability cell: the store runs with a
+/// segment budget sized to the batch (so the WAL rotates on nearly every
+/// append), eager delta checkpoints (`delta_ratio` 1.0), and a retention
+/// pass every fourth round. The cell asserts the two tentpole durability
+/// properties directly:
+///
+/// - **bounded WAL**: retention reclaims sealed segments behind the chain
+///   tip, so the live WAL stays strictly below the bytes appended over the
+///   run;
+/// - **delta scaling**: a delta image's size grows with the number of
+///   dirty vertices it covers (probed with a small and a large dirty set),
+///   and stays below the full base image.
+fn rotation_cell(
+    dataset: &str,
+    n: usize,
+    base: &[Edge],
+    gscale: u32,
+    shift: u32,
+    bs: usize,
+    trials: usize,
+) -> EngineReport {
+    use lsgraph_persist::{Store, StoreOptions};
+    let dir = std::env::temp_dir().join(format!(
+        "lsgraph-bench-rotating-{}-{bs}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = crate::runner::scaled_config(shift);
+    let opts = StoreOptions {
+        // One update frame roughly fills a segment, so rotation happens on
+        // nearly every logged round.
+        segment_bytes: ((bs * 8) as u64).max(1024),
+        delta_ratio: 1.0,
+        max_delta_chain: 64,
+        ..StoreOptions::default()
+    };
+    let (mut store, _) = Store::open_with(&dir, n, cfg, opts).expect("open store");
+    store.insert_batch(base).expect("load base");
+    let full_meta = store.checkpoint().expect("baseline full checkpoint");
+    let stats_before = store.graph().stats().snapshot();
+
+    // Logged rounds with periodic checkpoint + retention. Scales with the
+    // profile but keeps a floor so rotation and GC always trigger.
+    let rounds = trials.max(12);
+    let mut ins = Duration::ZERO;
+    let mut del = Duration::ZERO;
+    let mut appended = 0u64;
+    let mut last_len = store.wal_len();
+    for t in 0..rounds {
+        let batch = update_batch(gscale, bs, 9_000 + t as u64);
+        let (_, ti) = time(|| {
+            store.insert_batch(&batch).expect("logged insert");
+            store.sync().expect("sync");
+        });
+        let (_, td) = time(|| {
+            store.delete_batch(&batch).expect("logged delete");
+            store.sync().expect("sync");
+        });
+        ins += ti;
+        del += td;
+        appended += store.wal_len().saturating_sub(last_len);
+        if t % 4 == 3 {
+            store.checkpoint().expect("delta checkpoint");
+            store.run_retention().expect("retention pass");
+        }
+        last_len = store.wal_len();
+    }
+    store.checkpoint().expect("closing checkpoint");
+    store.run_retention().expect("closing retention");
+
+    // Tentpole property 1: the live WAL is bounded — retention reclaimed
+    // sealed segments, so on-disk bytes sit strictly below what the run
+    // appended.
+    let live = store.wal_len();
+    assert!(
+        live < appended,
+        "rotating/{dataset}/bs={bs}: live WAL {live} B not bounded \
+         (appended {appended} B, retention reclaimed nothing)"
+    );
+
+    // Tentpole property 2: delta image bytes scale with the dirty-vertex
+    // count. Probe with a small dirty set, then one ~8x larger.
+    let small = update_batch(gscale, (bs / 4).max(8), 77);
+    store.insert_batch(&small).expect("small probe");
+    store.sync().expect("sync");
+    let small_meta = store.checkpoint().expect("small delta");
+    let small_dirty = store.graph().stats().snapshot().checkpoint_dirty_vertices;
+    let large = update_batch(gscale, (bs * 2).max(64), 78);
+    store.insert_batch(&large).expect("large probe");
+    store.sync().expect("sync");
+    let large_meta = store.checkpoint().expect("large delta");
+    let large_dirty = store.graph().stats().snapshot().checkpoint_dirty_vertices;
+    assert!(
+        small_dirty < large_dirty,
+        "rotating/{dataset}/bs={bs}: probe dirty sets not ordered \
+         ({small_dirty} vs {large_dirty})"
+    );
+    assert!(
+        small_meta.bytes < large_meta.bytes,
+        "rotating/{dataset}/bs={bs}: delta bytes do not scale with dirty \
+         vertices ({} B for {small_dirty} dirty vs {} B for {large_dirty})",
+        small_meta.bytes,
+        large_meta.bytes
+    );
+    assert!(
+        large_meta.bytes < full_meta.bytes,
+        "rotating/{dataset}/bs={bs}: delta image ({} B) not smaller than \
+         the full base image ({} B)",
+        large_meta.bytes,
+        full_meta.bytes
+    );
+
+    // Post-checkpoint tail, then recover and verify like the base cell.
+    let mut tail_edges = 0usize;
+    for t in 0..2 {
+        let batch = update_batch(gscale, bs, 11_000 + t as u64);
+        tail_edges += batch.len();
+        store.insert_batch(&batch).expect("tail insert");
+    }
+    store.sync().expect("tail sync");
+    let wal_live = store.wal_len();
+    let stats_after = store.graph().stats().snapshot();
+    drop(store);
+
+    let ((store, recovery), rec_d) =
+        time(|| Store::open_with(&dir, n, cfg, opts).expect("recover"));
+    assert_eq!(
+        recovery.frames_replayed, 2,
+        "recovery must replay exactly the post-checkpoint tail"
+    );
+    if let Err(e) = store.graph().validate_structure() {
+        panic!("structure invalid after rotating/{dataset}/bs={bs}: {e}");
+    }
+    let rec_stats = store.graph().stats().snapshot();
+    let mut cell_stats = stats_after.since(stats_before);
+    cell_stats.recovery_frames_replayed = rec_stats.recovery_frames_replayed;
+    cell_stats.recovery_frames_discarded = rec_stats.recovery_frames_discarded;
+    cell_stats.recovery_images_discarded = rec_stats.recovery_images_discarded;
+    assert!(
+        cell_stats.wal_segments_rotated > 0 && cell_stats.wal_segments_deleted > 0,
+        "rotating/{dataset}/bs={bs}: rotation or retention never triggered"
+    );
+    assert!(
+        cell_stats.delta_checkpoints_written >= 2,
+        "rotating/{dataset}/bs={bs}: probes did not write delta images"
+    );
+    let edges = (bs * rounds) as f64;
+    let report = EngineReport {
+        engine: "LSGraph+WAL/rotating".to_string(),
+        dataset: dataset.to_string(),
+        batch_size: bs,
+        insert_eps: edges / ins.as_secs_f64().max(1e-12),
+        delete_eps: edges / del.as_secs_f64().max(1e-12),
+        insert_nanos: ins.as_nanos() as u64,
+        delete_nanos: del.as_nanos() as u64,
+        counters: None,
+        struct_stats: Some(cell_stats),
+        footprint: Some(measure_footprint(store.graph())),
+        latency: None,
+        kernels: Vec::new(),
+        durability: Some(crate::report::DurabilityReport {
+            wal_frames: cell_stats.wal_frames_appended,
+            wal_bytes: appended,
+            wal_append_eps: (2.0 * edges) / (ins + del).as_secs_f64().max(1e-12),
+            checkpoint_bytes: large_meta.bytes,
+            checkpoint_nanos: 0,
+            recovery_nanos: rec_d.as_nanos() as u64,
+            replay_frames: recovery.frames_replayed,
+            replay_eps: tail_edges as f64 / rec_d.as_secs_f64().max(1e-12),
+            wal_segments_rotated: cell_stats.wal_segments_rotated,
+            wal_segments_deleted: cell_stats.wal_segments_deleted,
+            delta_checkpoints_written: cell_stats.delta_checkpoints_written,
+            checkpoint_dirty_vertices: large_dirty,
+            wal_live_bytes: wal_live,
+        }),
+        mixed: None,
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    report
+}
+
+/// Durability experiment (schema v6): WAL append throughput, checkpoint
+/// write cost, and recovery replay rate across batch sizes on OR, plus one
+/// rotating cell (segmented WAL + delta checkpoints + retention GC) at the
+/// largest batch size.
 pub fn durability_report(scale: &Scale) -> BenchReport {
     let p = DatasetProfile::by_name("OR").expect("profile exists");
     let shift = shift_for(&p, scale);
     let gscale = p.log_vertices - shift;
     let n = p.scaled_vertices(shift);
     let base = p.generate(shift, 42);
-    let engines = scale
+    let mut engines: Vec<EngineReport> = scale
         .batch_sizes()
         .into_iter()
         .map(|bs| durability_cell(p.name, n, &base, gscale, shift, bs, scale.trials))
         .collect();
+    let rot_bs = *scale.batch_sizes().last().expect("nonempty");
+    engines.push(rotation_cell(
+        p.name,
+        n,
+        &base,
+        gscale,
+        shift,
+        rot_bs,
+        scale.trials,
+    ));
     BenchReport {
         schema_version: SCHEMA_VERSION,
         experiment: "durability".to_string(),
@@ -921,20 +1120,31 @@ pub fn durability_report(scale: &Scale) -> BenchReport {
 pub fn durability(scale: &Scale) {
     println!("# durability: logged updates, checkpoints, recovery (OR)");
     println!(
-        "{:>10}{:>14}{:>14}{:>12}{:>12}{:>14}",
-        "batch", "logged-ins", "logged-del", "ckpt-MB", "ckpt-ms", "replay-eps"
+        "{:>22}{:>10}{:>14}{:>14}{:>12}{:>14}{:>10}{:>10}{:>10}",
+        "engine",
+        "batch",
+        "logged-ins",
+        "logged-del",
+        "ckpt-MB",
+        "replay-eps",
+        "segs-rot",
+        "segs-del",
+        "live-KB"
     );
     let r = durability_report(scale);
     for e in &r.engines {
         let d = e.durability.as_ref().expect("durability cell");
         println!(
-            "{:>10}{:>14}{:>14}{:>12.2}{:>12.2}{:>14}",
+            "{:>22}{:>10}{:>14}{:>14}{:>12.2}{:>14}{:>10}{:>10}{:>10.1}",
+            e.engine,
             e.batch_size,
             format!("{:.2e}", e.insert_eps),
             format!("{:.2e}", e.delete_eps),
             d.checkpoint_bytes as f64 / (1024.0 * 1024.0),
-            d.checkpoint_nanos as f64 / 1e6,
             format!("{:.2e}", d.replay_eps),
+            d.wal_segments_rotated,
+            d.wal_segments_deleted,
+            d.wal_live_bytes as f64 / 1024.0,
         );
     }
 }
@@ -1263,16 +1473,31 @@ mod tests {
     fn smoke_durability() {
         let r = durability_report(&Scale::tiny());
         assert!(!r.engines.is_empty());
+        let mut rotating_cells = 0;
         for e in &r.engines {
             let d = e.durability.as_ref().expect("durability payload");
             assert!(d.wal_frames > 0);
             assert!(d.checkpoint_bytes > 0);
-            assert_eq!(d.replay_frames, Scale::tiny().trials as u64);
             let ss = e.struct_stats.expect("struct stats");
             assert_eq!(ss.recovery_frames_discarded, 0);
+            assert_eq!(ss.recovery_images_discarded, 0);
             assert_eq!(ss.recovery_frames_replayed, d.replay_frames);
+            if e.engine.ends_with("/rotating") {
+                rotating_cells += 1;
+                // The rotating cell replays a fixed 2-frame tail and must
+                // have exercised rotation, retention, and delta images.
+                assert_eq!(d.replay_frames, 2);
+                assert!(d.wal_segments_rotated > 0);
+                assert!(d.wal_segments_deleted > 0);
+                assert!(d.delta_checkpoints_written >= 2);
+                assert!(d.checkpoint_dirty_vertices > 0);
+                assert!(d.wal_live_bytes < d.wal_bytes, "live WAL unbounded");
+            } else {
+                assert_eq!(d.replay_frames, Scale::tiny().trials as u64);
+            }
         }
-        // The report round-trips through the schema v4 JSON.
+        assert_eq!(rotating_cells, 1, "exactly one rotating cell rides along");
+        // The report round-trips through the schema v6 JSON.
         let back = crate::report::BenchReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
     }

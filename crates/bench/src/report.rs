@@ -40,7 +40,14 @@ use lsgraph_api::{CounterSnapshot, HistogramSnapshot, LatencySnapshot, StructSna
 /// per-engine `mixed` object (concurrent reader/writer throughput) emitted
 /// by the `mixed` experiment. Additive: v1–v4 documents parse with the
 /// counters at zero, `reader` empty, and `mixed` as `None`.
-pub const SCHEMA_VERSION: u32 = 5;
+///
+/// v6 adds durability-at-scale: WAL segment rotation and retention GC
+/// counters (`wal_segments_rotated`, `wal_segments_deleted`,
+/// `delta_checkpoints_written`) plus the `checkpoint_dirty_vertices` and
+/// `wal_live_bytes` gauges to the `durability` object, mirroring the new
+/// `struct_stats` counters of the same names. Additive: v1–v5 documents
+/// parse with the new `durability` fields at zero.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Memory footprint of one engine after the measured updates (schema v2).
 #[derive(Clone, Debug, PartialEq)]
@@ -79,6 +86,18 @@ pub struct DurabilityReport {
     pub replay_frames: u64,
     /// Replay throughput: edges per second through the recovery path.
     pub replay_eps: f64,
+    /// WAL segments sealed and rotated during the cell (schema v6).
+    pub wal_segments_rotated: u64,
+    /// WAL segments deleted by retention GC during the cell (schema v6).
+    pub wal_segments_deleted: u64,
+    /// Delta (dirty-vertex-only) checkpoint images written (schema v6).
+    pub delta_checkpoints_written: u64,
+    /// Dirty vertices captured by the last checkpoint of the cell
+    /// (schema v6 gauge).
+    pub checkpoint_dirty_vertices: u64,
+    /// Live on-disk WAL bytes across all segments at the end of the cell
+    /// (schema v6 gauge; bounded when rotation + retention are active).
+    pub wal_live_bytes: u64,
 }
 
 /// Concurrent reader/writer measurements for one engine cell (schema v5;
@@ -296,6 +315,16 @@ impl BenchReport {
                     w.raw(&d.replay_frames.to_string());
                     w.field("replay_eps");
                     w.raw(&fmt_f64(d.replay_eps));
+                    w.field("wal_segments_rotated");
+                    w.raw(&d.wal_segments_rotated.to_string());
+                    w.field("wal_segments_deleted");
+                    w.raw(&d.wal_segments_deleted.to_string());
+                    w.field("delta_checkpoints_written");
+                    w.raw(&d.delta_checkpoints_written.to_string());
+                    w.field("checkpoint_dirty_vertices");
+                    w.raw(&d.checkpoint_dirty_vertices.to_string());
+                    w.field("wal_live_bytes");
+                    w.raw(&d.wal_live_bytes.to_string());
                     w.close('}');
                 }
             }
@@ -424,6 +453,18 @@ impl BenchReport {
                                     .as_u64("recovery_nanos")?,
                                 replay_frames: get(dd, "replay_frames")?.as_u64("replay_frames")?,
                                 replay_eps: get(dd, "replay_eps")?.as_f64("replay_eps")?,
+                                // v6 fields: absent (zero) in v4–v5 documents.
+                                wal_segments_rotated: u64_or_zero(dd, "wal_segments_rotated")?,
+                                wal_segments_deleted: u64_or_zero(dd, "wal_segments_deleted")?,
+                                delta_checkpoints_written: u64_or_zero(
+                                    dd,
+                                    "delta_checkpoints_written",
+                                )?,
+                                checkpoint_dirty_vertices: u64_or_zero(
+                                    dd,
+                                    "checkpoint_dirty_vertices",
+                                )?,
+                                wal_live_bytes: u64_or_zero(dd, "wal_live_bytes")?,
                             })
                         }
                     },
@@ -694,6 +735,15 @@ fn get_opt<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
     obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
+/// Reads an additive (later-schema) integer field, defaulting to 0 when
+/// the document predates it.
+fn u64_or_zero(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    match get_opt(obj, key) {
+        None | Some(Json::Null) => Ok(0),
+        Some(v) => v.as_u64(key),
+    }
+}
+
 fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
     obj.iter()
         .find(|(k, _)| k == key)
@@ -907,6 +957,11 @@ mod tests {
                         recovery_nanos: 1_500_000,
                         replay_frames: 6,
                         replay_eps: 1.75e6,
+                        wal_segments_rotated: 3,
+                        wal_segments_deleted: 2,
+                        delta_checkpoints_written: 4,
+                        checkpoint_dirty_vertices: 57,
+                        wal_live_bytes: 16_384,
                     }),
                     mixed: Some(MixedReport {
                         writer_batches: 32,
@@ -1004,7 +1059,12 @@ mod tests {
                 "checkpoint_nanos",
                 "recovery_nanos",
                 "replay_frames",
-                "replay_eps"
+                "replay_eps",
+                "wal_segments_rotated",
+                "wal_segments_deleted",
+                "delta_checkpoints_written",
+                "checkpoint_dirty_vertices",
+                "wal_live_bytes"
             ]
         );
         let mixed = get(e0, "mixed").unwrap().as_object("mixed").unwrap();
@@ -1096,10 +1156,34 @@ mod tests {
     }
 
     #[test]
+    fn v5_durability_objects_parse_with_new_fields_at_zero() {
+        // Simulate a v5 document: version 5 and no rotation/delta fields.
+        let doc = sample()
+            .to_json()
+            .replacen("\"schema_version\": 6", "\"schema_version\": 5", 1);
+        // Splice inside the durability object (struct_stats carries fields
+        // with the same names; those stay).
+        let dur = doc.find("\"durability\"").unwrap();
+        let f = dur + doc[dur..].find("\"wal_segments_rotated\"").unwrap();
+        let start = doc[..f].rfind(',').unwrap();
+        let tail = "\"wal_live_bytes\": 16384";
+        let end = dur + doc[dur..].find(tail).unwrap() + tail.len();
+        let doc = format!("{}{}", &doc[..start], &doc[end..]);
+        let r = BenchReport::from_json(&doc).expect("v5 durability parses");
+        let d = r.engines[0].durability.as_ref().unwrap();
+        assert_eq!(d.replay_frames, 6, "pre-v6 fields survive");
+        assert_eq!(d.wal_segments_rotated, 0);
+        assert_eq!(d.wal_segments_deleted, 0);
+        assert_eq!(d.delta_checkpoints_written, 0);
+        assert_eq!(d.checkpoint_dirty_vertices, 0);
+        assert_eq!(d.wal_live_bytes, 0);
+    }
+
+    #[test]
     fn future_schema_versions_are_rejected() {
         let doc = sample()
             .to_json()
-            .replacen("\"schema_version\": 5", "\"schema_version\": 6", 1);
+            .replacen("\"schema_version\": 6", "\"schema_version\": 7", 1);
         let err = BenchReport::from_json(&doc).unwrap_err();
         assert!(err.contains("unsupported schema_version"), "{err}");
     }

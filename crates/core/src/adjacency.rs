@@ -271,6 +271,7 @@ impl Spill {
             Spill::Tree(t) => t.len() * 2 < cfg.m,
         };
         if rebuild {
+            fail_point!("spill_downgrade");
             let ns = self.to_vec();
             *self = Spill::from_sorted(&ns, cfg);
             stats.record_tier_downgrade();

@@ -53,6 +53,13 @@ pub struct LsGraph {
     quarantined: BTreeSet<VertexId>,
     /// Snapshot epochs and the retired-block reclamation pool.
     epochs: Arc<EpochRegistry>,
+    /// Vertices mutated since the dirty set was last taken — the delta
+    /// checkpoint working set. Marked on every committed or panicked apply
+    /// run and on every whole-block replacement ([`LsGraph::install_block`]),
+    /// so a persistence layer that drains it at a checkpoint freeze
+    /// (`take_dirty_vertices`) captures exactly the vertices that changed
+    /// since the previous freeze.
+    dirty: BTreeSet<VertexId>,
 }
 
 /// Result of one panic-isolated parallel apply pass.
@@ -144,6 +151,7 @@ impl LsGraph {
             latency: Arc::new(LatencyStats::new()),
             quarantined: BTreeSet::new(),
             epochs: Arc::new(EpochRegistry::new()),
+            dirty: BTreeSet::new(),
         })
     }
 
@@ -215,6 +223,9 @@ impl LsGraph {
             g.stats.record_apply_run_panic();
             g.stats.record_vertex_quarantined();
         }
+        for run in &runs {
+            g.dirty.insert(run.src);
+        }
         g.num_edges = applied;
         let outcome = BatchOutcome {
             applied,
@@ -265,6 +276,7 @@ impl LsGraph {
         if Arc::strong_count(&old) > 1 {
             self.epochs.retire(old);
         }
+        self.dirty.insert(v);
     }
 
     /// Applies `op` to each run's vertex block in parallel with per-run
@@ -331,6 +343,14 @@ impl LsGraph {
         };
         let mut panicked = failures.into_inner().unwrap();
         panicked.sort_unstable();
+        // Every run that reached its block dirtied it (a committed run
+        // mutated it, a panicked run is reset below); runs skipped for
+        // quarantine touched nothing.
+        for run in runs {
+            if !self.quarantined.contains(&run.src) {
+                self.dirty.insert(run.src);
+            }
+        }
         for &(src, _) in &panicked {
             // The panicked task may have left this block arbitrarily
             // corrupt; drop its adjacency and quarantine the vertex. If a
@@ -500,6 +520,50 @@ impl LsGraph {
     /// The currently quarantined vertices, ascending.
     pub fn quarantined_vertices(&self) -> Vec<VertexId> {
         self.quarantined.iter().copied().collect()
+    }
+
+    /// Replaces the quarantine set wholesale during chain restore: each
+    /// checkpoint image records the *complete* quarantine list at its
+    /// freeze, so applying a delta supersedes the parent's marks (a vertex
+    /// repaired between two freezes leaves quarantine here). Every marked
+    /// vertex must currently read as degree 0.
+    pub fn restore_quarantine_set(&mut self, vs: &[VertexId]) -> Result<(), GraphError> {
+        for &v in vs {
+            if v as usize >= self.vertices.len() {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v,
+                    num_vertices: self.vertices.len(),
+                });
+            }
+            debug_assert_eq!(self.vertices[v as usize].degree(), 0);
+        }
+        self.quarantined = vs.iter().copied().collect();
+        Ok(())
+    }
+
+    /// Number of vertices mutated since the dirty set was last drained.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// The vertices mutated since the last drain, ascending.
+    pub fn dirty_vertices(&self) -> Vec<VertexId> {
+        self.dirty.iter().copied().collect()
+    }
+
+    /// Drains and returns the dirty set (ascending) — the delta-checkpoint
+    /// freeze point. Mutations applied after this call re-dirty their
+    /// vertices, so the drained set covers exactly the interval since the
+    /// previous drain.
+    pub fn take_dirty_vertices(&mut self) -> Vec<VertexId> {
+        std::mem::take(&mut self.dirty).into_iter().collect()
+    }
+
+    /// Clears the dirty set without reading it. A recovery that just
+    /// restored from images calls this before WAL replay so the set ends up
+    /// describing only post-checkpoint mutations.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
     }
 
     /// Restores a quarantined vertex with a caller-supplied adjacency

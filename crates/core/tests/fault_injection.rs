@@ -234,6 +234,69 @@ fn faults_at_apply_run_are_contained() {
     run_site_under_seeds("apply_run");
 }
 
+/// The `spill_downgrade` site fires on the delete path, when a spill
+/// container shrinks below half its tier threshold and rebuilds into a
+/// smaller tier. The random workload rarely shrinks a vertex that far, so
+/// this drives it deterministically: grow one vertex into the HITree tier,
+/// then delete it down through the downgrade point.
+#[test]
+fn faults_at_spill_downgrade_are_contained() {
+    let _l = lock();
+    quiet_failpoint_panics();
+    failpoints::reset();
+    let mut g = LsGraph::with_config(16, cfg());
+    let grow: Vec<Edge> = (1..=100u32).map(|j| Edge::new(0, j % 400 + 1)).collect();
+    let grow: Vec<Edge> = {
+        let mut v = grow;
+        v.sort_by_key(|e| e.dst);
+        v.dedup_by_key(|e| e.dst);
+        v
+    };
+    g.insert_batch(&grow);
+    g.insert_batch(&[Edge::new(1, 2), Edge::new(1, 3)]);
+    let degree0 = g.degree(0);
+    assert!(
+        degree0 > 64,
+        "vertex 0 must sit in the HITree tier (m = 64)"
+    );
+
+    // Deleting well past the half-threshold point guarantees the armed
+    // downgrade is reached mid-batch.
+    let shrink: Vec<Edge> = grow[..80].to_vec();
+    failpoints::configure("spill_downgrade", FailMode::Nth(1));
+    let outcome = g.try_delete_batch(&shrink).unwrap();
+    assert_eq!(failpoints::fired("spill_downgrade"), 1, "Nth fires once");
+    failpoints::configure("spill_downgrade", FailMode::Off);
+    assert_eq!(outcome.quarantined, vec![0]);
+    assert_eq!(outcome.edges_lost, degree0, "whole adjacency dropped");
+    assert_eq!(g.degree(0), 0);
+    assert!(g.is_quarantined(0));
+    // Blast radius is exactly vertex 0.
+    assert_eq!(g.neighbors(1), vec![2, 3]);
+    assert_eq!(g.num_edges(), 2);
+    g.validate_invariants().unwrap();
+    let snap = g.struct_snapshot();
+    assert_eq!(snap.apply_run_panics, 1);
+    assert_eq!(snap.vertices_quarantined, 1);
+
+    // Repair from the oracle (the full batch applied: survivors only).
+    let survivors: Vec<u32> = grow[80..].iter().map(|e| e.dst).collect();
+    assert_eq!(g.repair_vertex(0, &survivors), Ok(survivors.len()));
+    assert_eq!(g.neighbors(0), survivors);
+
+    // Disarmed, the same shrink pattern downgrades for real.
+    let before = g.struct_snapshot().tier_downgrades;
+    g.insert_batch(&grow);
+    g.delete_batch(&grow[..80]);
+    assert!(
+        g.struct_snapshot().tier_downgrades > before,
+        "the disarmed path must actually downgrade"
+    );
+    assert_eq!(g.neighbors(0), survivors);
+    g.check_invariants();
+    failpoints::reset();
+}
+
 #[test]
 fn same_seed_reproduces_the_same_quarantine_sequence() {
     let _l = lock();

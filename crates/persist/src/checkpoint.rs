@@ -1,32 +1,49 @@
-//! Tier-aware checkpoints: a versioned binary image of the hierarchical
-//! representation plus a manifest naming the newest image.
+//! Tier-aware checkpoints: full images, dirty-vertex delta images, and the
+//! recovery-chain loader that stitches them back together.
 //!
-//! A checkpoint serializes every non-empty vertex through the engine's
-//! tier-native walk ([`LsGraph::checkpoint_vertex`]): the inline line, then
-//! the spill container traversed per tier — sorted array as a slice, RIA
-//! block-by-block via its redundant index, HITree through its iterator.
-//! Each record carries the vertex's tier tag, so images document the
-//! hierarchy they froze even though restore rebuilds tiers deterministically
-//! from degree.
+//! A **full** checkpoint serializes every non-empty vertex through the
+//! engine's tier-native walk ([`LsGraph::checkpoint_vertex`]): the inline
+//! line, then the spill container traversed per tier — sorted array as a
+//! slice, RIA block-by-block via its redundant index, HITree through its
+//! iterator. Each record carries the vertex's tier tag, so images document
+//! the hierarchy they froze even though restore rebuilds tiers
+//! deterministically from degree.
 //!
-//! On-disk layout: the magic `LSGCKPT1`, then one [`binio`] frame
-//! (`u32 len | u32 CRC32 | body`), so a torn or bit-flipped image fails
-//! closed exactly like a torn WAL frame. The body is
+//! A **delta** checkpoint serializes only the vertices dirtied since the
+//! previous image, plus the full quarantine set; its cost scales with the
+//! write working set, not the graph. Deltas name their parent image and
+//! only apply on top of exactly that state, so recovery validates the
+//! chain link-by-link.
+//!
+//! On-disk layout of a full image (`checkpoint-<id>.img`): the magic
+//! `LSGCKPT1`, then one [`binio`] frame (`u32 len | u32 CRC32 | body`), so
+//! a torn or bit-flipped image fails closed exactly like a torn WAL frame.
+//! The body is
 //!
 //! ```text
 //! u64 α bits | u64 A | u64 M                  -- config fingerprint
 //! u64 num_vertices | u64 num_edges
-//! u64 wal_offset | u64 next_seq               -- WAL position it covers
+//! u64 wal_segment | u64 wal_offset | u64 next_seq  -- WAL position covered
 //! u64 quarantined_count | ids…                -- re-quarantined on restore
 //! u64 record_count
 //! records: u32 id | u8 tier tag | u32 degree | neighbors…
 //! ```
 //!
+//! A delta image (`checkpoint-<id>.dlt`) uses the magic `LSGCKPD1` and the
+//! same frame shape; its body inserts `u64 parent_id` after the config
+//! fingerprint, its records cover exactly the dirty vertices (including
+//! ones dirtied down to degree 0), and its quarantine list *replaces* the
+//! parent's wholesale. `num_vertices`/`num_edges` are the totals at the
+//! freeze point, which lets recovery validate a delta arithmetically
+//! before mutating anything.
+//!
 //! The frame's u32 length caps an image at 4 GiB, plenty for this engine's
-//! in-memory scale. Images are written to a temp file, fsynced, and renamed
-//! into place; the `MANIFEST` (same magic-plus-frame shape) is updated after
-//! the image lands, and recovery falls back to scanning for the newest valid
-//! image if the manifest itself is lost.
+//! in-memory scale. Images are written to a temp file, fsynced, and
+//! renamed into place; the `MANIFEST` (same magic-plus-frame shape) is
+//! updated after the image lands. The manifest is **advisory**: recovery
+//! always derives the newest recoverable chain from a directory scan
+//! ([`load_newest_chain`]), because a corrupt or stale manifest could name
+//! a delta whose base image was already garbage-collected.
 
 use std::fs::{self, File};
 use std::io::{self, Read, Write};
@@ -91,8 +108,11 @@ impl CheckpointView for GraphSnapshot {
     }
 }
 
-/// Magic header of a checkpoint image.
+/// Magic header of a full checkpoint image.
 const CKPT_MAGIC: &[u8; 8] = b"LSGCKPT1";
+
+/// Magic header of a delta checkpoint image.
+const DELTA_MAGIC: &[u8; 8] = b"LSGCKPD1";
 
 /// Magic header of the manifest.
 const MANIFEST_MAGIC: &[u8; 8] = b"LSGMANI1";
@@ -100,12 +120,14 @@ const MANIFEST_MAGIC: &[u8; 8] = b"LSGMANI1";
 /// Name of the manifest file inside a store directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
-/// Identity and coverage of one checkpoint image.
+/// Identity and coverage of one checkpoint image (full or delta).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CheckpointMeta {
     /// Monotonic checkpoint id (also in the file name).
     pub id: u64,
-    /// WAL byte offset the image covers; replay resumes here.
+    /// WAL segment the image's replay position lives in.
+    pub wal_segment: u64,
+    /// Byte offset inside that segment; replay resumes here.
     pub wal_offset: u64,
     /// Sequence number the first replayed WAL frame must carry.
     pub next_seq: u64,
@@ -113,19 +135,41 @@ pub struct CheckpointMeta {
     pub bytes: u64,
 }
 
-/// File name of checkpoint `id` (zero-padded so lexical order = numeric).
+/// What [`load_newest_chain`] reconstructed (or failed to).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChainInfo {
+    /// Id of the full image the chain is rooted at (0 when no chain).
+    pub base_id: u64,
+    /// Id of the last applied image — the chain tip (equals `base_id` for
+    /// a bare full image).
+    pub tip_id: u64,
+    /// Delta images applied on top of the base.
+    pub chain_len: u64,
+    /// Images that could not be used: corrupt fulls skipped on the way to
+    /// a valid base, plus deltas past the first broken chain link (and
+    /// every delta, if no full image is valid at all).
+    pub images_discarded: u64,
+}
+
+/// File name of full checkpoint `id` (zero-padded so lexical order =
+/// numeric).
 pub fn checkpoint_file(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("checkpoint-{id:016}.img"))
+}
+
+/// File name of delta checkpoint `id`.
+pub fn delta_file(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{id:016}.dlt"))
 }
 
 fn invalid(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Serializes `g` into checkpoint image `id` under `dir` and updates the
-/// manifest. Quarantined vertices contribute their id to the quarantine
-/// list but never an adjacency record (they are degree 0 by invariant).
-/// Records `checkpoint_bytes` into the graph's stats.
+/// Serializes `g` into full checkpoint image `id` under `dir` and updates
+/// the manifest. Quarantined vertices contribute their id to the
+/// quarantine list but never an adjacency record (they are degree 0 by
+/// invariant). Records `checkpoint_bytes` into the graph's stats.
 ///
 /// `g` is any [`CheckpointView`] — the live graph, or a frozen
 /// [`GraphSnapshot`] when the image is written off-thread.
@@ -138,17 +182,19 @@ pub fn write_checkpoint<V: CheckpointView + ?Sized>(
     dir: &Path,
     id: u64,
     g: &V,
+    wal_segment: u64,
     wal_offset: u64,
     next_seq: u64,
 ) -> io::Result<CheckpointMeta> {
     fail_point!("checkpoint_write");
     let cfg = g.config();
-    let mut body = Vec::with_capacity(64 + g.num_edges() * 4);
+    let mut body = Vec::with_capacity(72 + g.num_edges() * 4);
     body.extend_from_slice(&cfg.alpha.to_bits().to_le_bytes());
     body.extend_from_slice(&(cfg.a as u64).to_le_bytes());
     body.extend_from_slice(&(cfg.m as u64).to_le_bytes());
     body.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
     body.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
+    body.extend_from_slice(&wal_segment.to_le_bytes());
     body.extend_from_slice(&wal_offset.to_le_bytes());
     body.extend_from_slice(&next_seq.to_le_bytes());
     let quarantined = g.quarantined_vertices();
@@ -181,18 +227,11 @@ pub fn write_checkpoint<V: CheckpointView + ?Sized>(
     body[record_count_at..record_count_at + 8].copy_from_slice(&records.to_le_bytes());
 
     let path = checkpoint_file(dir, id);
-    let tmp = path.with_extension("img.tmp");
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(CKPT_MAGIC)?;
-        binio::write_frame(&mut f, &body)?;
-        f.sync_data()?;
-    }
-    fs::rename(&tmp, &path)?;
-    let bytes = fs::metadata(&path)?.len();
+    let bytes = write_image(&path, CKPT_MAGIC, &body)?;
     g.stats().record_checkpoint_bytes(bytes);
     let meta = CheckpointMeta {
         id,
+        wal_segment,
         wal_offset,
         next_seq,
         bytes,
@@ -201,30 +240,116 @@ pub fn write_checkpoint<V: CheckpointView + ?Sized>(
     Ok(meta)
 }
 
-/// Parses and restores the checkpoint image at `path`, rebuilding the graph
-/// under `cfg` (whose α/A/M must match the image's fingerprint).
+/// Serializes a **delta** image `id` under `dir`: the adjacency of exactly
+/// the vertices in `dirty` (ascending, deduplicated — a drained dirty set)
+/// as they stand in `g`, the full quarantine set, and `parent_id`, the
+/// image this delta applies on top of. Updates the manifest and records
+/// `checkpoint_bytes`.
+///
+/// Dirty vertices whose adjacency shrank to degree 0 are recorded with an
+/// empty neighbor list — recovery must clear them, so omitting them would
+/// corrupt the chain.
 ///
 /// # Errors
 ///
-/// `InvalidData` for a bad magic, torn frame, config mismatch, or any
-/// structural inconsistency; other I/O errors propagate.
-pub fn load_checkpoint(path: &Path, cfg: Config) -> io::Result<(LsGraph, CheckpointMeta)> {
+/// Propagates I/O errors; temp-file-plus-rename, so a failed write never
+/// clobbers anything.
+#[allow(clippy::too_many_arguments)]
+pub fn write_delta_checkpoint<V: CheckpointView + ?Sized>(
+    dir: &Path,
+    id: u64,
+    parent_id: u64,
+    g: &V,
+    dirty: &[u32],
+    wal_segment: u64,
+    wal_offset: u64,
+    next_seq: u64,
+) -> io::Result<CheckpointMeta> {
+    fail_point!("delta_checkpoint");
+    debug_assert!(
+        dirty.windows(2).all(|w| w[0] < w[1]),
+        "dirty set not sorted"
+    );
+    let cfg = g.config();
+    let mut body = Vec::with_capacity(96 + dirty.len() * 16);
+    body.extend_from_slice(&cfg.alpha.to_bits().to_le_bytes());
+    body.extend_from_slice(&(cfg.a as u64).to_le_bytes());
+    body.extend_from_slice(&(cfg.m as u64).to_le_bytes());
+    body.extend_from_slice(&parent_id.to_le_bytes());
+    body.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+    body.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
+    body.extend_from_slice(&wal_segment.to_le_bytes());
+    body.extend_from_slice(&wal_offset.to_le_bytes());
+    body.extend_from_slice(&next_seq.to_le_bytes());
+    let quarantined = g.quarantined_vertices();
+    body.extend_from_slice(&(quarantined.len() as u64).to_le_bytes());
+    for &q in &quarantined {
+        body.extend_from_slice(&q.to_le_bytes());
+    }
+    body.extend_from_slice(&(dirty.len() as u64).to_le_bytes());
+    let mut ns = Vec::new();
+    for &v in dirty {
+        ns.clear();
+        let tier = g.checkpoint_vertex(v, &mut ns);
+        body.extend_from_slice(&v.to_le_bytes());
+        body.push(tier.tag());
+        body.extend_from_slice(&(ns.len() as u32).to_le_bytes());
+        for &u in &ns {
+            body.extend_from_slice(&u.to_le_bytes());
+        }
+    }
+
+    let path = delta_file(dir, id);
+    let bytes = write_image(&path, DELTA_MAGIC, &body)?;
+    g.stats().record_checkpoint_bytes(bytes);
+    let meta = CheckpointMeta {
+        id,
+        wal_segment,
+        wal_offset,
+        next_seq,
+        bytes,
+    };
+    write_manifest(dir, meta)?;
+    Ok(meta)
+}
+
+/// Magic + frame + fsync + rename; returns the file's size.
+fn write_image(path: &Path, magic: &[u8; 8], body: &[u8]) -> io::Result<u64> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(magic)?;
+        binio::write_frame(&mut f, body)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(fs::metadata(path)?.len())
+}
+
+/// Reads an image file, validates its magic, and returns the CRC-checked
+/// frame body.
+fn read_image_body(path: &Path, magic: &[u8; 8]) -> io::Result<Vec<u8>> {
     let mut raw = Vec::new();
     File::open(path)?.read_to_end(&mut raw)?;
     let disp = path.display();
-    if raw.len() < CKPT_MAGIC.len() || &raw[..CKPT_MAGIC.len()] != CKPT_MAGIC {
-        return Err(invalid(format!("{disp}: not an LSGCKPT1 image")));
+    if raw.len() < magic.len() || &raw[..magic.len()] != magic {
+        return Err(invalid(format!(
+            "{disp}: not an {} image",
+            String::from_utf8_lossy(magic)
+        )));
     }
-    let (body, consumed) = binio::parse_frame(&raw[CKPT_MAGIC.len()..])
+    let (body, consumed) = binio::parse_frame(&raw[magic.len()..])
         .ok_or_else(|| invalid(format!("{disp}: torn or corrupt checkpoint frame")))?;
-    if CKPT_MAGIC.len() + consumed != raw.len() {
+    if magic.len() + consumed != raw.len() {
         return Err(invalid(format!("{disp}: trailing bytes after image frame")));
     }
+    Ok(body.to_vec())
+}
 
-    let mut cur = Cursor { body, pos: 0 };
-    let alpha_bits = cur.u64(&disp)?;
-    let a = cur.u64(&disp)?;
-    let m = cur.u64(&disp)?;
+fn check_config(cur: &mut Cursor<'_>, cfg: Config, disp: &dyn std::fmt::Display) -> io::Result<()> {
+    let alpha_bits = cur.u64(disp)?;
+    let a = cur.u64(disp)?;
+    let m = cur.u64(disp)?;
     if alpha_bits != cfg.alpha.to_bits() || a != cfg.a as u64 || m != cfg.m as u64 {
         return Err(invalid(format!(
             "{disp}: image config (α={}, A={a}, M={m}) does not match engine config \
@@ -235,8 +360,27 @@ pub fn load_checkpoint(path: &Path, cfg: Config) -> io::Result<(LsGraph, Checkpo
             cfg.m
         )));
     }
+    Ok(())
+}
+
+/// Parses and restores the full checkpoint image at `path`, rebuilding the
+/// graph under `cfg` (whose α/A/M must match the image's fingerprint).
+///
+/// # Errors
+///
+/// `InvalidData` for a bad magic, torn frame, config mismatch, or any
+/// structural inconsistency; other I/O errors propagate.
+pub fn load_checkpoint(path: &Path, cfg: Config) -> io::Result<(LsGraph, CheckpointMeta)> {
+    let body = read_image_body(path, CKPT_MAGIC)?;
+    let disp = path.display();
+    let mut cur = Cursor {
+        body: &body,
+        pos: 0,
+    };
+    check_config(&mut cur, cfg, &disp)?;
     let num_vertices = cur.u64(&disp)? as usize;
     let num_edges = cur.u64(&disp)? as usize;
+    let wal_segment = cur.u64(&disp)?;
     let wal_offset = cur.u64(&disp)?;
     let next_seq = cur.u64(&disp)?;
     let n_quarantined = cur.u64(&disp)? as usize;
@@ -281,17 +425,132 @@ pub fn load_checkpoint(path: &Path, cfg: Config) -> io::Result<(LsGraph, Checkpo
         g.restore_quarantine(q)
             .map_err(|e| invalid(format!("{disp}: {e}")))?;
     }
-    let bytes = raw.len() as u64;
-    let id = checkpoint_id_from_path(path).unwrap_or(0);
+    let bytes = fs::metadata(path)?.len();
+    let id = image_id_from_path(path).unwrap_or(0);
     Ok((
         g,
         CheckpointMeta {
             id,
+            wal_segment,
             wal_offset,
             next_seq,
             bytes,
         },
     ))
+}
+
+/// Validates the delta image at `path` against `g` and — only if every
+/// check passes — applies it, replacing the adjacency of each recorded
+/// vertex and swapping in the delta's quarantine set wholesale.
+///
+/// Validation is strictly **before** mutation: the whole body is parsed,
+/// the parent id must equal `expect_parent` (the id of the image `g`
+/// currently reflects), records must be ascending with sorted adjacency,
+/// and the edge total predicted from `g`'s current degrees must equal the
+/// total the image claims. A delta that fails any check leaves `g`
+/// untouched, so the chain loader can fall back to a shorter chain.
+///
+/// # Errors
+///
+/// `InvalidData` on any validation failure (with `g` unmodified); other
+/// I/O errors propagate.
+pub fn apply_delta_checkpoint(
+    path: &Path,
+    g: &mut LsGraph,
+    expect_parent: u64,
+) -> io::Result<CheckpointMeta> {
+    let body = read_image_body(path, DELTA_MAGIC)?;
+    let disp = path.display();
+    let mut cur = Cursor {
+        body: &body,
+        pos: 0,
+    };
+    check_config(&mut cur, *LsGraph::config(g), &disp)?;
+    let parent_id = cur.u64(&disp)?;
+    if parent_id != expect_parent {
+        return Err(invalid(format!(
+            "{disp}: delta parent {parent_id} does not match the applied chain tip \
+             {expect_parent}"
+        )));
+    }
+    let num_vertices = cur.u64(&disp)? as usize;
+    let num_edges = cur.u64(&disp)? as usize;
+    let wal_segment = cur.u64(&disp)?;
+    let wal_offset = cur.u64(&disp)?;
+    let next_seq = cur.u64(&disp)?;
+    let n_quarantined = cur.u64(&disp)? as usize;
+    let mut quarantined = Vec::with_capacity(n_quarantined.min(1 << 20));
+    for _ in 0..n_quarantined {
+        quarantined.push(cur.u32(&disp)?);
+    }
+    let n_records = cur.u64(&disp)? as usize;
+    let mut records: Vec<(u32, Vec<u32>)> = Vec::with_capacity(n_records.min(1 << 20));
+    for _ in 0..n_records {
+        let v = cur.u32(&disp)?;
+        if v as usize >= num_vertices {
+            return Err(invalid(format!(
+                "{disp}: record vertex {v} out of range ({num_vertices} vertices)"
+            )));
+        }
+        if let Some(&(prev, _)) = records.last() {
+            if v <= prev {
+                return Err(invalid(format!("{disp}: delta records not ascending")));
+            }
+        }
+        let tag = cur.u8(&disp)?;
+        if Tier::from_tag(tag).is_none() {
+            return Err(invalid(format!("{disp}: unknown tier tag {tag}")));
+        }
+        let degree = cur.u32(&disp)? as usize;
+        let mut ns = Vec::with_capacity(degree.min(1 << 20));
+        for _ in 0..degree {
+            ns.push(cur.u32(&disp)?);
+        }
+        if !ns.windows(2).all(|w| w[0] < w[1]) {
+            return Err(invalid(format!(
+                "{disp}: vertex {v} adjacency not ascending"
+            )));
+        }
+        records.push((v, ns));
+    }
+    if cur.pos != body.len() {
+        return Err(invalid(format!("{disp}: unread bytes after last record")));
+    }
+    // Arithmetic pre-check: replacing each recorded vertex's adjacency
+    // must land exactly on the edge total the image claims. This catches
+    // a delta applied to the wrong parent state even when ids line up.
+    let mut predicted = g.num_edges();
+    for (v, ns) in &records {
+        predicted -= g.neighbors(*v).len();
+        predicted += ns.len();
+    }
+    if predicted != num_edges {
+        return Err(invalid(format!(
+            "{disp}: applying this delta would yield {predicted} edges but the image \
+             claims {num_edges}"
+        )));
+    }
+    // Point of no return: every mutation below is infallible.
+    for (v, ns) in &records {
+        g.restore_vertex_from_sorted(*v, ns);
+    }
+    for &q in &quarantined {
+        if (q as usize) >= g.num_vertices() {
+            g.restore_vertex_from_sorted(q, &[]);
+        }
+    }
+    g.restore_quarantine_set(&quarantined)
+        .map_err(|e| invalid(format!("{disp}: {e}")))?;
+    debug_assert_eq!(g.num_edges(), num_edges);
+    let bytes = fs::metadata(path)?.len();
+    let id = image_id_from_path(path).unwrap_or(0);
+    Ok(CheckpointMeta {
+        id,
+        wal_segment,
+        wal_offset,
+        next_seq,
+        bytes,
+    })
 }
 
 /// Little-endian cursor over a checkpoint body.
@@ -327,8 +586,16 @@ impl Cursor<'_> {
     }
 }
 
-/// Extracts the id from a `checkpoint-<id>.img` file name.
-fn checkpoint_id_from_path(path: &Path) -> Option<u64> {
+/// Extracts the id from a `checkpoint-<id>.img` or `.dlt` file name.
+fn image_id_from_path(path: &Path) -> Option<u64> {
+    let stem = path.file_name()?.to_str()?.strip_prefix("checkpoint-")?;
+    stem.strip_suffix(".img")
+        .or_else(|| stem.strip_suffix(".dlt"))?
+        .parse()
+        .ok()
+}
+
+fn full_id_from_path(path: &Path) -> Option<u64> {
     path.file_name()?
         .to_str()?
         .strip_prefix("checkpoint-")?
@@ -337,10 +604,20 @@ fn checkpoint_id_from_path(path: &Path) -> Option<u64> {
         .ok()
 }
 
+fn delta_id_from_path(path: &Path) -> Option<u64> {
+    path.file_name()?
+        .to_str()?
+        .strip_prefix("checkpoint-")?
+        .strip_suffix(".dlt")?
+        .parse()
+        .ok()
+}
+
 /// Writes the manifest naming checkpoint `meta` (temp file + rename).
 fn write_manifest(dir: &Path, meta: CheckpointMeta) -> io::Result<()> {
-    let mut body = Vec::with_capacity(24);
+    let mut body = Vec::with_capacity(32);
     body.extend_from_slice(&meta.id.to_le_bytes());
+    body.extend_from_slice(&meta.wal_segment.to_le_bytes());
     body.extend_from_slice(&meta.wal_offset.to_le_bytes());
     body.extend_from_slice(&meta.next_seq.to_le_bytes());
     let path = dir.join(MANIFEST_FILE);
@@ -354,9 +631,15 @@ fn write_manifest(dir: &Path, meta: CheckpointMeta) -> io::Result<()> {
     fs::rename(&tmp, &path)
 }
 
-/// Reads the manifest; `Ok(None)` if it is missing or fails validation
-/// (recovery then falls back to a directory scan).
-fn read_manifest(dir: &Path) -> io::Result<Option<u64>> {
+/// Reads the manifest's image id; `Ok(None)` if it is missing or fails
+/// validation.
+///
+/// The manifest is **advisory** — a breadcrumb for tooling naming the
+/// newest image written. Recovery never trusts it: a corrupt or stale
+/// manifest could name a delta whose base image retention GC already
+/// deleted, so [`load_newest_chain`] always derives the chain from the
+/// directory itself.
+pub fn read_manifest(dir: &Path) -> io::Result<Option<u64>> {
     let mut raw = Vec::new();
     match File::open(dir.join(MANIFEST_FILE)) {
         Ok(mut f) => f.read_to_end(&mut raw).map(|_| ())?,
@@ -369,7 +652,7 @@ fn read_manifest(dir: &Path) -> io::Result<Option<u64>> {
     let Some((body, _)) = binio::parse_frame(&raw[MANIFEST_MAGIC.len()..]) else {
         return Ok(None);
     };
-    if body.len() != 24 {
+    if body.len() != 32 {
         return Ok(None);
     }
     Ok(Some(u64::from_le_bytes(
@@ -377,33 +660,79 @@ fn read_manifest(dir: &Path) -> io::Result<Option<u64>> {
     )))
 }
 
-/// Loads the newest valid checkpoint under `dir`: the manifest's image if it
-/// validates, else the highest-id image that does. `Ok(None)` when no valid
-/// image exists (cold start, or every image is corrupt).
+/// Loads the newest **recoverable chain** under `dir`: the highest-id full
+/// image that validates, plus every delta above it that links and applies
+/// cleanly (each delta's parent must be the previously applied image, in
+/// ascending id order). Returns the restored graph, the chain *tip*'s
+/// meta (whose WAL position is where replay resumes), and a [`ChainInfo`]
+/// accounting for what was discarded.
+///
+/// Degradation is graceful and strictly prefix-preserving: a corrupt or
+/// mislinked delta ends the chain there (later deltas are discarded, the
+/// prefix stands); a corrupt full image falls back to the next older full
+/// and *its* delta chain. When a full and a delta share an id — the
+/// compaction crash window — the full wins: deltas only apply with ids
+/// strictly above the base and each applied predecessor.
+///
+/// `Ok((None, info))` when no valid full image exists (cold start, or
+/// everything is corrupt — `info` still counts the casualties).
 ///
 /// # Errors
 ///
 /// Propagates directory-scan I/O errors; individually corrupt images are
-/// skipped, not errors.
-pub fn load_newest_checkpoint(
+/// skipped and counted, not errors.
+pub fn load_newest_chain(
     dir: &Path,
     cfg: Config,
-) -> io::Result<Option<(LsGraph, CheckpointMeta)>> {
-    if let Some(id) = read_manifest(dir)? {
-        if let Ok(loaded) = load_checkpoint(&checkpoint_file(dir, id), cfg) {
-            return Ok(Some(loaded));
+) -> io::Result<(Option<(LsGraph, CheckpointMeta)>, ChainInfo)> {
+    let mut fulls: Vec<u64> = Vec::new();
+    let mut deltas: Vec<u64> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if let Some(id) = full_id_from_path(&path) {
+            fulls.push(id);
+        } else if let Some(id) = delta_id_from_path(&path) {
+            deltas.push(id);
         }
     }
-    let mut ids: Vec<u64> = fs::read_dir(dir)?
-        .filter_map(|e| checkpoint_id_from_path(&e.ok()?.path()))
-        .collect();
-    ids.sort_unstable_by(|x, y| y.cmp(x));
-    for id in ids {
-        if let Ok(loaded) = load_checkpoint(&checkpoint_file(dir, id), cfg) {
-            return Ok(Some(loaded));
+    fulls.sort_unstable_by(|x, y| y.cmp(x));
+    deltas.sort_unstable();
+
+    let mut info = ChainInfo::default();
+    for &fid in &fulls {
+        let (mut g, mut meta) = match load_checkpoint(&checkpoint_file(dir, fid), cfg) {
+            Ok(loaded) => loaded,
+            Err(_) => {
+                info.images_discarded += 1;
+                continue;
+            }
+        };
+        info.base_id = fid;
+        let mut tip = fid;
+        let mut broken = false;
+        for &did in deltas.iter().filter(|&&d| d > fid) {
+            if broken {
+                info.images_discarded += 1;
+                continue;
+            }
+            match apply_delta_checkpoint(&delta_file(dir, did), &mut g, tip) {
+                Ok(dmeta) => {
+                    tip = did;
+                    info.chain_len += 1;
+                    meta = dmeta;
+                }
+                Err(_) => {
+                    broken = true;
+                    info.images_discarded += 1;
+                }
+            }
         }
+        info.tip_id = tip;
+        return Ok((Some((g, meta)), info));
     }
-    Ok(None)
+    // No usable base: every delta is unrecoverable too.
+    info.images_discarded += deltas.len() as u64;
+    Ok((None, info))
 }
 
 #[cfg(test)]
@@ -413,6 +742,7 @@ mod tests {
 
     fn tmpdir(name: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("lsgraph-ckpt-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
         std::fs::create_dir_all(&d).unwrap();
         d
     }
@@ -436,42 +766,202 @@ mod tests {
         }
     }
 
+    fn assert_same_graph(a: &LsGraph, b: &LsGraph) {
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..a.num_vertices().max(b.num_vertices()) as u32 {
+            assert_eq!(a.neighbors(v), b.neighbors(v), "vertex {v}");
+        }
+    }
+
     #[test]
     fn checkpoint_roundtrip_every_tier() {
         let dir = tmpdir("roundtrip");
         let g = skewed_graph(small_cfg());
-        let meta = write_checkpoint(&dir, 1, &g, 123, 9).unwrap();
+        let meta = write_checkpoint(&dir, 1, &g, 2, 123, 9).unwrap();
+        assert_eq!(meta.wal_segment, 2);
         assert_eq!(meta.wal_offset, 123);
         assert_eq!(meta.next_seq, 9);
         assert_eq!(g.stats().snapshot().checkpoint_bytes, meta.bytes);
         let (r, rmeta) = load_checkpoint(&checkpoint_file(&dir, 1), small_cfg()).unwrap();
         assert_eq!(rmeta, meta);
-        assert_eq!(r.num_edges(), g.num_edges());
+        assert_same_graph(&r, &g);
         assert_eq!(r.num_vertices(), g.num_vertices());
-        for v in 0..g.num_vertices() as u32 {
-            assert_eq!(r.neighbors(v), g.neighbors(v), "vertex {v}");
-        }
+        r.check_invariants();
+        assert_eq!(read_manifest(&dir).unwrap(), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_roundtrip_applies_only_dirty_vertices() {
+        let dir = tmpdir("delta");
+        let mut g = skewed_graph(small_cfg());
+        write_checkpoint(&dir, 1, &g, 0, 10, 1).unwrap();
+        g.clear_dirty();
+        // Mutate a few vertices: grow one, shrink one to zero, add one.
+        g.insert_batch(
+            &(0..30u32)
+                .map(|i| Edge::new(7, 5 * i + 1))
+                .collect::<Vec<_>>(),
+        );
+        g.delete_batch(&(0..5u32).map(|i| Edge::new(3, i + 7)).collect::<Vec<_>>());
+        let dirty = g.dirty_vertices();
+        assert!(dirty.contains(&7) && dirty.contains(&3));
+        let meta = write_delta_checkpoint(&dir, 2, 1, &g, &dirty, 0, 20, 2).unwrap();
+        assert!(
+            meta.bytes < fs::metadata(checkpoint_file(&dir, 1)).unwrap().len(),
+            "delta must be smaller than the full image"
+        );
+        let (restored, info) = load_newest_chain(&dir, small_cfg()).unwrap();
+        let (r, rmeta) = restored.unwrap();
+        assert_eq!(rmeta, meta);
+        assert_eq!(info.base_id, 1);
+        assert_eq!(info.tip_id, 2);
+        assert_eq!(info.chain_len, 1);
+        assert_eq!(info.images_discarded, 0);
+        assert_same_graph(&r, &g);
+        assert_eq!(
+            r.neighbors(3),
+            Vec::<u32>::new(),
+            "shrunk-to-zero vertex cleared"
+        );
         r.check_invariants();
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn corrupt_image_fails_closed_and_scan_falls_back() {
+    fn corrupt_middle_delta_degrades_to_the_chain_prefix() {
+        let dir = tmpdir("midcorrupt");
+        let mut g = skewed_graph(small_cfg());
+        write_checkpoint(&dir, 1, &g, 0, 10, 1).unwrap();
+        g.clear_dirty();
+        let mut states = Vec::new();
+        for (id, seed) in [(2u64, 100u32), (3, 200), (4, 300)] {
+            g.insert_batch(
+                &(0..20u32)
+                    .map(|i| Edge::new(seed % 50, seed + i))
+                    .collect::<Vec<_>>(),
+            );
+            let dirty = g.take_dirty_vertices();
+            write_delta_checkpoint(&dir, id, id - 1, &g, &dirty, 0, id * 10, id).unwrap();
+            states.push(g.num_edges());
+        }
+        // Corrupt delta 3: the chain must degrade to full-1 + delta-2 and
+        // discard deltas 3 and 4.
+        let p3 = delta_file(&dir, 3);
+        let mut bytes = fs::read(&p3).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&p3, &bytes).unwrap();
+        let (restored, info) = load_newest_chain(&dir, small_cfg()).unwrap();
+        let (r, rmeta) = restored.unwrap();
+        assert_eq!(info.base_id, 1);
+        assert_eq!(info.tip_id, 2);
+        assert_eq!(info.chain_len, 1);
+        assert_eq!(
+            info.images_discarded, 2,
+            "delta 3 (corrupt) and delta 4 (orphaned)"
+        );
+        assert_eq!(rmeta.id, 2);
+        assert_eq!(rmeta.wal_offset, 20, "replay resumes at the surviving tip");
+        assert_eq!(r.num_edges(), states[0]);
+        r.check_invariants();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mislinked_delta_is_rejected_without_mutation() {
+        let dir = tmpdir("mislink");
+        let mut g = skewed_graph(small_cfg());
+        write_checkpoint(&dir, 1, &g, 0, 10, 1).unwrap();
+        g.clear_dirty();
+        g.insert_batch(&[Edge::new(9, 1), Edge::new(9, 2)]);
+        let dirty = g.take_dirty_vertices();
+        // Parent claims 7, but the chain tip is 1.
+        write_delta_checkpoint(&dir, 2, 7, &g, &dirty, 0, 20, 2).unwrap();
+        let (mut base, _) = load_checkpoint(&checkpoint_file(&dir, 1), small_cfg()).unwrap();
+        let edges_before = base.num_edges();
+        let err = apply_delta_checkpoint(&delta_file(&dir, 2), &mut base, 1).unwrap_err();
+        assert!(err.to_string().contains("parent"), "{err}");
+        assert_eq!(
+            base.num_edges(),
+            edges_before,
+            "failed apply must not mutate"
+        );
+        // The chain loader treats it the same way: bare full image.
+        let (restored, info) = load_newest_chain(&dir, small_cfg()).unwrap();
+        assert_eq!(restored.unwrap().1.id, 1);
+        assert_eq!(info.images_discarded, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_image_wins_over_delta_at_the_same_id() {
+        // The compaction crash window leaves both checkpoint-N.img and
+        // checkpoint-N.dlt; the full must be chosen as base and the delta
+        // ignored (not discarded — it is merely superseded).
+        let dir = tmpdir("samewins");
+        let mut g = skewed_graph(small_cfg());
+        write_checkpoint(&dir, 1, &g, 0, 10, 1).unwrap();
+        g.clear_dirty();
+        g.insert_batch(&[Edge::new(11, 3), Edge::new(11, 9)]);
+        let dirty = g.dirty_vertices();
+        write_delta_checkpoint(&dir, 2, 1, &g, &dirty, 0, 20, 2).unwrap();
+        // Compaction folded the chain into a full at id 2 but crashed
+        // before deleting the delta.
+        write_checkpoint(&dir, 2, &g, 0, 20, 2).unwrap();
+        let (restored, info) = load_newest_chain(&dir, small_cfg()).unwrap();
+        let (r, rmeta) = restored.unwrap();
+        assert_eq!(info.base_id, 2);
+        assert_eq!(info.tip_id, 2);
+        assert_eq!(info.chain_len, 0);
+        assert_eq!(info.images_discarded, 0);
+        assert_eq!(rmeta.id, 2);
+        assert_same_graph(&r, &g);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_base_falls_back_to_the_older_chain() {
         let dir = tmpdir("corrupt");
         let g = skewed_graph(small_cfg());
-        write_checkpoint(&dir, 1, &g, 10, 1).unwrap();
-        write_checkpoint(&dir, 2, &g, 20, 2).unwrap();
-        // Corrupt image 2 (the manifest's pick): flip a payload byte.
+        write_checkpoint(&dir, 1, &g, 0, 10, 1).unwrap();
+        write_checkpoint(&dir, 2, &g, 0, 20, 2).unwrap();
+        // Corrupt image 2 (the newest): flip a payload byte.
         let p2 = checkpoint_file(&dir, 2);
         let mut bytes = std::fs::read(&p2).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x10;
         std::fs::write(&p2, &bytes).unwrap();
         assert!(load_checkpoint(&p2, small_cfg()).is_err());
-        // Recovery falls back to the newest *valid* image.
-        let (_, meta) = load_newest_checkpoint(&dir, small_cfg()).unwrap().unwrap();
+        // Recovery falls back to the newest *valid* image and counts the
+        // casualty.
+        let (restored, info) = load_newest_chain(&dir, small_cfg()).unwrap();
+        let (_, meta) = restored.unwrap();
         assert_eq!(meta.id, 1);
         assert_eq!(meta.wal_offset, 10);
+        assert_eq!(info.images_discarded, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_never_selects_a_delta_without_its_base() {
+        // A stale/corrupt manifest naming a delta whose base is gone must
+        // not influence recovery: the directory scan is the only truth.
+        let dir = tmpdir("badmanifest");
+        let mut g = skewed_graph(small_cfg());
+        write_checkpoint(&dir, 1, &g, 0, 10, 1).unwrap();
+        g.clear_dirty();
+        g.insert_batch(&[Edge::new(13, 1)]);
+        let dirty = g.dirty_vertices();
+        write_delta_checkpoint(&dir, 5, 4, &g, &dirty, 0, 20, 2).unwrap();
+        // The manifest now names delta 5, whose parent (4) never existed —
+        // exactly the shape a crashed GC + stale manifest could leave.
+        assert_eq!(read_manifest(&dir).unwrap(), Some(5));
+        let (restored, info) = load_newest_chain(&dir, small_cfg()).unwrap();
+        let (r, meta) = restored.unwrap();
+        assert_eq!(meta.id, 1, "orphan delta must not be selected");
+        assert_eq!(info.images_discarded, 1);
+        assert_eq!(r.neighbors(13), Vec::<u32>::new());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -485,7 +975,7 @@ mod tests {
         // must serialize the flip point, not the current state.
         g.insert_batch(&(0..300u32).map(|i| Edge::new(5, i + 1)).collect::<Vec<_>>());
         assert_ne!(g.num_edges(), frozen_edges);
-        let meta = write_checkpoint(&dir, 1, &snap, 77, 3).unwrap();
+        let meta = write_checkpoint(&dir, 1, &snap, 0, 77, 3).unwrap();
         let (r, rmeta) = load_checkpoint(&checkpoint_file(&dir, 1), small_cfg()).unwrap();
         assert_eq!(rmeta, meta);
         assert_eq!(r.num_edges(), frozen_edges);
@@ -505,7 +995,7 @@ mod tests {
     fn config_mismatch_is_rejected() {
         let dir = tmpdir("cfgmismatch");
         let g = skewed_graph(small_cfg());
-        write_checkpoint(&dir, 1, &g, 0, 0).unwrap();
+        write_checkpoint(&dir, 1, &g, 0, 0, 0).unwrap();
         let other = Config {
             m: 512,
             ..Config::default()
@@ -521,9 +1011,9 @@ mod tests {
     #[test]
     fn empty_dir_loads_nothing() {
         let dir = tmpdir("empty");
-        assert!(load_newest_checkpoint(&dir, Config::default())
-            .unwrap()
-            .is_none());
+        let (restored, info) = load_newest_chain(&dir, Config::default()).unwrap();
+        assert!(restored.is_none());
+        assert_eq!(info, ChainInfo::default());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,37 +1,52 @@
-//! Durability tier for LSGraph: write-ahead logging, tier-aware
-//! checkpoints, and crash recovery with torn-write handling.
+//! Durability tier for LSGraph: segmented write-ahead logging, tier-aware
+//! full/delta checkpoints, retention GC, and crash recovery with
+//! torn-write handling.
 //!
 //! The engine itself ([`lsgraph_core::LsGraph`]) is a purely in-memory
 //! structure; this crate wraps it in a [`Store`] that makes streamed
-//! updates survive a crash:
+//! updates survive a crash — and keeps the on-disk footprint bounded
+//! while doing so:
 //!
 //! - [`wal`] — every batch is appended as a length-prefixed, CRC32-checked
 //!   frame *before* it is applied (write-ahead rule), with group-commit
 //!   buffering and explicit [`Store::sync`] durability points.
-//! - [`checkpoint`] — a full serialization of the hierarchical
-//!   representation, walking each vertex's tier natively (inline line,
-//!   sorted array, RIA via its redundant index, HITree via its iterator)
-//!   into a versioned, self-validating binary image plus a manifest that
-//!   records the WAL offset the image covers.
-//! - [`store`] — recovery: newest valid checkpoint + WAL-tail replay
+//! - [`segment`] — the WAL split into fixed-budget rotating files
+//!   (`wal.000000`, `wal.000001`, …) with crash-safe rotation, positions
+//!   as `(segment, offset)` pairs, and whole-segment deletion for GC.
+//! - [`checkpoint`] — full images (the hierarchical representation walked
+//!   tier-natively into a versioned, self-validating binary) plus
+//!   dirty-vertex **delta** images that name their parent and only apply
+//!   on exactly that state, forming validated recovery chains.
+//! - [`retention`] — the GC rule (delete only what is strictly older than
+//!   the newest chain *proved* recoverable by loading it) and chain
+//!   compaction (fold deltas into a full image at the tip id).
+//! - [`store`] — recovery: newest recoverable chain + WAL-tail replay
 //!   through the normal batch pipeline, truncating the log at the first
-//!   torn or corrupt frame and reporting what was reconstructed and what
-//!   was discarded in a [`RecoveryReport`]. Checkpoints are also takeable
-//!   *without pausing the writer*: [`Store::begin_checkpoint`] freezes a
-//!   [`lsgraph_core::GraphSnapshot`] and returns a [`PendingCheckpoint`]
-//!   whose image write can run on another thread while batches keep
-//!   landing.
+//!   torn or corrupt frame, degrading gracefully past corrupt deltas, and
+//!   reporting it all in a [`RecoveryReport`]. Checkpoints are also
+//!   takeable *without pausing the writer*: [`Store::begin_checkpoint`]
+//!   freezes a [`lsgraph_core::GraphSnapshot`] and returns a
+//!   [`PendingCheckpoint`] whose image write can run on another thread
+//!   while batches keep landing.
 //!
-//! Durability work is observable through four
+//! Durability work is observable through the
 //! [`StructStats`](lsgraph_api::StructStats) counters
-//! (`wal_frames_appended`, `checkpoint_bytes`, `recovery_frames_replayed`,
-//! `recovery_frames_discarded`) and injectable at four failpoint sites
-//! (`wal_append`, `wal_sync`, `checkpoint_write`, `recovery_replay`).
+//! (`wal_frames_appended`, `wal_segments_rotated`, `wal_segments_deleted`,
+//! `checkpoint_bytes`, `delta_checkpoints_written`,
+//! `recovery_frames_replayed`, `recovery_frames_discarded`,
+//! `recovery_images_discarded`) and gauges (`wal_live_bytes`,
+//! `checkpoint_dirty_vertices`), and injectable at seven failpoint sites
+//! (`wal_append`, `wal_sync`, `wal_rotate`, `checkpoint_write`,
+//! `delta_checkpoint`, `segment_gc`, `recovery_replay`).
 
 pub mod checkpoint;
+pub mod retention;
+pub mod segment;
 pub mod store;
 pub mod wal;
 
-pub use checkpoint::{CheckpointMeta, CheckpointView};
-pub use store::{PendingCheckpoint, RecoveryReport, Store, StoreError, WAL_FILE};
+pub use checkpoint::{ChainInfo, CheckpointMeta, CheckpointView};
+pub use retention::GcReport;
+pub use segment::{SegmentedWal, WalPosition};
+pub use store::{PendingCheckpoint, RecoveryReport, Store, StoreError, StoreOptions, WAL_FILE};
 pub use wal::{Wal, WalOp};

@@ -1,20 +1,26 @@
-//! The durable store: an [`LsGraph`] fronted by a WAL, with tier-aware
-//! checkpoints and crash recovery.
+//! The durable store: an [`LsGraph`] fronted by a segmented WAL, with
+//! tier-aware full/delta checkpoints, retention GC, and crash recovery.
 //!
 //! Write path: every batch is appended to the WAL **before**
 //! [`LsGraph::try_insert_batch`] / [`try_delete_batch`] applies it
 //! (write-ahead rule), so the log is always a superset of the in-memory
 //! state up to group-commit buffering. [`Store::sync`] is the durability
-//! point; [`Store::checkpoint`] syncs the log and freezes the full
-//! hierarchical representation so the covered WAL prefix never needs
-//! replaying again.
+//! point; [`Store::checkpoint`] syncs the log and freezes either the full
+//! hierarchical representation or — when a delta chain is open and the
+//! dirty working set is small — just the vertices dirtied since the last
+//! image ([`StoreOptions::delta_ratio`], [`StoreOptions::max_delta_chain`]).
 //!
-//! Recovery ([`Store::open`]): load the newest valid checkpoint (or start
-//! empty), scan the WAL tail it does not cover, replay cleanly-decoded
-//! frames through the normal batch pipeline, and physically truncate the
-//! log at the first torn or corrupt frame. The caller gets a
-//! [`RecoveryReport`] and the stats counters
-//! `recovery_frames_replayed` / `recovery_frames_discarded` are updated.
+//! Recovery ([`Store::open`]): load the newest recoverable checkpoint
+//! chain (full image + linked deltas, degrading past corruption), prune
+//! the unusable image suffix, replay the WAL tail from the chain tip's
+//! recorded `(segment, offset)` position, and physically truncate the log
+//! at the first torn or corrupt frame. The caller gets a
+//! [`RecoveryReport`]; the stats counters `recovery_frames_replayed` /
+//! `recovery_frames_discarded` / `recovery_images_discarded` are updated.
+//!
+//! Storage stays bounded via [`Store::run_retention`] (delete images and
+//! WAL segments strictly older than the newest *verified* chain) and
+//! [`Store::compact`] (fold a delta chain into a full image).
 
 use std::fmt;
 use std::fs;
@@ -25,10 +31,44 @@ use lsgraph_api::{fail_point, Edge, Graph};
 use lsgraph_core::{BatchOutcome, Config, GraphError, GraphSnapshot, LsGraph};
 
 use crate::checkpoint::{self, CheckpointMeta};
-use crate::wal::{self, Wal, WalOp};
+use crate::retention::{self, GcReport};
+use crate::segment::{self, SegmentedScan, SegmentedWal, WalPosition};
+use crate::wal::WalOp;
 
-/// Name of the write-ahead log inside a store directory.
+/// Name of the legacy single-file write-ahead log. A store directory laid
+/// out by an older build is migrated on open: `wal.log` becomes segment
+/// `wal.000000` and rotation proceeds from there.
 pub const WAL_FILE: &str = "wal.log";
+
+/// Tuning knobs for a [`Store`], all with conservative defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// Byte budget of one WAL segment; an append that would overflow the
+    /// active segment rotates to the next one first. Frames never split:
+    /// a frame larger than the budget gets a segment to itself.
+    pub segment_bytes: u64,
+    /// A checkpoint is written as a delta only while
+    /// `dirty_vertices <= delta_ratio * num_vertices`; above that, a full
+    /// image is cheaper to recover than a fat delta is to write.
+    pub delta_ratio: f64,
+    /// Maximum deltas chained on one full image before the next
+    /// checkpoint is forced full (bounds recovery's chain walk).
+    pub max_delta_chain: u64,
+    /// Run a retention pass ([`Store::run_retention`]) automatically after
+    /// every successful checkpoint.
+    pub auto_retention: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            segment_bytes: 8 * 1024 * 1024,
+            delta_ratio: 0.25,
+            max_delta_chain: 8,
+            auto_retention: false,
+        }
+    }
+}
 
 /// Errors from store operations: I/O from the durability layer, or a
 /// structural error surfaced by the engine's fallible batch API.
@@ -73,14 +113,20 @@ impl From<GraphError> for StoreError {
 /// What [`Store::open`] reconstructed and what it had to throw away.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// Id of the checkpoint image loaded, if any.
+    /// Id of the checkpoint chain tip loaded, if any.
     pub checkpoint_loaded: Option<u64>,
     /// WAL frames replayed through the batch pipeline.
     pub frames_replayed: u64,
     /// Truncation events in the WAL tail (1 if a torn/corrupt tail was cut).
     pub frames_discarded: u64,
-    /// Bytes discarded from the torn tail.
+    /// Bytes discarded from the torn tail (including unreachable later
+    /// segments).
     pub bytes_discarded: u64,
+    /// Checkpoint images discarded: corrupt fulls skipped on the way to a
+    /// valid base plus deltas past the first broken chain link.
+    pub images_discarded: u64,
+    /// Delta images applied on top of the base full image.
+    pub chain_len: u64,
     /// Edges in the graph after recovery completed.
     pub edges_restored: u64,
     /// Sequence number the next logged batch will carry — equivalently, the
@@ -88,37 +134,90 @@ pub struct RecoveryReport {
     pub next_seq: u64,
 }
 
-/// A durable [`LsGraph`]: WAL + checkpoints + recovery in one directory.
+/// The open delta chain: id of the image the next delta would link to and
+/// how many deltas already hang off the base full image.
+#[derive(Clone, Copy, Debug)]
+struct ChainState {
+    parent_id: u64,
+    len: u64,
+}
+
+/// A durable [`LsGraph`]: segmented WAL + checkpoint chains + recovery in
+/// one directory.
 pub struct Store {
     dir: PathBuf,
     graph: LsGraph,
-    wal: Wal,
+    wal: SegmentedWal,
     next_checkpoint_id: u64,
+    opts: StoreOptions,
+    /// `Some` while the next checkpoint may legally be a delta; `None`
+    /// forces it full (cold start, after a write error, or after
+    /// [`Store::begin_checkpoint`] claimed an id out of band).
+    chain: Option<ChainState>,
 }
 
 impl Store {
+    /// Opens the store at `dir` with default [`StoreOptions`]; see
+    /// [`Store::open_with`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::open_with`].
+    pub fn open(dir: &Path, n: usize, cfg: Config) -> Result<(Store, RecoveryReport), StoreError> {
+        Store::open_with(dir, n, cfg, StoreOptions::default())
+    }
+
     /// Opens the store at `dir` (created if missing), running recovery:
-    /// newest valid checkpoint, then WAL-tail replay, then torn-tail
-    /// truncation. `n` sizes a cold-start graph; an existing checkpoint's
-    /// own vertex count wins (the graph grows lazily past either bound).
+    /// newest recoverable checkpoint chain, then WAL-tail replay from the
+    /// chain tip's `(segment, offset)`, then torn-tail truncation. Images
+    /// past the usable chain (corrupt fulls, orphaned deltas) are pruned
+    /// so they cannot shadow or poison later checkpoints. `n` sizes a
+    /// cold-start graph; an existing image's own vertex count wins (the
+    /// graph grows lazily past either bound).
+    ///
+    /// A legacy single-file `wal.log` is migrated to segment `wal.000000`.
     ///
     /// # Errors
     ///
     /// I/O errors from the directory, WAL, or checkpoint files; a config
     /// rejected by the engine; or a replay failure from the batch pipeline.
     /// Individually corrupt checkpoint images are skipped, not errors.
-    pub fn open(dir: &Path, n: usize, cfg: Config) -> Result<(Store, RecoveryReport), StoreError> {
+    pub fn open_with(
+        dir: &Path,
+        n: usize,
+        cfg: Config,
+        opts: StoreOptions,
+    ) -> Result<(Store, RecoveryReport), StoreError> {
         fs::create_dir_all(dir)?;
-        let (mut graph, ckpt) = match checkpoint::load_newest_checkpoint(dir, cfg)? {
+        let legacy = dir.join(WAL_FILE);
+        let seg0 = segment::segment_file(dir, 0);
+        if legacy.exists() && !seg0.exists() {
+            fs::rename(&legacy, &seg0)?;
+        }
+        let (restored, info) = checkpoint::load_newest_chain(dir, cfg)?;
+        let (mut graph, ckpt) = match restored {
             Some((g, meta)) => (g, Some(meta)),
             None => (
                 LsGraph::try_with_config(n, cfg).map_err(GraphError::InvalidConfig)?,
                 None,
             ),
         };
-        let (wal_offset, mut next_seq) = ckpt.map_or((0, 0), |m| (m.wal_offset, m.next_seq));
-        let wal_path = dir.join(WAL_FILE);
-        let scan = wal::scan(&wal_path, wal_offset, next_seq)?;
+        if ckpt.is_some() {
+            prune_unusable_images(dir, info.base_id, info.tip_id)?;
+        }
+        let (start, mut next_seq) = ckpt.map_or((WalPosition::default(), 0), |m| {
+            (
+                WalPosition {
+                    segment: m.wal_segment,
+                    offset: m.wal_offset,
+                },
+                m.next_seq,
+            )
+        });
+        // From here on the dirty set tracks exactly what the loaded chain
+        // tip does **not** cover: replayed frames and future batches.
+        graph.clear_dirty();
+        let scan: SegmentedScan = segment::scan_from(dir, start, next_seq)?;
         let mut frames_replayed = 0u64;
         for frame in &scan.frames {
             fail_point!("recovery_replay");
@@ -132,13 +231,19 @@ impl Store {
         graph
             .stats()
             .record_recovery_frames_discarded(scan.frames_discarded);
+        graph
+            .stats()
+            .record_recovery_images_discarded(info.images_discarded);
         next_seq += frames_replayed;
-        let wal = Wal::open(&wal_path, scan.valid_len, next_seq)?;
+        let wal = SegmentedWal::open(dir, scan.end, next_seq, opts.segment_bytes)?;
+        graph.stats().record_wal_live_bytes(wal.live_bytes());
         let report = RecoveryReport {
             checkpoint_loaded: ckpt.map(|m| m.id),
             frames_replayed,
             frames_discarded: scan.frames_discarded,
             bytes_discarded: scan.bytes_discarded,
+            images_discarded: info.images_discarded,
+            chain_len: info.chain_len,
             edges_restored: graph.num_edges() as u64,
             next_seq,
         };
@@ -147,6 +252,12 @@ impl Store {
             graph,
             wal,
             next_checkpoint_id: ckpt.map_or(1, |m| m.id + 1),
+            opts,
+            // A surviving chain keeps accepting deltas across restarts.
+            chain: ckpt.map(|m| ChainState {
+                parent_id: m.id,
+                len: info.chain_len,
+            }),
         };
         Ok((store, report))
     }
@@ -186,24 +297,84 @@ impl Store {
     }
 
     /// Syncs the WAL, then writes a checkpoint image covering the entire
-    /// log so far. Recovery from this image replays nothing unless more
-    /// batches land afterwards. The log itself is kept (it stays a full
-    /// history); images carry the offset where replay must resume.
+    /// log so far. While a delta chain is open and the dirty working set
+    /// is within [`StoreOptions::delta_ratio`], the image is a
+    /// dirty-vertex **delta**; otherwise (cold chain, chain at
+    /// [`StoreOptions::max_delta_chain`], or a large working set) it is a
+    /// full image that roots a fresh chain. Recovery from the written
+    /// image replays nothing unless more batches land afterwards.
+    ///
+    /// Records `delta_checkpoints_written` and the
+    /// `checkpoint_dirty_vertices` gauge.
     ///
     /// # Errors
     ///
-    /// Propagates WAL sync and image-write I/O errors; a failed image write
-    /// never clobbers an older checkpoint.
+    /// Propagates WAL sync and image-write I/O errors; a failed image
+    /// write never clobbers an older checkpoint, and it closes the chain
+    /// so the next attempt is a self-contained full image.
     pub fn checkpoint(&mut self) -> Result<CheckpointMeta, StoreError> {
         self.wal.sync()?;
-        let meta = checkpoint::write_checkpoint(
-            &self.dir,
-            self.next_checkpoint_id,
-            &self.graph,
-            self.wal.logical_len(),
-            self.wal.next_seq(),
-        )?;
-        self.next_checkpoint_id = meta.id + 1;
+        let pos = self.wal.position();
+        let next_seq = self.wal.next_seq();
+        let id = self.next_checkpoint_id;
+        let dirty = self.graph.dirty_count() as u64;
+        let use_delta = self.chain.is_some_and(|c| {
+            c.len < self.opts.max_delta_chain
+                && dirty as f64 <= self.opts.delta_ratio * self.graph.num_vertices() as f64
+        });
+        let write = if use_delta {
+            let chain = self.chain.expect("use_delta implies an open chain");
+            let dirty_vs = self.graph.dirty_vertices();
+            checkpoint::write_delta_checkpoint(
+                &self.dir,
+                id,
+                chain.parent_id,
+                &self.graph,
+                &dirty_vs,
+                pos.segment,
+                pos.offset,
+                next_seq,
+            )
+            .map(|m| (m, Some(chain)))
+        } else {
+            checkpoint::write_checkpoint(
+                &self.dir,
+                id,
+                &self.graph,
+                pos.segment,
+                pos.offset,
+                next_seq,
+            )
+            .map(|m| (m, None))
+        };
+        let (meta, continued) = match write {
+            Ok(ok) => ok,
+            Err(e) => {
+                // A half-attempted image closes the chain: the next
+                // checkpoint must be full and self-contained.
+                self.chain = None;
+                return Err(e.into());
+            }
+        };
+        self.graph.clear_dirty();
+        self.graph.stats().record_checkpoint_dirty_vertices(dirty);
+        self.chain = Some(match continued {
+            Some(c) => {
+                self.graph.stats().record_delta_checkpoint_written();
+                ChainState {
+                    parent_id: id,
+                    len: c.len + 1,
+                }
+            }
+            None => ChainState {
+                parent_id: id,
+                len: 0,
+            },
+        });
+        self.next_checkpoint_id = id + 1;
+        if self.opts.auto_retention {
+            self.run_retention()?;
+        }
         Ok(meta)
     }
 
@@ -215,6 +386,12 @@ impl Store {
     /// image — recovery replays them from the WAL tail, exactly as with a
     /// synchronous [`Store::checkpoint`].
     ///
+    /// A background checkpoint is always a **full** image, and claiming it
+    /// closes any open delta chain (the pending image may land later or
+    /// never, so chaining deltas across it cannot be proven safe). The
+    /// dirty set is drained here: the frozen snapshot covers everything up
+    /// to the flip point.
+    ///
     /// The checkpoint id is claimed eagerly, so interleaved synchronous
     /// checkpoints never collide with a pending one. A pending checkpoint
     /// that is dropped unwritten leaves a gap in the id sequence, which
@@ -225,15 +402,65 @@ impl Store {
     /// Propagates WAL sync I/O errors; the snapshot itself cannot fail.
     pub fn begin_checkpoint(&mut self) -> Result<PendingCheckpoint, StoreError> {
         self.wal.sync()?;
+        let pos = self.wal.position();
         let pending = PendingCheckpoint {
             dir: self.dir.clone(),
             id: self.next_checkpoint_id,
             snapshot: self.graph.snapshot(),
-            wal_offset: self.wal.logical_len(),
+            wal_segment: pos.segment,
+            wal_offset: pos.offset,
             next_seq: self.wal.next_seq(),
         };
         self.next_checkpoint_id += 1;
+        self.chain = None;
+        self.graph.clear_dirty();
         Ok(pending)
+    }
+
+    /// One retention pass: verify the newest recoverable chain by loading
+    /// it from disk, then delete every image strictly older than its base
+    /// and every WAL segment below the chain tip's replay segment (the
+    /// active segment is never deleted). Deletes **nothing** unless a
+    /// chain verifies. Records `wal_segments_deleted` and refreshes the
+    /// `wal_live_bytes` gauge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the verification load or the unlinks.
+    pub fn run_retention(&mut self) -> Result<GcReport, StoreError> {
+        let mut report = GcReport::default();
+        let cut = retention::collect_image_garbage(&self.dir, *self.graph.config(), &mut report)?;
+        if let Some(cut) = cut {
+            let (n, bytes) = self
+                .wal
+                .delete_segments_below(cut.tip.wal_segment, self.graph.stats())?;
+            report.segments_deleted = n;
+            report.segment_bytes_deleted = bytes;
+        }
+        Ok(report)
+    }
+
+    /// Folds the current delta chain into a full image at the chain tip's
+    /// id (see [`retention::compact_chain`]); `Ok(None)` when there is no
+    /// chain to fold. After compaction the next checkpoint chains deltas
+    /// off the freshly compacted full image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the chain load or image write.
+    pub fn compact(&mut self) -> Result<Option<CheckpointMeta>, StoreError> {
+        match retention::compact_chain(&self.dir, *self.graph.config())? {
+            Some(meta) => {
+                if self.chain.is_some() {
+                    self.chain = Some(ChainState {
+                        parent_id: meta.id,
+                        len: 0,
+                    });
+                }
+                Ok(Some(meta))
+            }
+            None => Ok(None),
+        }
     }
 
     /// The recovered / live graph.
@@ -253,15 +480,47 @@ impl Store {
         &self.dir
     }
 
-    /// WAL length in bytes including group-commit-buffered frames.
+    /// Total live WAL bytes across all segments, including
+    /// group-commit-buffered frames in the active one.
     pub fn wal_len(&self) -> u64 {
-        self.wal.logical_len()
+        self.wal.live_bytes()
+    }
+
+    /// The append position: active segment index and offset.
+    pub fn wal_position(&self) -> WalPosition {
+        self.wal.position()
     }
 
     /// The sequence number the next logged batch will carry.
     pub fn next_seq(&self) -> u64 {
         self.wal.next_seq()
     }
+}
+
+/// Deletes image files recovery proved unusable: full images newer than
+/// the chosen base (they failed to load) and delta images newer than the
+/// applied tip (corrupt or orphaned past a broken link). Without this, a
+/// later checkpoint could reuse an orphan's id or a stale delta could
+/// masquerade as a link in a future chain.
+fn prune_unusable_images(dir: &Path, base_id: u64, tip_id: u64) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name.strip_prefix("checkpoint-") else {
+            continue;
+        };
+        let doomed = match (stem.strip_suffix(".img"), stem.strip_suffix(".dlt")) {
+            (Some(id), None) => id.parse::<u64>().map(|id| id > base_id),
+            (None, Some(id)) => id.parse::<u64>().map(|id| id > tip_id),
+            _ => continue,
+        };
+        if doomed == Ok(true) {
+            fs::remove_file(&path)?;
+        }
+    }
+    Ok(())
 }
 
 /// A checkpoint frozen by [`Store::begin_checkpoint`] but not yet written.
@@ -275,6 +534,7 @@ pub struct PendingCheckpoint {
     dir: PathBuf,
     id: u64,
     snapshot: GraphSnapshot,
+    wal_segment: u64,
     wal_offset: u64,
     next_seq: u64,
 }
@@ -285,9 +545,12 @@ impl PendingCheckpoint {
         self.id
     }
 
-    /// WAL byte offset the image covers; replay resumes here.
-    pub fn wal_offset(&self) -> u64 {
-        self.wal_offset
+    /// WAL position the image covers; replay resumes here.
+    pub fn wal_position(&self) -> WalPosition {
+        WalPosition {
+            segment: self.wal_segment,
+            offset: self.wal_offset,
+        }
     }
 
     /// The frozen state the image will serialize.
@@ -295,8 +558,8 @@ impl PendingCheckpoint {
         &self.snapshot
     }
 
-    /// Serializes the frozen snapshot into its image and updates the
-    /// manifest, consuming the pending checkpoint (and releasing the
+    /// Serializes the frozen snapshot into its (full) image and updates
+    /// the manifest, consuming the pending checkpoint (and releasing the
     /// snapshot's hold on retired block versions).
     ///
     /// # Errors
@@ -308,6 +571,7 @@ impl PendingCheckpoint {
             &self.dir,
             self.id,
             &self.snapshot,
+            self.wal_segment,
             self.wal_offset,
             self.next_seq,
         )
@@ -317,6 +581,8 @@ impl PendingCheckpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::{checkpoint_file, delta_file};
+    use crate::segment::segment_file;
     use std::collections::BTreeSet;
 
     fn tmpdir(name: &str) -> PathBuf {
@@ -436,6 +702,167 @@ mod tests {
     }
 
     #[test]
+    fn second_checkpoint_is_a_delta_and_recovery_walks_the_chain() {
+        let dir = tmpdir("delta-chain");
+        let opts = StoreOptions {
+            delta_ratio: 1.0, // always small enough
+            ..StoreOptions::default()
+        };
+        let batches = workload(12);
+        let third = batches.len() / 3;
+        {
+            let (mut store, _) = Store::open_with(&dir, 64, cfg(), opts).unwrap();
+            run(&mut store, &batches[..third]);
+            store.checkpoint().unwrap();
+            assert!(checkpoint_file(&dir, 1).exists(), "first image is full");
+            run(&mut store, &batches[third..2 * third]);
+            let meta = store.checkpoint().unwrap();
+            assert_eq!(meta.id, 2);
+            assert!(delta_file(&dir, 2).exists(), "second image is a delta");
+            assert!(!checkpoint_file(&dir, 2).exists());
+            let snap = store.graph().stats().snapshot();
+            assert_eq!(snap.delta_checkpoints_written, 1);
+            assert!(snap.checkpoint_dirty_vertices > 0);
+            run(&mut store, &batches[2 * third..]);
+            store.sync().unwrap();
+        }
+        let (store, report) = Store::open_with(&dir, 64, cfg(), opts).unwrap();
+        assert_eq!(report.checkpoint_loaded, Some(2));
+        assert_eq!(report.chain_len, 1);
+        assert_eq!(report.images_discarded, 0);
+        assert_matches_shadow(store.graph(), &shadow(&batches));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_delta_chain_forces_a_full_image() {
+        let dir = tmpdir("chain-cap");
+        let opts = StoreOptions {
+            delta_ratio: 1.0,
+            max_delta_chain: 1,
+            ..StoreOptions::default()
+        };
+        let batches = workload(9);
+        let (mut store, _) = Store::open_with(&dir, 64, cfg(), opts).unwrap();
+        run(&mut store, &batches[..3]);
+        store.checkpoint().unwrap(); // full (cold chain)
+        run(&mut store, &batches[3..6]);
+        store.checkpoint().unwrap(); // delta (chain len 0 -> 1)
+        run(&mut store, &batches[6..]);
+        store.checkpoint().unwrap(); // forced full (chain at cap)
+        assert!(checkpoint_file(&dir, 1).exists());
+        assert!(delta_file(&dir, 2).exists());
+        assert!(checkpoint_file(&dir, 3).exists(), "cap must force a full");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn large_dirty_ratio_forces_a_full_image() {
+        let dir = tmpdir("ratio");
+        let opts = StoreOptions {
+            delta_ratio: 0.0, // nothing is ever "small"
+            ..StoreOptions::default()
+        };
+        let batches = workload(6);
+        let (mut store, _) = Store::open_with(&dir, 64, cfg(), opts).unwrap();
+        run(&mut store, &batches[..3]);
+        store.checkpoint().unwrap();
+        run(&mut store, &batches[3..]);
+        store.checkpoint().unwrap();
+        assert!(checkpoint_file(&dir, 2).exists(), "ratio 0 forbids deltas");
+        assert!(!delta_file(&dir, 2).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_and_retention_bound_the_wal() {
+        let dir = tmpdir("retention");
+        let opts = StoreOptions {
+            segment_bytes: 512,
+            delta_ratio: 1.0,
+            ..StoreOptions::default()
+        };
+        let batches = workload(30);
+        let (mut store, _) = Store::open_with(&dir, 64, cfg(), opts).unwrap();
+        let mut shadowed = Vec::new();
+        for chunk in batches.chunks(8) {
+            run(&mut store, chunk);
+            shadowed.extend(chunk.iter().cloned());
+            store.checkpoint().unwrap();
+            store.run_retention().unwrap();
+        }
+        let snap = store.graph().stats().snapshot();
+        assert!(snap.wal_segments_rotated > 0, "512-byte budget must rotate");
+        assert!(snap.wal_segments_deleted > 0, "retention must reclaim");
+        // Bounded: live bytes never include segments below the newest
+        // chain tip, so only the tail since the last checkpoint remains.
+        let first_live = segment::list_segments(&dir).unwrap()[0];
+        assert!(
+            first_live >= store.wal_position().segment,
+            "all sealed segments below the tip are gone"
+        );
+        assert_eq!(snap.wal_live_bytes, store.wal_len());
+        drop(store);
+        let (store, report) = Store::open_with(&dir, 64, cfg(), opts).unwrap();
+        assert_eq!(report.frames_replayed, 0, "checkpoint covered everything");
+        assert_eq!(report.images_discarded, 0);
+        assert_matches_shadow(store.graph(), &shadow(&shadowed));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_folds_the_chain_in_place() {
+        let dir = tmpdir("compact");
+        let opts = StoreOptions {
+            delta_ratio: 1.0,
+            ..StoreOptions::default()
+        };
+        let batches = workload(12);
+        let third = batches.len() / 3;
+        let (mut store, _) = Store::open_with(&dir, 64, cfg(), opts).unwrap();
+        run(&mut store, &batches[..third]);
+        store.checkpoint().unwrap();
+        run(&mut store, &batches[third..2 * third]);
+        store.checkpoint().unwrap();
+        assert!(delta_file(&dir, 2).exists());
+        let meta = store.compact().unwrap().unwrap();
+        assert_eq!(meta.id, 2);
+        assert!(checkpoint_file(&dir, 2).exists());
+        assert!(!delta_file(&dir, 2).exists());
+        // The next checkpoint chains a delta off the compacted full.
+        run(&mut store, &batches[2 * third..]);
+        let meta = store.checkpoint().unwrap();
+        assert_eq!(meta.id, 3);
+        assert!(delta_file(&dir, 3).exists());
+        store.sync().unwrap();
+        drop(store);
+        let (store, report) = Store::open_with(&dir, 64, cfg(), opts).unwrap();
+        assert_eq!(report.checkpoint_loaded, Some(3));
+        assert_eq!(report.chain_len, 1);
+        assert_matches_shadow(store.graph(), &shadow(&batches));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_wal_log_is_migrated_to_segment_zero() {
+        let dir = tmpdir("legacy");
+        let batches = workload(6);
+        {
+            let (mut store, _) = Store::open(&dir, 64, cfg()).unwrap();
+            run(&mut store, &batches);
+            store.sync().unwrap();
+        }
+        // Rewind the layout to what an older build left behind.
+        std::fs::rename(segment_file(&dir, 0), dir.join(WAL_FILE)).unwrap();
+        let (store, report) = Store::open(&dir, 64, cfg()).unwrap();
+        assert!(segment_file(&dir, 0).exists());
+        assert!(!dir.join(WAL_FILE).exists());
+        assert_eq!(report.frames_replayed, batches.len() as u64);
+        assert_matches_shadow(store.graph(), &shadow(&batches));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn background_checkpoint_write_overlaps_the_writer() {
         let dir = tmpdir("bg-ckpt");
         let batches = workload(12);
@@ -479,6 +906,10 @@ mod tests {
             run(&mut store, &batches[3..]);
             let meta = store.checkpoint().unwrap();
             assert_eq!(meta.id, 2, "synchronous checkpoint skips the claimed id");
+            assert!(
+                checkpoint_file(&dir, 2).exists(),
+                "a claimed pending id closes the chain: next image is full"
+            );
         }
         let (store, report) = Store::open(&dir, 64, cfg()).unwrap();
         assert_eq!(report.checkpoint_loaded, Some(2));
@@ -497,7 +928,7 @@ mod tests {
             store.sync().unwrap();
         }
         // Physically tear the last frame mid-payload.
-        let wal_path = dir.join(WAL_FILE);
+        let wal_path = segment_file(&dir, 0);
         let bytes = std::fs::read(&wal_path).unwrap();
         std::fs::write(&wal_path, &bytes[..bytes.len() - 5]).unwrap();
         let (store, report) = Store::open(&dir, 64, cfg()).unwrap();
@@ -524,7 +955,7 @@ mod tests {
             run(&mut store, &batches);
             store.sync().unwrap();
         }
-        let wal_path = dir.join(WAL_FILE);
+        let wal_path = segment_file(&dir, 0);
         let bytes = std::fs::read(&wal_path).unwrap();
         std::fs::write(&wal_path, &bytes[..bytes.len() - 2]).unwrap();
         let tail = workload(3);

@@ -1,17 +1,23 @@
 //! Crash-recovery differential suite (requires `--features failpoints`).
 //!
 //! For every durability failpoint site (`wal_append`, `wal_sync`,
-//! `checkpoint_write`, `recovery_replay`), under four seeds each, the
-//! process is "killed" mid-stream — the injected panic unwinds out of the
-//! store and the store is dropped — and then recovered from disk. The
-//! recovered graph must be **oracle-equal** to an uninterrupted replay of
-//! exactly the batch prefix the recovery report claims
-//! (`RecoveryReport::next_seq`): same adjacency per vertex against a
-//! `BTreeSet` shadow, same exact `num_edges` as a fresh fault-free
-//! `LsGraph`, and `validate_structure` must hold.
+//! `checkpoint_write`, `recovery_replay`, and — under rotation + delta
+//! checkpoints + retention — `wal_rotate`, `delta_checkpoint`,
+//! `segment_gc`), under four seeds each, the process is "killed"
+//! mid-stream — the injected panic unwinds out of the store and the store
+//! is dropped — and then recovered from disk. The recovered graph must be
+//! **oracle-equal** to an uninterrupted replay of exactly the batch prefix
+//! the recovery report claims (`RecoveryReport::next_seq`): same adjacency
+//! per vertex against a `BTreeSet` shadow, same exact `num_edges` as a
+//! fresh fault-free `LsGraph`, and `validate_structure` must hold. A
+//! `wal_rotate` kill lands precisely in the seal-old/create-new window, so
+//! those runs cover a crash straddling a segment boundary; a `segment_gc`
+//! kill lands between individual GC unlinks (mid-GC).
 //!
 //! A separate torn-write test chops the WAL mid-frame and asserts the tail
-//! is discarded with a nonzero `recovery_frames_discarded`, and the
+//! is discarded with a nonzero `recovery_frames_discarded`; a corrupt
+//! middle-of-chain delta test asserts recovery degrades to the surviving
+//! chain prefix and the WAL tail replays the difference back; and the
 //! quarantine fuzz interleaves apply-fault quarantines with WAL appends,
 //! checkpoints, and repairs, asserting quarantined vertices never leak an
 //! adjacency record into a checkpoint image.
@@ -26,7 +32,7 @@ use std::sync::{Mutex, MutexGuard, Once};
 use lsgraph_api::failpoints::{self, FailMode};
 use lsgraph_api::{DynamicGraph, Edge, Graph};
 use lsgraph_core::{Config, LsGraph};
-use lsgraph_persist::{checkpoint, RecoveryReport, Store, WalOp, WAL_FILE};
+use lsgraph_persist::{checkpoint, segment, RecoveryReport, Store, StoreOptions, WalOp};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 /// Failpoint configuration is process-global; every test serializes here.
@@ -72,6 +78,28 @@ fn tmpdir(name: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("lsgraph-crash-{}-{name}", std::process::id()));
     std::fs::remove_dir_all(&d).ok();
     d
+}
+
+/// Full-image-only checkpoints: keeps the `checkpoint_write` evaluation
+/// count of the legacy harness stable and the quarantine audit's
+/// `load_checkpoint` applicable to every image.
+fn full_opts() -> StoreOptions {
+    StoreOptions {
+        delta_ratio: 0.0,
+        ..StoreOptions::default()
+    }
+}
+
+/// Aggressive rotation + delta chaining + retention, so the three new
+/// sites (`wal_rotate`, `delta_checkpoint`, `segment_gc`) are evaluated
+/// many times per run.
+fn rotating_opts() -> StoreOptions {
+    StoreOptions {
+        segment_bytes: 600,
+        delta_ratio: 1.0,
+        max_delta_chain: 8,
+        ..StoreOptions::default()
+    }
 }
 
 /// The deterministic update stream: every (site, seed) run sees the same
@@ -161,12 +189,27 @@ fn maintenance(store: &mut Store, i: usize) {
     }
 }
 
+/// Checkpoint + retention every fourth batch: under [`rotating_opts`] the
+/// first image is full and every later one a delta, each retention pass
+/// deletes several sealed segments, and the 600-byte budget rotates on
+/// nearly every append — plenty of evaluations for every new site.
+fn rotating_maintenance(store: &mut Store, i: usize) {
+    if i % 4 == 3 {
+        store.checkpoint().unwrap();
+        store.run_retention().unwrap();
+    } else if i % 2 == 1 {
+        store.sync().unwrap();
+    }
+}
+
 /// Nth-evaluation crash points per site: deterministic on any machine, and
-/// spread across the stream (and across checkpoint boundaries) by seed.
+/// spread across the stream (and across checkpoint/segment/GC boundaries)
+/// by seed.
 fn nth_for(site: &str, seed: u64) -> u64 {
     match site {
         "wal_append" => seed * 5,
-        "wal_sync" => seed * 3,
+        "wal_sync" | "wal_rotate" => seed * 3,
+        "segment_gc" => seed * 2,
         _ => seed,
     }
 }
@@ -174,13 +217,13 @@ fn nth_for(site: &str, seed: u64) -> u64 {
 /// Runs the stream with `site` armed, crashing wherever `Nth` fires; drops
 /// the store (the "kill"); optionally crashes again during the first
 /// recovery; then recovers cleanly and checks the oracle.
-fn crash_and_recover(site: &str, seed: u64) {
+fn crash_harness(site: &str, seed: u64, opts: StoreOptions, maint: fn(&mut Store, usize)) {
     quiet_failpoint_panics();
     failpoints::reset();
     let dir = tmpdir(&format!("{site}-{seed}"));
     let batches = stream();
 
-    let (mut store, _) = Store::open(&dir, N, cfg()).unwrap();
+    let (mut store, _) = Store::open_with(&dir, N, cfg(), opts).unwrap();
     failpoints::configure(site, FailMode::Nth(nth_for(site, seed)));
     let mut crashed_at = None;
     for (i, (op, b)) in batches.iter().enumerate() {
@@ -189,7 +232,7 @@ fn crash_and_recover(site: &str, seed: u64) {
                 WalOp::Insert => store.insert_batch(b).unwrap(),
                 WalOp::Delete => store.delete_batch(b).unwrap(),
             };
-            maintenance(&mut store, i);
+            maint(&mut store, i);
         }));
         if r.is_err() {
             crashed_at = Some(i);
@@ -201,7 +244,7 @@ fn crash_and_recover(site: &str, seed: u64) {
     // First recovery still has the site armed: for `recovery_replay` this
     // is where the crash lands; for the other sites the fault already
     // fired (Nth is one-shot) and recovery runs clean.
-    let first = catch_unwind(AssertUnwindSafe(|| Store::open(&dir, N, cfg())));
+    let first = catch_unwind(AssertUnwindSafe(|| Store::open_with(&dir, N, cfg(), opts)));
     if site == "recovery_replay" {
         assert!(
             crashed_at.is_none() && first.is_err(),
@@ -217,7 +260,7 @@ fn crash_and_recover(site: &str, seed: u64) {
     failpoints::configure(site, FailMode::Off);
 
     // Clean recovery: whatever prefix survived must replay exactly.
-    let (store, report) = Store::open(&dir, N, cfg()).unwrap();
+    let (store, report) = Store::open_with(&dir, N, cfg(), opts).unwrap();
     let k = report.next_seq as usize;
     assert!(k <= batches.len(), "{site}/{seed}: seq beyond the stream");
     if let Some(i) = crashed_at {
@@ -236,7 +279,14 @@ fn crash_and_recover(site: &str, seed: u64) {
 fn run_site_under_seeds(site: &str) {
     let _l = lock();
     for seed in 1..=4 {
-        crash_and_recover(site, seed);
+        crash_harness(site, seed, full_opts(), maintenance);
+    }
+}
+
+fn run_rotating_site_under_seeds(site: &str) {
+    let _l = lock();
+    for seed in 1..=4 {
+        crash_harness(site, seed, rotating_opts(), rotating_maintenance);
     }
 }
 
@@ -260,6 +310,84 @@ fn crashes_during_recovery_replay_recover_on_retry() {
     run_site_under_seeds("recovery_replay");
 }
 
+/// A `wal_rotate` kill lands in the seal-old/create-new window: the crash
+/// straddles a segment boundary and recovery must stitch the stream back
+/// together across it.
+#[test]
+fn crashes_at_wal_rotate_straddle_the_segment_boundary() {
+    run_rotating_site_under_seeds("wal_rotate");
+}
+
+#[test]
+fn crashes_at_delta_checkpoint_recover_to_a_durable_prefix() {
+    run_rotating_site_under_seeds("delta_checkpoint");
+}
+
+/// A `segment_gc` kill lands between individual unlinks of a retention
+/// pass; the half-collected directory must still recover.
+#[test]
+fn crashes_at_segment_gc_mid_pass_recover_to_a_durable_prefix() {
+    run_rotating_site_under_seeds("segment_gc");
+}
+
+/// A corrupt delta in the middle of the chain degrades recovery to the
+/// surviving prefix — and because the WAL was never truncated past the
+/// degraded tip, replay restores the *entire* stream anyway.
+#[test]
+fn corrupt_mid_chain_delta_degrades_and_wal_replay_restores() {
+    let _l = lock();
+    quiet_failpoint_panics();
+    failpoints::reset();
+    let dir = tmpdir("corrupt-delta");
+    let batches = stream();
+    let opts = StoreOptions {
+        delta_ratio: 1.0,
+        ..StoreOptions::default()
+    };
+    {
+        // Checkpoint every fourth batch but never run retention: the WAL
+        // keeps the full history, so a degraded chain can always catch up.
+        let (mut store, _) = Store::open_with(&dir, N, cfg(), opts).unwrap();
+        for (i, (op, b)) in batches.iter().enumerate() {
+            match op {
+                WalOp::Insert => store.insert_batch(b).unwrap(),
+                WalOp::Delete => store.delete_batch(b).unwrap(),
+            };
+            if i % 4 == 3 {
+                store.checkpoint().unwrap();
+            }
+        }
+        store.sync().unwrap();
+    }
+    // Image 1 is the full base; 2..=7 are deltas. Corrupt a middle one.
+    let victim = checkpoint::delta_file(&dir, 4);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let (store, report) = Store::open_with(&dir, N, cfg(), opts).unwrap();
+    assert!(
+        report.images_discarded >= 1,
+        "the corrupt delta (and its orphans) must be counted"
+    );
+    assert!(
+        report.chain_len < 6,
+        "the chain must have been cut short of the corruption"
+    );
+    assert!(report.frames_replayed > 0, "the WAL tail fills the gap");
+    assert_eq!(report.frames_discarded, 0);
+    assert!(store.graph().stats().snapshot().recovery_images_discarded >= 1);
+    assert_oracle_equal(store.graph(), &batches, "corrupt-delta");
+    drop(store);
+    // Open pruned the unusable images, so a second recovery is clean.
+    let (store, report) = Store::open_with(&dir, N, cfg(), opts).unwrap();
+    assert_eq!(report.images_discarded, 0, "pruned at the first reopen");
+    assert_oracle_equal(store.graph(), &batches, "corrupt-delta-reopen");
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn torn_trailing_frames_are_discarded_and_counted() {
     let _l = lock();
@@ -268,7 +396,7 @@ fn torn_trailing_frames_are_discarded_and_counted() {
     let dir = tmpdir("torn");
     let batches = stream();
     {
-        let (mut store, _) = Store::open(&dir, N, cfg()).unwrap();
+        let (mut store, _) = Store::open_with(&dir, N, cfg(), full_opts()).unwrap();
         for (i, (op, b)) in batches.iter().enumerate() {
             match op {
                 WalOp::Insert => store.insert_batch(b).unwrap(),
@@ -279,11 +407,11 @@ fn torn_trailing_frames_are_discarded_and_counted() {
         store.sync().unwrap();
     }
     // Tear the log mid-frame, as a real torn write would.
-    let wal_path = dir.join(WAL_FILE);
+    let wal_path = segment::segment_file(&dir, 0);
     let bytes = std::fs::read(&wal_path).unwrap();
     std::fs::write(&wal_path, &bytes[..bytes.len() - 7]).unwrap();
 
-    let (store, report) = Store::open(&dir, N, cfg()).unwrap();
+    let (store, report) = Store::open_with(&dir, N, cfg(), full_opts()).unwrap();
     assert_eq!(report.frames_discarded, 1, "one truncation event");
     assert!(report.bytes_discarded > 0);
     assert!(
@@ -295,7 +423,7 @@ fn torn_trailing_frames_are_discarded_and_counted() {
     assert_oracle_equal(store.graph(), &batches[..k], "torn");
     // The tail is physically gone: a second recovery is clean and equal.
     drop(store);
-    let (store, report) = Store::open(&dir, N, cfg()).unwrap();
+    let (store, report) = Store::open_with(&dir, N, cfg(), full_opts()).unwrap();
     assert_eq!(report.frames_discarded, 0);
     assert_oracle_equal(store.graph(), &batches[..k], "torn-reopen");
     std::fs::remove_dir_all(&dir).ok();
@@ -314,7 +442,7 @@ fn quarantined_vertices_never_leak_into_checkpoints() {
         failpoints::reset();
         let dir = tmpdir(&format!("quarantine-{seed}"));
         let batches = stream();
-        let (mut store, _) = Store::open(&dir, N, cfg()).unwrap();
+        let (mut store, _) = Store::open_with(&dir, N, cfg(), full_opts()).unwrap();
         let mut shadow = vec![BTreeSet::new(); N];
         let mut total_quarantined = 0u64;
         for (i, (op, b)) in batches.iter().enumerate() {
@@ -375,7 +503,7 @@ fn quarantined_vertices_never_leak_into_checkpoints() {
         // and equals the fault-free oracle.
         store.checkpoint().unwrap();
         drop(store);
-        let (store, report) = Store::open(&dir, N, cfg()).unwrap();
+        let (store, report) = Store::open_with(&dir, N, cfg(), full_opts()).unwrap();
         assert_eq!(report.frames_replayed, 0, "checkpoint covers everything");
         assert!(store.graph().quarantined_vertices().is_empty());
         assert_oracle_equal(store.graph(), &batches, &format!("quarantine/{seed}"));
