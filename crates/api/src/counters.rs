@@ -300,6 +300,21 @@ pub struct StructStats {
     /// check` treats a nonzero value as an invariant violation.
     pub epoch_reclaim_backlog: AtomicU64,
 
+    /// Standing-query subscriptions currently registered (gauge, not a
+    /// sum). Quarantined subscriptions still count until cancelled.
+    pub subscriptions_active: AtomicU64,
+    /// Result deltas delivered to standing-query subscribers (one per
+    /// subscription per applied batch).
+    pub deltas_delivered: AtomicU64,
+    /// Individual added/removed/changed entries carried by delivered
+    /// deltas. The amortized-cost argument for standing queries is that
+    /// this stays proportional to the batch, not the graph.
+    pub delta_entries_emitted: AtomicU64,
+    /// Subscription evaluations that panicked and were quarantined by the
+    /// delivery loop. Must stay zero in normal (fault-free) runs; `repro
+    /// check` treats a nonzero value as an invariant violation.
+    pub subscription_panics: AtomicU64,
+
     /// Nanoseconds in the batch sort+dedup phase.
     pub phase_sort_nanos: AtomicU64,
     /// Nanoseconds grouping keys into per-source runs.
@@ -355,6 +370,10 @@ impl StructStats {
             snapshots_retired: AtomicU64::new(0),
             cow_block_copies: AtomicU64::new(0),
             epoch_reclaim_backlog: AtomicU64::new(0),
+            subscriptions_active: AtomicU64::new(0),
+            deltas_delivered: AtomicU64::new(0),
+            delta_entries_emitted: AtomicU64::new(0),
+            subscription_panics: AtomicU64::new(0),
             phase_sort_nanos: AtomicU64::new(0),
             phase_group_nanos: AtomicU64::new(0),
             phase_apply_nanos: AtomicU64::new(0),
@@ -589,6 +608,29 @@ impl StructStats {
         self.epoch_reclaim_backlog.store(n, Ordering::Relaxed);
     }
 
+    /// Records the number of standing-query subscriptions currently
+    /// registered (gauge).
+    #[inline]
+    pub fn record_subscriptions_active(&self, n: u64) {
+        self.subscriptions_active.store(n, Ordering::Relaxed);
+    }
+
+    /// Records one result delta delivered to a subscriber carrying
+    /// `entries` added/removed/changed entries.
+    #[inline]
+    pub fn record_delta_delivered(&self, entries: u64) {
+        self.deltas_delivered.fetch_add(1, Ordering::Relaxed);
+        self.delta_entries_emitted
+            .fetch_add(entries, Ordering::Relaxed);
+    }
+
+    /// Records one subscription evaluation contained by the panic-safe
+    /// delivery loop.
+    #[inline]
+    pub fn record_subscription_panic(&self) {
+        self.subscription_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Starts a scoped timer attributing wall-clock time to `phase`; the
     /// elapsed nanoseconds are added when the returned guard drops. For the
     /// batch-pipeline phases the guard also carries a trace span (see
@@ -687,6 +729,14 @@ impl StructStats {
             .store(s.cow_block_copies, Ordering::Relaxed);
         self.epoch_reclaim_backlog
             .store(s.epoch_reclaim_backlog, Ordering::Relaxed);
+        self.subscriptions_active
+            .store(s.subscriptions_active, Ordering::Relaxed);
+        self.deltas_delivered
+            .store(s.deltas_delivered, Ordering::Relaxed);
+        self.delta_entries_emitted
+            .store(s.delta_entries_emitted, Ordering::Relaxed);
+        self.subscription_panics
+            .store(s.subscription_panics, Ordering::Relaxed);
         self.phase_sort_nanos
             .store(s.phase_sort_nanos, Ordering::Relaxed);
         self.phase_group_nanos
@@ -738,6 +788,10 @@ impl StructStats {
             snapshots_retired: self.snapshots_retired.load(Ordering::Relaxed),
             cow_block_copies: self.cow_block_copies.load(Ordering::Relaxed),
             epoch_reclaim_backlog: self.epoch_reclaim_backlog.load(Ordering::Relaxed),
+            subscriptions_active: self.subscriptions_active.load(Ordering::Relaxed),
+            deltas_delivered: self.deltas_delivered.load(Ordering::Relaxed),
+            delta_entries_emitted: self.delta_entries_emitted.load(Ordering::Relaxed),
+            subscription_panics: self.subscription_panics.load(Ordering::Relaxed),
             phase_sort_nanos: self.phase_sort_nanos.load(Ordering::Relaxed),
             phase_group_nanos: self.phase_group_nanos.load(Ordering::Relaxed),
             phase_apply_nanos: self.phase_apply_nanos.load(Ordering::Relaxed),
@@ -847,6 +901,14 @@ pub struct StructSnapshot {
     pub cow_block_copies: u64,
     /// See [`StructStats::epoch_reclaim_backlog`] (gauge).
     pub epoch_reclaim_backlog: u64,
+    /// See [`StructStats::subscriptions_active`] (gauge).
+    pub subscriptions_active: u64,
+    /// See [`StructStats::deltas_delivered`].
+    pub deltas_delivered: u64,
+    /// See [`StructStats::delta_entries_emitted`].
+    pub delta_entries_emitted: u64,
+    /// See [`StructStats::subscription_panics`].
+    pub subscription_panics: u64,
     /// See [`StructStats::phase_sort_nanos`].
     pub phase_sort_nanos: u64,
     /// See [`StructStats::phase_group_nanos`].
@@ -860,9 +922,10 @@ pub struct StructSnapshot {
 impl StructSnapshot {
     /// Difference `self - earlier` for monotonic counters, saturating at
     /// zero. The gauges `ria_max_ripple_span`, `ria_bound`,
-    /// `checkpoint_bytes`, `epoch_reclaim_backlog`, `wal_live_bytes`, and
-    /// `checkpoint_dirty_vertices` keep `self`'s value (a max and a
-    /// most-recent value do not subtract meaningfully).
+    /// `checkpoint_bytes`, `epoch_reclaim_backlog`, `wal_live_bytes`,
+    /// `checkpoint_dirty_vertices`, and `subscriptions_active` keep
+    /// `self`'s value (a max and a most-recent value do not subtract
+    /// meaningfully).
     pub fn since(self, earlier: StructSnapshot) -> StructSnapshot {
         StructSnapshot {
             vb_inline_hits: self.vb_inline_hits.saturating_sub(earlier.vb_inline_hits),
@@ -953,6 +1016,16 @@ impl StructSnapshot {
                 .cow_block_copies
                 .saturating_sub(earlier.cow_block_copies),
             epoch_reclaim_backlog: self.epoch_reclaim_backlog,
+            subscriptions_active: self.subscriptions_active,
+            deltas_delivered: self
+                .deltas_delivered
+                .saturating_sub(earlier.deltas_delivered),
+            delta_entries_emitted: self
+                .delta_entries_emitted
+                .saturating_sub(earlier.delta_entries_emitted),
+            subscription_panics: self
+                .subscription_panics
+                .saturating_sub(earlier.subscription_panics),
             phase_sort_nanos: self
                 .phase_sort_nanos
                 .saturating_sub(earlier.phase_sort_nanos),
@@ -976,7 +1049,7 @@ impl StructSnapshot {
     /// `(field name, value)` pairs in a fixed order — the serialization
     /// schema. Report writers and schema-stability tests both read this, so
     /// renaming a field here is a deliberate schema change.
-    pub fn fields(self) -> [(&'static str, u64); 42] {
+    pub fn fields(self) -> [(&'static str, u64); 46] {
         [
             ("vb_inline_hits", self.vb_inline_hits),
             ("vb_inline_shifts", self.vb_inline_shifts),
@@ -1019,6 +1092,10 @@ impl StructSnapshot {
             ("snapshots_retired", self.snapshots_retired),
             ("cow_block_copies", self.cow_block_copies),
             ("epoch_reclaim_backlog", self.epoch_reclaim_backlog),
+            ("subscriptions_active", self.subscriptions_active),
+            ("deltas_delivered", self.deltas_delivered),
+            ("delta_entries_emitted", self.delta_entries_emitted),
+            ("subscription_panics", self.subscription_panics),
             ("phase_sort_nanos", self.phase_sort_nanos),
             ("phase_group_nanos", self.phase_group_nanos),
             ("phase_apply_nanos", self.phase_apply_nanos),
@@ -1082,6 +1159,10 @@ impl StructSnapshot {
                 "snapshots_retired" => s.snapshots_retired = v,
                 "cow_block_copies" => s.cow_block_copies = v,
                 "epoch_reclaim_backlog" => s.epoch_reclaim_backlog = v,
+                "subscriptions_active" => s.subscriptions_active = v,
+                "deltas_delivered" => s.deltas_delivered = v,
+                "delta_entries_emitted" => s.delta_entries_emitted = v,
+                "subscription_panics" => s.subscription_panics = v,
                 "phase_sort_nanos" => s.phase_sort_nanos = v,
                 "phase_group_nanos" => s.phase_group_nanos = v,
                 "phase_apply_nanos" => s.phase_apply_nanos = v,
@@ -1217,7 +1298,7 @@ mod tests {
             .iter()
             .map(|(n, _)| *n)
             .collect();
-        assert_eq!(names.len(), 42);
+        assert_eq!(names.len(), 46);
         // A rename here must be an intentional schema change.
         assert!(names.contains(&"ria_cross_block_moves"));
         assert!(names.contains(&"lia_vertical_child_creates"));
@@ -1238,6 +1319,10 @@ mod tests {
         assert!(names.contains(&"snapshots_retired"));
         assert!(names.contains(&"cow_block_copies"));
         assert!(names.contains(&"epoch_reclaim_backlog"));
+        assert!(names.contains(&"subscriptions_active"));
+        assert!(names.contains(&"deltas_delivered"));
+        assert!(names.contains(&"delta_entries_emitted"));
+        assert!(names.contains(&"subscription_panics"));
         assert!(names.contains(&"phase_apply_nanos"));
     }
 }

@@ -44,7 +44,8 @@ use std::sync::Mutex;
 /// | `segment_gc` | retention GC deletes superseded segments/images |
 /// | `delta_checkpoint` | a dirty-vertex delta image is serialized to disk |
 /// | `spill_downgrade` | a sparse spill container downgrades to a lower tier |
-pub const SITES: [&str; 16] = [
+/// | `subscription_deliver` | a standing-query subscription evaluates its per-batch delta |
+pub const SITES: [&str; 17] = [
     "ria_rebuild",
     "lia_retrain",
     "hitree_vertical",
@@ -61,6 +62,7 @@ pub const SITES: [&str; 16] = [
     "segment_gc",
     "delta_checkpoint",
     "spill_downgrade",
+    "subscription_deliver",
 ];
 
 /// When a configured site fires.

@@ -54,13 +54,14 @@ pub const METRICS_SCHEMA: &str = "lsgraph-metrics-v1";
 /// [`StructSnapshot::fields`](crate::StructSnapshot::fields) only ever
 /// grows, which is what the `repro check --metrics` monotonicity gate
 /// asserts sample over sample.
-pub const GAUGE_FIELDS: [&str; 6] = [
+pub const GAUGE_FIELDS: [&str; 7] = [
     "ria_max_ripple_span",
     "ria_bound",
     "checkpoint_bytes",
     "epoch_reclaim_backlog",
     "wal_live_bytes",
     "checkpoint_dirty_vertices",
+    "subscriptions_active",
 ];
 
 /// Whether a `StructStats` field is a gauge (see [`GAUGE_FIELDS`]).
@@ -672,8 +673,8 @@ mod tests {
         stats.record_ria_ripple(2, 5, 6);
         stats.record_epoch_backlog(4);
         let s = r.sample();
-        // 42 struct fields minus 6 gauges; heap gauges only under count-alloc.
-        assert_eq!(s.counters.len(), 36);
+        // 46 struct fields minus 7 gauges; heap gauges only under count-alloc.
+        assert_eq!(s.counters.len(), 39);
         let base_gauges = GAUGE_FIELDS.len() + if heap_gauges().is_some() { 2 } else { 0 };
         assert_eq!(s.gauges.len(), base_gauges);
         assert_eq!(s.histograms.len(), 4);

@@ -7,12 +7,12 @@
 //! ```
 //!
 //! Experiments: `fig3 fig4 fig12 small ablation fig13 table2 table3 fig14
-//! fig15 fig16 fig17 table4 g500 durability mixed all`. Sizes scale with
+//! fig15 fig16 fig17 table4 g500 durability mixed standing all`. Sizes scale with
 //! `REPRO_SCALE` (extra powers of two), `REPRO_BASE` (log2 base vertex
 //! count, default 15), and `REPRO_TRIALS` (default 3).
 //!
 //! With `--json`, experiments that support it (`fig12`, `small`, `fig13`,
-//! `durability`, `mixed`) write a schema-stable `BENCH_<experiment>.json`
+//! `durability`, `mixed`, `standing`) write a schema-stable `BENCH_<experiment>.json`
 //! with per-engine throughput, phase timings, instrumentation counters,
 //! latency histograms, and footprints instead of printing a table (see
 //! EXPERIMENTS.md for the schema).
@@ -120,6 +120,7 @@ fn run_check(baseline_path: &str, metrics_violations: usize) -> ! {
         "fig13" => experiments::fig13_report(&scale),
         "durability" => experiments::durability_report(&scale),
         "mixed" => experiments::mixed_report(&scale),
+        "standing" => experiments::standing_report(&scale),
         other => {
             eprintln!("[repro] no check support for experiment '{other}'");
             std::process::exit(2);
@@ -171,7 +172,7 @@ fn main() {
     let scale = Scale::from_env();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig3|fig4|fig12|small|ablation|fig13|table2|table3|fig14|fig15|fig16|fig17|table4|g500|durability|mixed|all> [--json] [--trace out.json] [--metrics out.jsonl]\n       repro check --baseline BENCH_<experiment>.json [--metrics out.jsonl]"
+            "usage: repro <fig3|fig4|fig12|small|ablation|fig13|table2|table3|fig14|fig15|fig16|fig17|table4|g500|durability|mixed|standing|all> [--json] [--trace out.json] [--metrics out.jsonl]\n       repro check --baseline BENCH_<experiment>.json [--metrics out.jsonl]"
         );
         std::process::exit(2);
     }
@@ -222,6 +223,10 @@ fn main() {
                     emit(&experiments::mixed_report(&scale));
                     continue;
                 }
+                "standing" => {
+                    emit(&experiments::standing_report(&scale));
+                    continue;
+                }
                 other => {
                     eprintln!("[repro] no JSON mode for '{other}'; printing the table");
                 }
@@ -243,6 +248,7 @@ fn main() {
             "table4" => experiments::table4(&scale),
             "durability" => experiments::durability(&scale),
             "mixed" => experiments::mixed(&scale),
+            "standing" => experiments::standing(&scale),
             "sortledton" => experiments::sortledton(&scale),
             "verify" => experiments::verify(&scale),
             "g500" => experiments::g500(&scale),

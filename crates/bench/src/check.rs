@@ -44,7 +44,7 @@ use lsgraph_api::LatencySnapshot;
 /// counters (`apply_run_panics` and friends) belong here: a benchmark run
 /// with failpoints disabled must never quarantine a vertex, so any nonzero
 /// value means a *real* panic escaped into the batch pipeline.
-pub const INVARIANT_COUNTERS: [&str; 8] = [
+pub const INVARIANT_COUNTERS: [&str; 9] = [
     "ria_bound_exceeded",
     "lia_vertical_premature",
     "apply_run_panics",
@@ -60,10 +60,14 @@ pub const INVARIANT_COUNTERS: [&str; 8] = [
     // Every experiment drops its snapshots and reclaims before sampling
     // stats, so a lingering backlog means retired block versions leaked.
     "epoch_reclaim_backlog",
+    // Standing-query delivery runs with failpoints disabled in benchmarks,
+    // so any quarantined subscription means a maintainer genuinely
+    // panicked while absorbing a batch.
+    "subscription_panics",
 ];
 
 /// Counters gated against the baseline with tolerance (see module docs).
-pub const GATED_COUNTERS: [&str; 13] = [
+pub const GATED_COUNTERS: [&str; 15] = [
     "ria_rebuilds",
     "ria_ripples",
     "lia_model_retrains",
@@ -77,6 +81,8 @@ pub const GATED_COUNTERS: [&str; 13] = [
     "snapshots_taken",
     "snapshots_retired",
     "cow_block_copies",
+    "deltas_delivered",
+    "delta_entries_emitted",
 ];
 
 /// Latency histograms whose counts are gated by exact equality.
@@ -524,6 +530,7 @@ mod tests {
             kernels: Vec::new(),
             durability: None,
             mixed: None,
+            standing: None,
         }
     }
 
@@ -778,6 +785,41 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].kind, ViolationKind::Regression);
         assert_eq!(v[0].counter, "cow_block_copies");
+    }
+
+    #[test]
+    fn subscription_panic_is_an_invariant() {
+        let b = report(vec![cell("LSGraph", Some(StructSnapshot::default()))]);
+        let panicked = StructSnapshot {
+            subscription_panics: 1,
+            ..StructSnapshot::default()
+        };
+        let c = report(vec![cell("LSGraph", Some(panicked))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Invariant);
+        assert_eq!(v[0].counter, "subscription_panics");
+    }
+
+    #[test]
+    fn delta_volumes_are_gated() {
+        let base = StructSnapshot {
+            deltas_delivered: 100,
+            delta_entries_emitted: 2_000,
+            ..StructSnapshot::default()
+        };
+        let blown = StructSnapshot {
+            deltas_delivered: 1_000,
+            delta_entries_emitted: 20_000,
+            ..StructSnapshot::default()
+        };
+        let b = report(vec![cell("LSGraph", Some(base))]);
+        let c = report(vec![cell("LSGraph", Some(blown))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.kind == ViolationKind::Regression));
+        assert!(v.iter().any(|x| x.counter == "deltas_delivered"));
+        assert!(v.iter().any(|x| x.counter == "delta_entries_emitted"));
     }
 
     #[test]

@@ -138,6 +138,7 @@ fn measure_cell(
         kernels: Vec::new(),
         durability: None,
         mixed: None,
+        standing: None,
     }
 }
 
@@ -426,6 +427,7 @@ pub fn fig13_report(scale: &Scale) -> BenchReport {
                 ],
                 durability: None,
                 mixed: None,
+                standing: None,
             });
         }
     }
@@ -895,6 +897,7 @@ fn durability_cell(
             wal_live_bytes: cell_stats.wal_live_bytes,
         }),
         mixed: None,
+        standing: None,
     };
     std::fs::remove_dir_all(&dir).ok();
     report
@@ -1076,6 +1079,7 @@ fn rotation_cell(
             wal_live_bytes: wal_live,
         }),
         mixed: None,
+        standing: None,
     };
     std::fs::remove_dir_all(&dir).ok();
     report
@@ -1311,6 +1315,7 @@ fn mixed_cell(
             cow_block_copies: ss.cow_block_copies,
             final_backlog: backlog as u64,
         }),
+        standing: None,
     }
 }
 
@@ -1365,6 +1370,235 @@ pub fn mixed(scale: &Scale) {
             reader.p90(),
             reader.p99(),
             m.cow_block_copies,
+        );
+    }
+}
+
+/// Number of standing subscriptions registered in the `standing` experiment
+/// (one per query kind, with k-hop and membership sharing the source).
+const STANDING_SUBS: usize = 4;
+
+/// Window size (in batches) of the windowed standing queries.
+const STANDING_WINDOW: usize = 4;
+
+/// Measures one standing-query cell at batch size `bs`: four subscriptions
+/// (2-hop neighborhood, windowed edge count, windowed triangle count,
+/// component membership) are registered through a [`SubscriptionHub`], then
+/// the writer streams `rounds` symmetric update batches (a delete round
+/// every third). After each batch the cell times two paths over the *same*
+/// graph state:
+///
+/// * **delivery** — `hub.quiesce()`: the worker applies the batch to every
+///   incremental maintainer and emits the per-subscription [`ResultDelta`];
+/// * **recompute** — the four from-scratch oracles (fresh BFS, fresh label
+///   propagation, window rescans).
+///
+/// Each subscription's materialized result is asserted equal to its oracle
+/// every round, so the reported speedup is over a verified-identical
+/// answer. Counters stay deterministic: exactly one snapshot per batch
+/// (taken by the hook), `STANDING_SUBS` deltas per batch, and an
+/// end-of-cell quiescence that must drain the epoch backlog to zero.
+fn standing_cell(
+    dataset: &str,
+    n: usize,
+    base: &[Edge],
+    gscale: u32,
+    shift: u32,
+    bs: usize,
+    trials: usize,
+) -> EngineReport {
+    use lsgraph_core::BatchKind;
+    use lsgraph_queries::{BatchWindow, StandingQuery, SubscriptionHub};
+
+    let rounds = 8 * trials.max(1);
+    let cfg = crate::runner::scaled_config(shift);
+    let mut g = LsGraph::from_edges(n, base, cfg);
+    g.reset_instrumentation();
+
+    let src = max_degree_vertex(&g);
+    let queries = [
+        StandingQuery::KHop { src, k: 2 },
+        StandingQuery::WindowedEdgeCount {
+            window: STANDING_WINDOW,
+        },
+        StandingQuery::WindowedTriangleCount {
+            window: STANDING_WINDOW,
+        },
+        StandingQuery::ComponentMembership { src },
+    ];
+    assert_eq!(queries.len(), STANDING_SUBS);
+
+    let hub = SubscriptionHub::attach(&mut g);
+    let subs: Vec<_> = queries.iter().map(|&q| hub.subscribe(&g, q)).collect();
+
+    // Mirror of the registry's sliding window, fed the same batches, so the
+    // windowed oracles see the same history the maintainers do.
+    let mut oracle_window = BatchWindow::new(STANDING_WINDOW);
+
+    let mut ins = Duration::ZERO;
+    let mut del = Duration::ZERO;
+    let mut ins_edges = 0usize;
+    let mut del_edges = 0usize;
+    let mut delivery = Duration::ZERO;
+    let mut recompute = Duration::ZERO;
+    for t in 0..rounds {
+        // Symmetric batches keep the BFS/CC kernels (which follow out-edges)
+        // and the union-find maintainer (which is undirected) in agreement.
+        let batch = sym(&update_batch(gscale, bs, 1_000 + t as u64));
+        let kind = if t % 3 == 2 {
+            del_edges += batch.len();
+            let (_, d) = time(|| g.delete_batch(&batch));
+            del += d;
+            BatchKind::Delete
+        } else {
+            ins_edges += batch.len();
+            let (_, d) = time(|| g.insert_batch(&batch));
+            ins += d;
+            BatchKind::Insert
+        };
+        oracle_window.push(g.batch_seq(), kind, &batch);
+
+        // Incremental path: the worker delivers this batch to all four
+        // maintainers and diffs their materialized results.
+        let (_, d) = time(|| hub.quiesce());
+        delivery += d;
+
+        // From-scratch path: the full kernels on the same state.
+        let (fresh, d) = time(|| {
+            queries
+                .iter()
+                .map(|q| q.oracle(&g, &oracle_window))
+                .collect::<Vec<_>>()
+        });
+        recompute += d;
+        for ((sub, want), q) in subs.iter().zip(&fresh).zip(&queries) {
+            let got = sub.result();
+            if &got != want {
+                let missing: Vec<_> = want
+                    .iter()
+                    .filter(|(k, v)| got.get(k) != Some(v))
+                    .take(8)
+                    .collect();
+                let extra: Vec<_> = got
+                    .iter()
+                    .filter(|(k, v)| want.get(k) != Some(v))
+                    .take(8)
+                    .collect();
+                panic!(
+                    "standing/{dataset}/bs={bs}: {q:?} diverged from oracle at batch {t}: got {} entries want {}; missing(first8)={missing:?} extra(first8)={extra:?}",
+                    got.len(), want.len()
+                );
+            }
+        }
+    }
+
+    // Quiescence: the worker holds no snapshot after quiesce, so the
+    // retired-version pool must drain completely.
+    hub.quiesce();
+    g.reclaim_epochs();
+    let backlog = g.epoch_backlog();
+    assert_eq!(
+        backlog, 0,
+        "standing/{dataset}/bs={bs}: epoch backlog leaked"
+    );
+    if let Err(e) = g.validate_structure() {
+        panic!("structure invalid after standing/{dataset}/bs={bs}: {e}");
+    }
+
+    // Sampled while all four handles are live: the gauge must read 4.
+    let ss = g.struct_stats().expect("struct stats");
+    assert_eq!(ss.subscriptions_active, STANDING_SUBS as u64);
+    assert_eq!(
+        ss.deltas_delivered,
+        (STANDING_SUBS * rounds) as u64,
+        "standing/{dataset}/bs={bs}: every batch reaches every subscription"
+    );
+    assert_eq!(ss.subscription_panics, 0);
+
+    let footprint = measure_footprint(&g);
+    let latency = g.latency_stats();
+    drop(subs);
+    hub.shutdown();
+
+    EngineReport {
+        engine: "LSGraph+Standing".to_string(),
+        dataset: dataset.to_string(),
+        batch_size: bs,
+        insert_eps: ins_edges as f64 / ins.as_secs_f64().max(1e-12),
+        delete_eps: del_edges as f64 / del.as_secs_f64().max(1e-12),
+        insert_nanos: ins.as_nanos() as u64,
+        delete_nanos: del.as_nanos() as u64,
+        counters: None,
+        struct_stats: Some(ss),
+        footprint: Some(footprint),
+        latency,
+        kernels: Vec::new(),
+        durability: None,
+        mixed: None,
+        standing: Some(crate::report::StandingReport {
+            subscriptions: STANDING_SUBS as u64,
+            batches: rounds as u64,
+            deltas_delivered: ss.deltas_delivered,
+            delta_entries: ss.delta_entries_emitted,
+            delivery_nanos: delivery.as_nanos() as u64,
+            recompute_nanos: recompute.as_nanos() as u64,
+            speedup: recompute.as_secs_f64() / delivery.as_secs_f64().max(1e-12),
+            subscription_panics: ss.subscription_panics,
+            final_backlog: backlog as u64,
+        }),
+    }
+}
+
+/// Standing-query experiment (schema v7): per-batch incremental delta
+/// delivery vs from-scratch recomputation for four standing subscriptions,
+/// across batch sizes on OR. Every delivered result is asserted equal to
+/// the from-scratch oracle before it is timed into the report.
+pub fn standing_report(scale: &Scale) -> BenchReport {
+    let p = DatasetProfile::by_name("OR").expect("profile exists");
+    let shift = shift_for(&p, scale);
+    let gscale = p.log_vertices - shift;
+    let n = p.scaled_vertices(shift);
+    // Symmetrized like every analytics experiment: the BFS/CC kernels (and
+    // the dense edge_map direction) assume an undirected graph, and the
+    // streamed batches are symmetrized too, so symmetry is an invariant.
+    let base = sym(&p.generate(shift, 42));
+    let engines = scale
+        .batch_sizes()
+        .into_iter()
+        .map(|bs| standing_cell(p.name, n, &base, gscale, shift, bs, scale.trials))
+        .collect();
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        experiment: "standing".to_string(),
+        base: scale.base,
+        shift: scale.shift,
+        trials: scale.trials,
+        engines,
+    }
+}
+
+/// Standing-query experiment, human-readable table: delta volume and the
+/// delivery-vs-recompute speedup per batch size.
+pub fn standing(scale: &Scale) {
+    println!(
+        "# standing: incremental delta delivery vs full recomputation (OR, {STANDING_SUBS} subscriptions, window={STANDING_WINDOW})"
+    );
+    println!(
+        "{:>10}{:>10}{:>12}{:>14}{:>14}{:>10}{:>10}",
+        "batch", "deltas", "entries", "deliver-ms", "recomp-ms", "speedup", "panics"
+    );
+    let r = standing_report(scale);
+    for e in &r.engines {
+        let s = e.standing.as_ref().expect("standing cell");
+        println!(
+            "{:>10}{:>10}{:>12}{:>14.2}{:>14.2}{:>10}{:>10}",
+            e.batch_size,
+            s.deltas_delivered,
+            s.delta_entries,
+            s.delivery_nanos as f64 / 1e6,
+            s.recompute_nanos as f64 / 1e6,
+            format!("{:.1}x", s.speedup),
+            s.subscription_panics,
         );
     }
 }
@@ -1528,6 +1762,38 @@ mod tests {
         }
         // The report round-trips through the schema v5 JSON, and a
         // self-comparison under the regression gate is clean.
+        let back = crate::report::BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        let v = crate::check::compare(&r, &back, crate::check::CheckOptions::default());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn smoke_standing() {
+        let scale = Scale::tiny();
+        let r = standing_report(&scale);
+        assert!(!r.engines.is_empty());
+        let rounds = 8 * scale.trials.max(1) as u64;
+        for e in &r.engines {
+            // standing_cell itself asserts every delivered result equals the
+            // from-scratch oracle; here we pin the deterministic volumes.
+            let s = e.standing.as_ref().expect("standing payload");
+            assert_eq!(s.subscriptions, STANDING_SUBS as u64);
+            assert_eq!(s.batches, rounds);
+            assert_eq!(s.deltas_delivered, STANDING_SUBS as u64 * rounds);
+            assert!(s.delta_entries > 0, "deltas must carry entries");
+            assert_eq!(s.subscription_panics, 0);
+            assert_eq!(s.final_backlog, 0);
+            let ss = e.struct_stats.expect("struct stats");
+            assert_eq!(ss.subscriptions_active, STANDING_SUBS as u64);
+            // Exactly one snapshot per batch (taken by the hook), all
+            // retired by the end-of-cell quiescence.
+            assert_eq!(ss.snapshots_taken, rounds);
+            assert_eq!(ss.snapshots_retired, rounds);
+            assert_eq!(ss.epoch_reclaim_backlog, 0);
+        }
+        // Round-trips through the schema v7 JSON and self-compares clean
+        // under the regression gate.
         let back = crate::report::BenchReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
         let v = crate::check::compare(&r, &back, crate::check::CheckOptions::default());

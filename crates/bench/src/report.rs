@@ -47,7 +47,14 @@ use lsgraph_api::{CounterSnapshot, HistogramSnapshot, LatencySnapshot, StructSna
 /// `wal_live_bytes` gauges to the `durability` object, mirroring the new
 /// `struct_stats` counters of the same names. Additive: v1–v5 documents
 /// parse with the new `durability` fields at zero.
-pub const SCHEMA_VERSION: u32 = 6;
+///
+/// v7 adds the standing-query subscription layer: the subscription counters
+/// (`subscriptions_active`, `deltas_delivered`, `delta_entries_emitted`,
+/// `subscription_panics`) to `struct_stats`, and a per-engine `standing`
+/// object (delta-delivery vs full-recomputation cost) emitted by the
+/// `standing` experiment. Additive: v1–v6 documents parse with the counters
+/// at zero and `standing` as `None`.
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Memory footprint of one engine after the measured updates (schema v2).
 #[derive(Clone, Debug, PartialEq)]
@@ -127,6 +134,38 @@ pub struct MixedReport {
     pub final_backlog: u64,
 }
 
+/// Standing-query measurements for one engine cell (schema v7; only the
+/// `standing` experiment populates it). Compares incremental per-batch
+/// delta delivery against re-running the full kernels after every batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StandingReport {
+    /// Standing queries registered for the cell.
+    pub subscriptions: u64,
+    /// Update batches committed while the subscriptions were live.
+    pub batches: u64,
+    /// Result deltas delivered (one per live subscription per batch, plus
+    /// registration bootstraps; deterministic and gateable).
+    pub deltas_delivered: u64,
+    /// Total added/removed/changed entries across those deltas
+    /// (deterministic and gateable).
+    pub delta_entries: u64,
+    /// Wall time spent delivering deltas incrementally (the worker's
+    /// drain time across all batches).
+    pub delivery_nanos: u64,
+    /// Wall time re-running every subscription's from-scratch oracle after
+    /// every batch — what the subscriptions replace.
+    pub recompute_nanos: u64,
+    /// `recompute_nanos / delivery_nanos` (0 when delivery took no
+    /// measurable time).
+    pub speedup: f64,
+    /// Delivery panics — 0 by the quarantine invariant, gated by
+    /// `repro check`.
+    pub subscription_panics: u64,
+    /// Epoch-reclamation backlog after the hub quiesced and reclaim ran —
+    /// 0 by the quiescence invariant, gated by `repro check`.
+    pub final_backlog: u64,
+}
+
 /// Wall time of one analytics kernel on one engine (schema v2).
 #[derive(Clone, Debug, PartialEq)]
 pub struct KernelTime {
@@ -172,6 +211,9 @@ pub struct EngineReport {
     /// Concurrent reader/writer measurements (schema v5; None everywhere
     /// except the `mixed` experiment and in v1–v4 documents).
     pub mixed: Option<MixedReport>,
+    /// Standing-query measurements (schema v7; None everywhere except the
+    /// `standing` experiment and in v1–v6 documents).
+    pub standing: Option<StandingReport>,
 }
 
 /// A full experiment report.
@@ -354,6 +396,32 @@ impl BenchReport {
                     w.close('}');
                 }
             }
+            w.field("standing");
+            match &e.standing {
+                None => w.raw("null"),
+                Some(s) => {
+                    w.open('{');
+                    w.field("subscriptions");
+                    w.raw(&s.subscriptions.to_string());
+                    w.field("batches");
+                    w.raw(&s.batches.to_string());
+                    w.field("deltas_delivered");
+                    w.raw(&s.deltas_delivered.to_string());
+                    w.field("delta_entries");
+                    w.raw(&s.delta_entries.to_string());
+                    w.field("delivery_nanos");
+                    w.raw(&s.delivery_nanos.to_string());
+                    w.field("recompute_nanos");
+                    w.raw(&s.recompute_nanos.to_string());
+                    w.field("speedup");
+                    w.raw(&fmt_f64(s.speedup));
+                    w.field("subscription_panics");
+                    w.raw(&s.subscription_panics.to_string());
+                    w.field("final_backlog");
+                    w.raw(&s.final_backlog.to_string());
+                    w.close('}');
+                }
+            }
             w.close('}');
         }
         w.close(']');
@@ -488,6 +556,28 @@ impl BenchReport {
                                 cow_block_copies: get(mo, "cow_block_copies")?
                                     .as_u64("cow_block_copies")?,
                                 final_backlog: get(mo, "final_backlog")?.as_u64("final_backlog")?,
+                            })
+                        }
+                    },
+                    // v7 field: absent in v1–v6 documents.
+                    standing: match get_opt(o, "standing") {
+                        None | Some(Json::Null) => None,
+                        Some(s) => {
+                            let so = s.as_object("standing")?;
+                            Some(StandingReport {
+                                subscriptions: get(so, "subscriptions")?.as_u64("subscriptions")?,
+                                batches: get(so, "batches")?.as_u64("batches")?,
+                                deltas_delivered: get(so, "deltas_delivered")?
+                                    .as_u64("deltas_delivered")?,
+                                delta_entries: get(so, "delta_entries")?.as_u64("delta_entries")?,
+                                delivery_nanos: get(so, "delivery_nanos")?
+                                    .as_u64("delivery_nanos")?,
+                                recompute_nanos: get(so, "recompute_nanos")?
+                                    .as_u64("recompute_nanos")?,
+                                speedup: get(so, "speedup")?.as_f64("speedup")?,
+                                subscription_panics: get(so, "subscription_panics")?
+                                    .as_u64("subscription_panics")?,
+                                final_backlog: get(so, "final_backlog")?.as_u64("final_backlog")?,
                             })
                         }
                     },
@@ -974,6 +1064,17 @@ mod tests {
                         cow_block_copies: 4_100,
                         final_backlog: 0,
                     }),
+                    standing: Some(StandingReport {
+                        subscriptions: 4,
+                        batches: 24,
+                        deltas_delivered: 100,
+                        delta_entries: 512,
+                        delivery_nanos: 90_000,
+                        recompute_nanos: 2_700_000,
+                        speedup: 30.0,
+                        subscription_panics: 0,
+                        final_backlog: 0,
+                    }),
                 },
                 EngineReport {
                     engine: "Aspen".to_string(),
@@ -995,6 +1096,7 @@ mod tests {
                     kernels: Vec::new(),
                     durability: None,
                     mixed: None,
+                    standing: None,
                 },
             ],
         }
@@ -1044,7 +1146,8 @@ mod tests {
                 "latency",
                 "kernels",
                 "durability",
-                "mixed"
+                "mixed",
+                "standing"
             ]
         );
         let dur = get(e0, "durability").unwrap().as_object("dur").unwrap();
@@ -1080,6 +1183,22 @@ mod tests {
                 "reader_ops_per_sec",
                 "snapshots_taken",
                 "cow_block_copies",
+                "final_backlog"
+            ]
+        );
+        let standing = get(e0, "standing").unwrap().as_object("standing").unwrap();
+        let standing_keys: Vec<&str> = standing.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            standing_keys,
+            [
+                "subscriptions",
+                "batches",
+                "deltas_delivered",
+                "delta_entries",
+                "delivery_nanos",
+                "recompute_nanos",
+                "speedup",
+                "subscription_panics",
                 "final_backlog"
             ]
         );
@@ -1160,7 +1279,7 @@ mod tests {
         // Simulate a v5 document: version 5 and no rotation/delta fields.
         let doc = sample()
             .to_json()
-            .replacen("\"schema_version\": 6", "\"schema_version\": 5", 1);
+            .replacen("\"schema_version\": 7", "\"schema_version\": 5", 1);
         // Splice inside the durability object (struct_stats carries fields
         // with the same names; those stay).
         let dur = doc.find("\"durability\"").unwrap();
@@ -1183,7 +1302,7 @@ mod tests {
     fn future_schema_versions_are_rejected() {
         let doc = sample()
             .to_json()
-            .replacen("\"schema_version\": 6", "\"schema_version\": 7", 1);
+            .replacen("\"schema_version\": 7", "\"schema_version\": 8", 1);
         let err = BenchReport::from_json(&doc).unwrap_err();
         assert!(err.contains("unsupported schema_version"), "{err}");
     }

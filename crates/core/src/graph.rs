@@ -60,6 +60,50 @@ pub struct LsGraph {
     /// (`take_dirty_vertices`) captures exactly the vertices that changed
     /// since the previous freeze.
     dirty: BTreeSet<VertexId>,
+    /// Batches committed so far; stamps [`BatchEvent::seq`].
+    batch_seq: u64,
+    /// Post-batch observers, notified in registration order after every
+    /// committed batch (see [`PostBatchHook`]).
+    hooks: Vec<Box<dyn PostBatchHook>>,
+}
+
+/// Which pipeline a committed batch went through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchKind {
+    /// The batch inserted edges ([`LsGraph::try_insert_batch`]).
+    Insert,
+    /// The batch deleted edges ([`LsGraph::try_delete_batch`]).
+    Delete,
+}
+
+/// What a post-batch hook observes: the batch that just committed, its
+/// outcome, and a monotone sequence number ordering all batches applied to
+/// this graph.
+pub struct BatchEvent<'a> {
+    /// 1-based position of this batch in the graph's update stream.
+    pub seq: u64,
+    /// Insert or delete pipeline.
+    pub kind: BatchKind,
+    /// The raw batch as passed by the caller (duplicates and no-ops
+    /// included).
+    pub batch: &'a [Edge],
+    /// Per-vertex fault accounting for the batch.
+    pub outcome: &'a BatchOutcome,
+}
+
+/// Observer invoked after every committed batch, while the writer still
+/// holds the graph.
+///
+/// The hook runs on the writer thread, so implementations that do real work
+/// should grab what they need — typically an O(1) [`LsGraph::snapshot`] — and
+/// hand off to another thread rather than computing inline. The standing-query
+/// layer (`lsgraph-queries`) is the canonical consumer.
+///
+/// `Send + Sync` because [`LsGraph`] itself is shared across the parallel
+/// apply tasks; hooks are only ever *called* from the writer thread.
+pub trait PostBatchHook: Send + Sync {
+    /// Called once per committed batch, in `seq` order.
+    fn on_batch(&mut self, graph: &LsGraph, event: &BatchEvent<'_>);
 }
 
 /// Result of one panic-isolated parallel apply pass.
@@ -152,6 +196,8 @@ impl LsGraph {
             quarantined: BTreeSet::new(),
             epochs: Arc::new(EpochRegistry::new()),
             dirty: BTreeSet::new(),
+            batch_seq: 0,
+            hooks: Vec::new(),
         })
     }
 
@@ -425,12 +471,14 @@ impl LsGraph {
         // mutations were never counted), so the accounting stays exact.
         self.num_edges = self.num_edges + r.applied - edges_lost;
         self.epochs.reclaim(&self.stats);
-        Ok(BatchOutcome {
+        let outcome = BatchOutcome {
             applied: r.applied,
             quarantined: r.panicked.iter().map(|&(v, _)| v).collect(),
             edges_lost,
             skipped_quarantined: r.skipped_quarantined,
-        })
+        };
+        self.notify_hooks(BatchKind::Insert, batch, &outcome);
+        Ok(outcome)
     }
 
     /// Deletes a batch, surfacing contained per-vertex faults as a
@@ -464,12 +512,49 @@ impl LsGraph {
         let edges_lost: usize = r.panicked.iter().map(|&(_, d_pre)| d_pre).sum();
         self.num_edges -= r.applied + edges_lost;
         self.epochs.reclaim(&self.stats);
-        Ok(BatchOutcome {
+        let outcome = BatchOutcome {
             applied: r.applied,
             quarantined: r.panicked.iter().map(|&(v, _)| v).collect(),
             edges_lost,
             skipped_quarantined: r.skipped_quarantined,
-        })
+        };
+        self.notify_hooks(BatchKind::Delete, batch, &outcome);
+        Ok(outcome)
+    }
+
+    /// Registers a post-batch observer; hooks fire in registration order
+    /// after every committed batch.
+    pub fn add_post_batch_hook(&mut self, hook: Box<dyn PostBatchHook>) {
+        self.hooks.push(hook);
+    }
+
+    /// Batches committed so far (the `seq` the next [`BatchEvent`] will
+    /// carry is `batch_seq() + 1`).
+    pub fn batch_seq(&self) -> u64 {
+        self.batch_seq
+    }
+
+    /// Stamps the event and fans it out. Hooks are moved out for the call so
+    /// they can read `self` (take a snapshot, probe degrees) re-entrantly.
+    fn notify_hooks(&mut self, kind: BatchKind, batch: &[Edge], outcome: &BatchOutcome) {
+        self.batch_seq += 1;
+        if self.hooks.is_empty() {
+            return;
+        }
+        let mut hooks = std::mem::take(&mut self.hooks);
+        let event = BatchEvent {
+            seq: self.batch_seq,
+            kind,
+            batch,
+            outcome,
+        };
+        for h in &mut hooks {
+            h.on_batch(self, &event);
+        }
+        // A hook that registered another hook during the call would be lost;
+        // keep any additions made re-entrantly.
+        hooks.append(&mut self.hooks);
+        self.hooks = hooks;
     }
 
     /// Tier tag of `v` plus its adjacency appended to `out` in ascending

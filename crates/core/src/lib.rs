@@ -46,7 +46,7 @@ pub mod vertex;
 
 pub use config::{Config, ConfigError, HighDegreeStore, LiaSearch, MediumStore, BKS, INLINE_CAP};
 pub use error::{BatchOutcome, GraphError, InvariantError};
-pub use graph::LsGraph;
+pub use graph::{BatchEvent, BatchKind, LsGraph, PostBatchHook};
 pub use hitree::HiTree;
 pub use hitree::HiTreeIter;
 pub use hitree::SlotOccupancy;

@@ -521,7 +521,11 @@ pub fn apply_delta_checkpoint(
     // a delta applied to the wrong parent state even when ids line up.
     let mut predicted = g.num_edges();
     for (v, ns) in &records {
-        predicted -= g.neighbors(*v).len();
+        // Records may name vertices beyond the parent image's count (the
+        // graph grew between checkpoints); those contribute no prior edges.
+        if (*v as usize) < g.num_vertices() {
+            predicted -= g.neighbors(*v).len();
+        }
         predicted += ns.len();
     }
     if predicted != num_edges {

@@ -1,0 +1,140 @@
+//! Result deltas: the unit of delivery for standing queries.
+//!
+//! A standing query's materialized result is a sorted map from key (a
+//! vertex id, or `0` for scalar counts) to a `u64` value. After each
+//! committed batch the maintainer produces the *difference* between the
+//! previous and the new materialization — added, removed, and changed
+//! entries — instead of shipping the whole result.
+
+use std::collections::BTreeMap;
+
+/// Identifies one registered subscription within a registry/hub.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriptionId(pub u64);
+
+/// The incremental result of one subscription for one committed batch.
+///
+/// Keys are vertex ids for vertex-valued queries (k-hop, membership) and
+/// `0` for scalar counts (windowed edge/triangle counts). A delta with no
+/// entries still marks that the subscription observed the batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultDelta {
+    /// Which subscription this delta belongs to.
+    pub sub: SubscriptionId,
+    /// Sequence number of the batch that produced it ([`LsGraph::batch_seq`]
+    /// order; catch-up deltas from a restart reuse the seq they caught up to).
+    ///
+    /// [`LsGraph::batch_seq`]: lsgraph_core::LsGraph::batch_seq
+    pub seq: u64,
+    /// Keys present now that were absent before, with their new value.
+    pub added: Vec<(u32, u64)>,
+    /// Keys absent now that were present before, with their old value.
+    pub removed: Vec<(u32, u64)>,
+    /// Keys present in both with a different value: `(key, old, new)`.
+    pub changed: Vec<(u32, u64, u64)>,
+}
+
+impl ResultDelta {
+    /// An empty delta for `sub` at `seq`.
+    pub fn empty(sub: SubscriptionId, seq: u64) -> Self {
+        ResultDelta {
+            sub,
+            seq,
+            added: Vec::new(),
+            removed: Vec::new(),
+            changed: Vec::new(),
+        }
+    }
+
+    /// True when the batch left the result untouched.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.changed.is_empty()
+    }
+
+    /// Total entries carried (`added + removed + changed`).
+    pub fn entries(&self) -> u64 {
+        (self.added.len() + self.removed.len() + self.changed.len()) as u64
+    }
+
+    /// Replays this delta onto a client-side copy of the result.
+    ///
+    /// A client that starts from the registration-time materialization and
+    /// applies every delivered delta in `seq` order reconstructs the
+    /// server-side result exactly — the differential oracle tests hold the
+    /// layer to precisely this contract.
+    pub fn apply_to(&self, result: &mut BTreeMap<u32, u64>) {
+        for &(k, v) in &self.added {
+            result.insert(k, v);
+        }
+        for &(k, _) in &self.removed {
+            result.remove(&k);
+        }
+        for &(k, _, v) in &self.changed {
+            result.insert(k, v);
+        }
+    }
+}
+
+/// Diffs two materializations into a delta (entries in ascending key order).
+pub fn diff(
+    sub: SubscriptionId,
+    seq: u64,
+    old: &BTreeMap<u32, u64>,
+    new: &BTreeMap<u32, u64>,
+) -> ResultDelta {
+    let mut d = ResultDelta::empty(sub, seq);
+    for (&k, &v) in new {
+        match old.get(&k) {
+            None => d.added.push((k, v)),
+            Some(&ov) if ov != v => d.changed.push((k, ov, v)),
+            Some(_) => {}
+        }
+    }
+    for (&k, &v) in old {
+        if !new.contains_key(&k) {
+            d.removed.push((k, v));
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(u32, u64)]) -> BTreeMap<u32, u64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn diff_classifies_added_removed_changed() {
+        let old = map(&[(1, 10), (2, 20), (3, 30)]);
+        let new = map(&[(2, 25), (3, 30), (4, 40)]);
+        let d = diff(SubscriptionId(7), 3, &old, &new);
+        assert_eq!(d.sub, SubscriptionId(7));
+        assert_eq!(d.seq, 3);
+        assert_eq!(d.added, vec![(4, 40)]);
+        assert_eq!(d.removed, vec![(1, 10)]);
+        assert_eq!(d.changed, vec![(2, 20, 25)]);
+        assert_eq!(d.entries(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn identical_maps_diff_to_empty() {
+        let m = map(&[(0, 1), (5, 9)]);
+        let d = diff(SubscriptionId(0), 1, &m, &m);
+        assert!(d.is_empty());
+        assert_eq!(d.entries(), 0);
+    }
+
+    #[test]
+    fn apply_to_replays_diff_exactly() {
+        let old = map(&[(1, 10), (2, 20), (3, 30), (9, 90)]);
+        let new = map(&[(2, 21), (3, 30), (4, 44)]);
+        let d = diff(SubscriptionId(1), 8, &old, &new);
+        let mut replay = old.clone();
+        d.apply_to(&mut replay);
+        assert_eq!(replay, new);
+    }
+}

@@ -1,0 +1,65 @@
+//! Standing-query subscription layer: registered incremental queries with
+//! per-batch result deltas.
+//!
+//! Streaming-graph consumers rarely want to re-run a kernel after every
+//! batch; they want to *subscribe* to a query and be told what changed. The
+//! paper's incremental-computation motivation (§3.1) is exactly this access
+//! pattern: after a batch commits, an incremental maintainer re-touches only
+//! the affected region of the graph and emits the difference.
+//!
+//! This crate provides that layer on top of the LSGraph engine:
+//!
+//! * [`StandingQuery`] — the query algebra: k-hop neighborhoods from a
+//!   source, windowed edge/triangle counts over the last *W* batches, and
+//!   reachability/component membership.
+//! * [`SubscriptionRegistry`] — owns one incremental maintainer per
+//!   subscription (extending
+//!   [`IncrementalBfs`](lsgraph_analytics::IncrementalBfs) /
+//!   [`IncrementalCc`](lsgraph_analytics::IncrementalCc), plus a sliding
+//!   [`BatchWindow`] with per-batch expiry) and turns each committed batch
+//!   into a [`ResultDelta`] per live subscription.
+//! * [`SubscriptionHub`] — the engine binding: a
+//!   [`PostBatchHook`](lsgraph_core::PostBatchHook) that snapshots the
+//!   freshly published graph and enqueues the batch for a dedicated
+//!   delivery thread, so the writer's batch path **never blocks on
+//!   delivery**; [`SubscriptionHandle`]s poll deltas and materialized
+//!   results.
+//!
+//! Delivery is panic-isolated: a subscription whose maintainer panics
+//! (including via the `subscription_deliver` failpoint) is quarantined —
+//! its torn maintainer is dropped, other subscriptions keep receiving
+//! deltas — and can be [restarted](SubscriptionHandle::restart) from a
+//! fresh snapshot, which re-materializes the result and emits one catch-up
+//! delta.
+//!
+//! ```
+//! use lsgraph_api::{DynamicGraph, Edge};
+//! use lsgraph_core::{Config, LsGraph};
+//! use lsgraph_queries::{StandingQuery, SubscriptionHub};
+//!
+//! let mut g = LsGraph::with_config(5, Config::default());
+//! let hub = SubscriptionHub::attach(&mut g);
+//! let sub = hub.subscribe(&g, StandingQuery::KHop { src: 0, k: 2 });
+//! g.insert_batch_undirected(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)]);
+//! hub.quiesce();
+//! // 0, 1, 2 are within two hops of 0; 3 is three hops away.
+//! assert_eq!(sub.result().into_keys().collect::<Vec<_>>(), vec![0, 1, 2]);
+//! let deltas = sub.poll();
+//! assert_eq!(deltas.len(), 2); // registration bootstrap + one per batch
+
+//! hub.shutdown();
+//! ```
+
+pub mod delta;
+pub mod hub;
+pub mod maintain;
+pub mod query;
+pub mod registry;
+pub mod window;
+
+pub use delta::{ResultDelta, SubscriptionId};
+pub use hub::{SubscriptionHandle, SubscriptionHub};
+pub use maintain::Maintainer;
+pub use query::StandingQuery;
+pub use registry::{SubscriptionRegistry, SubscriptionState};
+pub use window::BatchWindow;

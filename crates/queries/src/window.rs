@@ -1,0 +1,142 @@
+//! A sliding window over the last *W* committed batches.
+//!
+//! Windowed standing queries ("edge/triangle count over the last W
+//! batches") need per-batch expiry: when batch `seq` commits, the
+//! contribution of batch `seq - W` leaves the window. The window keeps one
+//! slot per observed batch — insert batches contribute their (deduplicated)
+//! edges, delete batches contribute nothing but still occupy a slot and age
+//! the window — so expiry is exact and deterministic.
+
+use std::collections::VecDeque;
+
+use lsgraph_api::Edge;
+use lsgraph_core::BatchKind;
+
+/// One observed batch inside the window.
+#[derive(Clone, Debug)]
+pub struct WindowSlot {
+    /// Sequence number of the batch this slot records.
+    pub seq: u64,
+    /// Whether the batch inserted or deleted edges.
+    pub kind: BatchKind,
+    /// Deduplicated edges of an insert batch (empty for deletes).
+    pub edges: Vec<Edge>,
+}
+
+/// Sliding window retaining the last `cap` batches.
+#[derive(Clone, Debug)]
+pub struct BatchWindow {
+    cap: usize,
+    slots: VecDeque<WindowSlot>,
+}
+
+impl BatchWindow {
+    /// An empty window retaining up to `cap` batches (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        BatchWindow {
+            cap: cap.max(1),
+            slots: VecDeque::new(),
+        }
+    }
+
+    /// The configured window size in batches.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Batches currently inside the window.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True before any batch has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Observes one committed batch, expiring the slot that falls out of
+    /// the window.
+    pub fn push(&mut self, seq: u64, kind: BatchKind, batch: &[Edge]) {
+        let mut edges = match kind {
+            BatchKind::Insert => batch.to_vec(),
+            BatchKind::Delete => Vec::new(),
+        };
+        edges.sort_unstable_by_key(|e| (e.src, e.dst));
+        edges.dedup_by_key(|e| (e.src, e.dst));
+        self.slots.push_back(WindowSlot { seq, kind, edges });
+        while self.slots.len() > self.cap {
+            self.slots.pop_front();
+        }
+    }
+
+    /// Drops all slots (a restarted windowed subscription begins empty).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Distinct directed edges inserted by batches still inside the window,
+    /// sorted by `(src, dst)`.
+    ///
+    /// These are *candidates*: whether an edge still exists must be checked
+    /// against the current snapshot (a later delete batch may have removed
+    /// it while its insert slot is still in the window).
+    pub fn candidate_edges(&self) -> Vec<Edge> {
+        let mut all: Vec<Edge> = self
+            .slots
+            .iter()
+            .flat_map(|s| s.edges.iter().copied())
+            .collect();
+        all.sort_unstable_by_key(|e| (e.src, e.dst));
+        all.dedup_by_key(|e| (e.src, e.dst));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(s: u32, d: u32) -> Edge {
+        Edge::new(s, d)
+    }
+
+    #[test]
+    fn expiry_drops_oldest_batch() {
+        let mut w = BatchWindow::new(2);
+        w.push(1, BatchKind::Insert, &[e(0, 1)]);
+        w.push(2, BatchKind::Insert, &[e(1, 2)]);
+        assert_eq!(w.candidate_edges(), vec![e(0, 1), e(1, 2)]);
+        w.push(3, BatchKind::Insert, &[e(2, 3)]);
+        // Batch 1's edge expired.
+        assert_eq!(w.candidate_edges(), vec![e(1, 2), e(2, 3)]);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn delete_batches_occupy_slots_but_add_no_edges() {
+        let mut w = BatchWindow::new(2);
+        w.push(1, BatchKind::Insert, &[e(0, 1)]);
+        w.push(2, BatchKind::Delete, &[e(0, 1)]);
+        assert_eq!(w.candidate_edges(), vec![e(0, 1)]);
+        w.push(3, BatchKind::Delete, &[e(9, 9)]);
+        // The insert slot aged out; only delete slots remain.
+        assert!(w.candidate_edges().is_empty());
+    }
+
+    #[test]
+    fn candidates_dedup_within_and_across_slots() {
+        let mut w = BatchWindow::new(3);
+        w.push(1, BatchKind::Insert, &[e(0, 1), e(0, 1), e(2, 0)]);
+        w.push(2, BatchKind::Insert, &[e(0, 1)]);
+        assert_eq!(w.candidate_edges(), vec![e(0, 1), e(2, 0)]);
+    }
+
+    #[test]
+    fn cap_is_at_least_one() {
+        let mut w = BatchWindow::new(0);
+        assert_eq!(w.cap(), 1);
+        w.push(1, BatchKind::Insert, &[e(0, 1)]);
+        w.push(2, BatchKind::Insert, &[e(1, 2)]);
+        assert_eq!(w.candidate_edges(), vec![e(1, 2)]);
+    }
+}

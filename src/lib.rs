@@ -8,6 +8,8 @@
 //! * [`analytics`] — Ligra-style BFS / BC / PageRank / CC / TC over any
 //!   [`Graph`],
 //! * [`gen`] — R-MAT / Kronecker / temporal generators and loaders,
+//! * [`queries`] — standing-query subscriptions delivering per-batch
+//!   [`ResultDelta`](queries::ResultDelta)s from incremental maintainers,
 //! * [`baselines`] — Terrace, Aspen, and PaC-tree re-implementations,
 //! * [`substrates`] — the PMA and B-tree containers the baselines build on.
 //!
@@ -24,14 +26,34 @@
 //! g.delete_batch_undirected(&[Edge::new(2, 3)]);
 //! assert_eq!(g.degree(3), 0);
 //! ```
+//!
+//! # Standing queries
+//!
+//! Instead of re-running a kernel after every batch, register the query
+//! once and receive an incremental delta per committed batch, delivered
+//! off the writer thread:
+//!
+//! ```
+//! use lsgraph::queries::{StandingQuery, SubscriptionHub};
+//! use lsgraph::{Config, DynamicGraph, Edge, LsGraph};
+//!
+//! let mut g = LsGraph::with_config(5, Config::default());
+//! let hub = SubscriptionHub::attach(&mut g);
+//! let sub = hub.subscribe(&g, StandingQuery::KHop { src: 0, k: 2 });
+//! g.insert_batch_undirected(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)]);
+//! hub.quiesce();
+//! assert_eq!(sub.result().into_keys().collect::<Vec<_>>(), vec![0, 1, 2]);
+//! hub.shutdown();
+//! ```
 
 pub use lsgraph_api::{
     CounterSnapshot, DynamicGraph, Edge, Footprint, Graph, IterableGraph, MemoryFootprint,
     OpCounters, Phase, PhaseTimer, SnapshotSource, StructSnapshot, StructStats, VertexId,
 };
 pub use lsgraph_core::{
-    Config, ConfigError, GraphSnapshot, HiTree, HighDegreeStore, LiaSearch, LsGraph, MediumStore,
-    Ria, SlotOccupancy, Tier, TierStats,
+    BatchEvent, BatchKind, BatchOutcome, Config, ConfigError, GraphSnapshot, HiTree,
+    HighDegreeStore, LiaSearch, LsGraph, MediumStore, PostBatchHook, Ria, SlotOccupancy, Tier,
+    TierStats,
 };
 
 /// Analytics kernels (BFS, BC, PR, CC, TC) and the `EdgeMap` framework.
@@ -42,6 +64,18 @@ pub mod analytics {
 /// Graph generators and dataset loaders.
 pub mod gen {
     pub use lsgraph_gen::*;
+}
+
+/// Standing-query subscriptions: registered incremental queries (k-hop,
+/// windowed edge/triangle counts, component membership) maintained by
+/// [`IncrementalBfs`](analytics::IncrementalBfs) /
+/// [`IncrementalCc`](analytics::IncrementalCc)-style maintainers and
+/// delivered as per-batch result deltas off the writer thread.
+pub mod queries {
+    pub use lsgraph_queries::{
+        BatchWindow, Maintainer, ResultDelta, StandingQuery, SubscriptionHandle, SubscriptionHub,
+        SubscriptionId, SubscriptionRegistry, SubscriptionState,
+    };
 }
 
 /// Live metrics: unified registry over engine counters/histograms, JSONL
