@@ -315,6 +315,23 @@ pub struct StructStats {
     /// check` treats a nonzero value as an invariant violation.
     pub subscription_panics: AtomicU64,
 
+    /// Membership/position probes answered by the scalar binary-search
+    /// baseline (recorded by the `repro search` ablation, not the hot path).
+    pub search_scalar_probes: AtomicU64,
+    /// Probes answered by the branch-free block-compare hybrid search
+    /// (recorded by the `repro search` ablation, not the hot path).
+    pub search_block_probes: AtomicU64,
+    /// Gap-encoded chunks decoded by compressed-tier membership probes.
+    /// The skip-pointer design bounds this at one per probe.
+    pub compressed_chunks_decoded: AtomicU64,
+    /// Bytes saved by compressed-tier encodes versus raw `u32` storage
+    /// (accumulated at encode time).
+    pub compressed_bytes_saved: AtomicU64,
+    /// Cold spills frozen into the gap-encoded compressed tier.
+    pub spill_compressions: AtomicU64,
+    /// Compressed spills thawed back to a writable tier by a write.
+    pub spill_thaws: AtomicU64,
+
     /// Nanoseconds in the batch sort+dedup phase.
     pub phase_sort_nanos: AtomicU64,
     /// Nanoseconds grouping keys into per-source runs.
@@ -374,6 +391,12 @@ impl StructStats {
             deltas_delivered: AtomicU64::new(0),
             delta_entries_emitted: AtomicU64::new(0),
             subscription_panics: AtomicU64::new(0),
+            search_scalar_probes: AtomicU64::new(0),
+            search_block_probes: AtomicU64::new(0),
+            compressed_chunks_decoded: AtomicU64::new(0),
+            compressed_bytes_saved: AtomicU64::new(0),
+            spill_compressions: AtomicU64::new(0),
+            spill_thaws: AtomicU64::new(0),
             phase_sort_nanos: AtomicU64::new(0),
             phase_group_nanos: AtomicU64::new(0),
             phase_apply_nanos: AtomicU64::new(0),
@@ -631,6 +654,44 @@ impl StructStats {
         self.subscription_panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` probes answered by the scalar binary-search baseline.
+    #[inline]
+    pub fn record_search_scalar_probes(&self, n: u64) {
+        self.search_scalar_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` probes answered by the branch-free block-compare search.
+    #[inline]
+    pub fn record_search_block_probes(&self, n: u64) {
+        self.search_block_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one gap-encoded chunk decoded by a compressed-tier probe.
+    #[inline]
+    pub fn record_compressed_chunk_decoded(&self) {
+        self.compressed_chunks_decoded
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` bytes saved by a compressed-tier encode versus raw
+    /// `u32` storage.
+    #[inline]
+    pub fn record_compressed_bytes_saved(&self, n: u64) {
+        self.compressed_bytes_saved.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one cold spill frozen into the compressed tier.
+    #[inline]
+    pub fn record_spill_compression(&self) {
+        self.spill_compressions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one compressed spill thawed back to a writable tier.
+    #[inline]
+    pub fn record_spill_thaw(&self) {
+        self.spill_thaws.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Starts a scoped timer attributing wall-clock time to `phase`; the
     /// elapsed nanoseconds are added when the returned guard drops. For the
     /// batch-pipeline phases the guard also carries a trace span (see
@@ -737,6 +798,17 @@ impl StructStats {
             .store(s.delta_entries_emitted, Ordering::Relaxed);
         self.subscription_panics
             .store(s.subscription_panics, Ordering::Relaxed);
+        self.search_scalar_probes
+            .store(s.search_scalar_probes, Ordering::Relaxed);
+        self.search_block_probes
+            .store(s.search_block_probes, Ordering::Relaxed);
+        self.compressed_chunks_decoded
+            .store(s.compressed_chunks_decoded, Ordering::Relaxed);
+        self.compressed_bytes_saved
+            .store(s.compressed_bytes_saved, Ordering::Relaxed);
+        self.spill_compressions
+            .store(s.spill_compressions, Ordering::Relaxed);
+        self.spill_thaws.store(s.spill_thaws, Ordering::Relaxed);
         self.phase_sort_nanos
             .store(s.phase_sort_nanos, Ordering::Relaxed);
         self.phase_group_nanos
@@ -792,6 +864,12 @@ impl StructStats {
             deltas_delivered: self.deltas_delivered.load(Ordering::Relaxed),
             delta_entries_emitted: self.delta_entries_emitted.load(Ordering::Relaxed),
             subscription_panics: self.subscription_panics.load(Ordering::Relaxed),
+            search_scalar_probes: self.search_scalar_probes.load(Ordering::Relaxed),
+            search_block_probes: self.search_block_probes.load(Ordering::Relaxed),
+            compressed_chunks_decoded: self.compressed_chunks_decoded.load(Ordering::Relaxed),
+            compressed_bytes_saved: self.compressed_bytes_saved.load(Ordering::Relaxed),
+            spill_compressions: self.spill_compressions.load(Ordering::Relaxed),
+            spill_thaws: self.spill_thaws.load(Ordering::Relaxed),
             phase_sort_nanos: self.phase_sort_nanos.load(Ordering::Relaxed),
             phase_group_nanos: self.phase_group_nanos.load(Ordering::Relaxed),
             phase_apply_nanos: self.phase_apply_nanos.load(Ordering::Relaxed),
@@ -909,6 +987,18 @@ pub struct StructSnapshot {
     pub delta_entries_emitted: u64,
     /// See [`StructStats::subscription_panics`].
     pub subscription_panics: u64,
+    /// See [`StructStats::search_scalar_probes`].
+    pub search_scalar_probes: u64,
+    /// See [`StructStats::search_block_probes`].
+    pub search_block_probes: u64,
+    /// See [`StructStats::compressed_chunks_decoded`].
+    pub compressed_chunks_decoded: u64,
+    /// See [`StructStats::compressed_bytes_saved`].
+    pub compressed_bytes_saved: u64,
+    /// See [`StructStats::spill_compressions`].
+    pub spill_compressions: u64,
+    /// See [`StructStats::spill_thaws`].
+    pub spill_thaws: u64,
     /// See [`StructStats::phase_sort_nanos`].
     pub phase_sort_nanos: u64,
     /// See [`StructStats::phase_group_nanos`].
@@ -1026,6 +1116,22 @@ impl StructSnapshot {
             subscription_panics: self
                 .subscription_panics
                 .saturating_sub(earlier.subscription_panics),
+            search_scalar_probes: self
+                .search_scalar_probes
+                .saturating_sub(earlier.search_scalar_probes),
+            search_block_probes: self
+                .search_block_probes
+                .saturating_sub(earlier.search_block_probes),
+            compressed_chunks_decoded: self
+                .compressed_chunks_decoded
+                .saturating_sub(earlier.compressed_chunks_decoded),
+            compressed_bytes_saved: self
+                .compressed_bytes_saved
+                .saturating_sub(earlier.compressed_bytes_saved),
+            spill_compressions: self
+                .spill_compressions
+                .saturating_sub(earlier.spill_compressions),
+            spill_thaws: self.spill_thaws.saturating_sub(earlier.spill_thaws),
             phase_sort_nanos: self
                 .phase_sort_nanos
                 .saturating_sub(earlier.phase_sort_nanos),
@@ -1049,7 +1155,7 @@ impl StructSnapshot {
     /// `(field name, value)` pairs in a fixed order — the serialization
     /// schema. Report writers and schema-stability tests both read this, so
     /// renaming a field here is a deliberate schema change.
-    pub fn fields(self) -> [(&'static str, u64); 46] {
+    pub fn fields(self) -> [(&'static str, u64); 52] {
         [
             ("vb_inline_hits", self.vb_inline_hits),
             ("vb_inline_shifts", self.vb_inline_shifts),
@@ -1096,6 +1202,12 @@ impl StructSnapshot {
             ("deltas_delivered", self.deltas_delivered),
             ("delta_entries_emitted", self.delta_entries_emitted),
             ("subscription_panics", self.subscription_panics),
+            ("search_scalar_probes", self.search_scalar_probes),
+            ("search_block_probes", self.search_block_probes),
+            ("compressed_chunks_decoded", self.compressed_chunks_decoded),
+            ("compressed_bytes_saved", self.compressed_bytes_saved),
+            ("spill_compressions", self.spill_compressions),
+            ("spill_thaws", self.spill_thaws),
             ("phase_sort_nanos", self.phase_sort_nanos),
             ("phase_group_nanos", self.phase_group_nanos),
             ("phase_apply_nanos", self.phase_apply_nanos),
@@ -1163,6 +1275,12 @@ impl StructSnapshot {
                 "deltas_delivered" => s.deltas_delivered = v,
                 "delta_entries_emitted" => s.delta_entries_emitted = v,
                 "subscription_panics" => s.subscription_panics = v,
+                "search_scalar_probes" => s.search_scalar_probes = v,
+                "search_block_probes" => s.search_block_probes = v,
+                "compressed_chunks_decoded" => s.compressed_chunks_decoded = v,
+                "compressed_bytes_saved" => s.compressed_bytes_saved = v,
+                "spill_compressions" => s.spill_compressions = v,
+                "spill_thaws" => s.spill_thaws = v,
                 "phase_sort_nanos" => s.phase_sort_nanos = v,
                 "phase_group_nanos" => s.phase_group_nanos = v,
                 "phase_apply_nanos" => s.phase_apply_nanos = v,
@@ -1298,7 +1416,7 @@ mod tests {
             .iter()
             .map(|(n, _)| *n)
             .collect();
-        assert_eq!(names.len(), 46);
+        assert_eq!(names.len(), 52);
         // A rename here must be an intentional schema change.
         assert!(names.contains(&"ria_cross_block_moves"));
         assert!(names.contains(&"lia_vertical_child_creates"));
@@ -1323,6 +1441,12 @@ mod tests {
         assert!(names.contains(&"deltas_delivered"));
         assert!(names.contains(&"delta_entries_emitted"));
         assert!(names.contains(&"subscription_panics"));
+        assert!(names.contains(&"search_scalar_probes"));
+        assert!(names.contains(&"search_block_probes"));
+        assert!(names.contains(&"compressed_chunks_decoded"));
+        assert!(names.contains(&"compressed_bytes_saved"));
+        assert!(names.contains(&"spill_compressions"));
+        assert!(names.contains(&"spill_thaws"));
         assert!(names.contains(&"phase_apply_nanos"));
     }
 }

@@ -673,8 +673,8 @@ mod tests {
         stats.record_ria_ripple(2, 5, 6);
         stats.record_epoch_backlog(4);
         let s = r.sample();
-        // 46 struct fields minus 7 gauges; heap gauges only under count-alloc.
-        assert_eq!(s.counters.len(), 39);
+        // 52 struct fields minus 7 gauges; heap gauges only under count-alloc.
+        assert_eq!(s.counters.len(), 45);
         let base_gauges = GAUGE_FIELDS.len() + if heap_gauges().is_some() { 2 } else { 0 };
         assert_eq!(s.gauges.len(), base_gauges);
         assert_eq!(s.histograms.len(), 4);

@@ -67,7 +67,7 @@ pub const INVARIANT_COUNTERS: [&str; 9] = [
 ];
 
 /// Counters gated against the baseline with tolerance (see module docs).
-pub const GATED_COUNTERS: [&str; 15] = [
+pub const GATED_COUNTERS: [&str; 21] = [
     "ria_rebuilds",
     "ria_ripples",
     "lia_model_retrains",
@@ -83,6 +83,15 @@ pub const GATED_COUNTERS: [&str; 15] = [
     "cow_block_copies",
     "deltas_delivered",
     "delta_entries_emitted",
+    // Search/compression layer (schema v8): probe and decode volumes are
+    // deterministic per seed, but legal to drift slightly when constants
+    // (chunk size, probe counts) are tuned — gate, don't pin.
+    "search_scalar_probes",
+    "search_block_probes",
+    "compressed_chunks_decoded",
+    "compressed_bytes_saved",
+    "spill_compressions",
+    "spill_thaws",
 ];
 
 /// Latency histograms whose counts are gated by exact equality.
@@ -531,6 +540,7 @@ mod tests {
             durability: None,
             mixed: None,
             standing: None,
+            search: None,
         }
     }
 
@@ -820,6 +830,43 @@ mod tests {
         assert!(v.iter().all(|x| x.kind == ViolationKind::Regression));
         assert!(v.iter().any(|x| x.counter == "deltas_delivered"));
         assert!(v.iter().any(|x| x.counter == "delta_entries_emitted"));
+    }
+
+    #[test]
+    fn search_and_compression_volumes_are_gated() {
+        let base = StructSnapshot {
+            search_scalar_probes: 120_000,
+            search_block_probes: 120_000,
+            compressed_chunks_decoded: 30_000,
+            compressed_bytes_saved: 200_000,
+            spill_compressions: 9,
+            spill_thaws: 2,
+            ..StructSnapshot::default()
+        };
+        let blown = StructSnapshot {
+            search_scalar_probes: 1_200_000,
+            search_block_probes: 1_200_000,
+            compressed_chunks_decoded: 300_000,
+            compressed_bytes_saved: 2_000_000,
+            spill_compressions: 90,
+            spill_thaws: 40,
+            ..StructSnapshot::default()
+        };
+        let b = report(vec![cell("LSGraph+Search", Some(base))]);
+        let c = report(vec![cell("LSGraph+Search", Some(blown))]);
+        let v = compare(&b, &c, CheckOptions::default());
+        assert_eq!(v.len(), 6, "{v:?}");
+        assert!(v.iter().all(|x| x.kind == ViolationKind::Regression));
+        for name in [
+            "search_scalar_probes",
+            "search_block_probes",
+            "compressed_chunks_decoded",
+            "compressed_bytes_saved",
+            "spill_compressions",
+            "spill_thaws",
+        ] {
+            assert!(v.iter().any(|x| x.counter == name), "missing {name}");
+        }
     }
 
     #[test]

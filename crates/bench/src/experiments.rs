@@ -139,6 +139,7 @@ fn measure_cell(
         durability: None,
         mixed: None,
         standing: None,
+        search: None,
     }
 }
 
@@ -428,6 +429,7 @@ pub fn fig13_report(scale: &Scale) -> BenchReport {
                 durability: None,
                 mixed: None,
                 standing: None,
+                search: None,
             });
         }
     }
@@ -898,6 +900,7 @@ fn durability_cell(
         }),
         mixed: None,
         standing: None,
+        search: None,
     };
     std::fs::remove_dir_all(&dir).ok();
     report
@@ -1080,6 +1083,7 @@ fn rotation_cell(
         }),
         mixed: None,
         standing: None,
+        search: None,
     };
     std::fs::remove_dir_all(&dir).ok();
     report
@@ -1316,6 +1320,7 @@ fn mixed_cell(
             final_backlog: backlog as u64,
         }),
         standing: None,
+        search: None,
     }
 }
 
@@ -1546,6 +1551,7 @@ fn standing_cell(
             subscription_panics: ss.subscription_panics,
             final_backlog: backlog as u64,
         }),
+        search: None,
     }
 }
 
@@ -1601,6 +1607,217 @@ pub fn standing(scale: &Scale) {
             s.subscription_panics,
         );
     }
+}
+
+/// Block sizes probed by the `search` experiment: the inline-block scale
+/// (one cache line of ids), the RIA-block scale, and the spill/HITree-leaf
+/// scale.
+const SEARCH_SIZES: [usize; 3] = [16, 256, 4096];
+
+/// Distinct blocks the probe stream rotates across per size, so the
+/// microbench is not a single perpetually-hot block.
+const SEARCH_BLOCKS: usize = 32;
+
+/// Measures the one `search` cell: identical membership-probe streams run
+/// through the scalar baseline (`std` binary search — exactly what every
+/// probe site used before the search module) and the branch-free block
+/// search the sites now route through, per block size, plus the compressed
+/// cold tier's probe cost on a live graph. fig13-style, the probe counters
+/// record into the process-global [`StructStats`](lsgraph_api::StructStats)
+/// sink, so `struct_stats` is a before/after snapshot diff.
+fn search_cell(scale: &Scale) -> EngineReport {
+    use lsgraph_api::StructStats;
+    use lsgraph_core::{search, CompressedNeighbors, Tier};
+    use std::hint::black_box;
+
+    let stats_before = StructStats::global().snapshot();
+    let probes = 40_000 * scale.trials.max(1);
+
+    // Deterministic LCG: the blocks and probe streams are identical run to
+    // run, so every count in the cell is gateable.
+    let mut state = 0x853c_49e6_748f_ea9bu64;
+    let mut next = move |bound: u32| {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 33) as u32) % bound.max(1)
+    };
+
+    let mut nanos = [(0u64, 0u64); SEARCH_SIZES.len()];
+    for (si, &size) in SEARCH_SIZES.iter().enumerate() {
+        // Key space 4x the block size: probes mix hits and misses.
+        let space = (size * 4) as u32;
+        let blocks: Vec<Vec<u32>> = (0..SEARCH_BLOCKS)
+            .map(|_| {
+                let mut b: Vec<u32> = (0..size * 2).map(|_| next(space)).collect();
+                b.sort_unstable();
+                b.dedup();
+                b.truncate(size);
+                b
+            })
+            .collect();
+        let keys: Vec<u32> = (0..probes).map(|_| next(space)).collect();
+
+        // Three passes per side, keeping the fastest: the probe kernels are
+        // a few ns/op, so one scheduler hiccup on a shared box would
+        // otherwise dominate the phase. Inputs go through `black_box` so
+        // neither side's loop can be specialized into a shape real call
+        // sites (opaque runtime slices) never take.
+        let mut scalar_hits = 0u64;
+        let mut scalar_ns = u64::MAX;
+        let mut block_hits = 0u64;
+        let mut block_ns = u64::MAX;
+        for _ in 0..3 {
+            let (h, d) = time(|| {
+                let mut hits = 0u64;
+                for (i, &k) in keys.iter().enumerate() {
+                    let b: &[u32] = black_box(&blocks[i % SEARCH_BLOCKS][..]);
+                    hits += u64::from(b.binary_search(&black_box(k)).is_ok());
+                }
+                black_box(hits)
+            });
+            scalar_hits = h;
+            scalar_ns = scalar_ns.min(d.as_nanos() as u64);
+            let (h, d) = time(|| {
+                let mut hits = 0u64;
+                for (i, &k) in keys.iter().enumerate() {
+                    let b: &[u32] = black_box(&blocks[i % SEARCH_BLOCKS][..]);
+                    hits += u64::from(search::find(b, black_box(k)).is_ok());
+                }
+                black_box(hits)
+            });
+            block_hits = h;
+            block_ns = block_ns.min(d.as_nanos() as u64);
+        }
+        assert_eq!(
+            scalar_hits, block_hits,
+            "probe disagreement at block size {size}"
+        );
+        StructStats::global().record_search_scalar_probes(probes as u64);
+        StructStats::global().record_search_block_probes(probes as u64);
+        nanos[si] = (scalar_ns, block_ns);
+    }
+
+    // Compressed cold tier on a live graph: hub vertices past `M` freeze,
+    // then each membership probe pays the skip-pointer search plus at most
+    // one chunk decode.
+    let gscale = scale.graph_scale().min(16);
+    let n = 1usize << gscale;
+    let m = 128usize;
+    let cfg = Config::default().with_m(m).with_compress_cold(true);
+    let mut g = LsGraph::from_edges(n, &[], cfg);
+    let hubs = 8u32;
+    let deg = (4 * m).min(n.saturating_sub(hubs as usize)) as u32;
+    assert!(deg as usize > m, "scale too small for the compressed tier");
+    let ns: Vec<u32> = (0..deg).map(|d| d + hubs).collect();
+    for h in 0..hubs {
+        let batch: Vec<Edge> = ns.iter().map(|&d| Edge::new(h, d)).collect();
+        g.insert_batch(&batch);
+    }
+    let frozen = g.compress_cold_vertices();
+    assert_eq!(frozen, hubs as usize, "every hub must freeze");
+    for h in 0..hubs {
+        assert!(matches!(g.tier(h), Tier::Compressed));
+    }
+    let decode_keys: Vec<(u32, u32)> = (0..probes)
+        .map(|i| (i as u32 % hubs, next(2 * deg) + hubs))
+        .collect();
+    let (decode_hits, decode_d) = time(|| {
+        let mut hits = 0u64;
+        for &(h, k) in &decode_keys {
+            hits += u64::from(g.has_edge(h, k));
+        }
+        black_box(hits)
+    });
+    let want = decode_keys.iter().filter(|&&(_, k)| k < deg + hubs).count() as u64;
+    assert_eq!(
+        decode_hits, want,
+        "compressed-tier probes disagree with the dense oracle"
+    );
+
+    // Size columns: the hub adjacency as the codec stores it vs raw u32s.
+    let raw_bytes = hubs as u64 * deg as u64 * 4;
+    let compressed_bytes =
+        hubs as u64 * CompressedNeighbors::from_sorted(&ns).stored_bytes() as u64;
+
+    let ss = StructStats::global().snapshot().since(stats_before);
+    EngineReport {
+        engine: "LSGraph+Search".to_string(),
+        dataset: "synthetic".to_string(),
+        batch_size: 0,
+        insert_eps: 0.0,
+        delete_eps: 0.0,
+        insert_nanos: 0,
+        delete_nanos: 0,
+        counters: None,
+        struct_stats: Some(ss),
+        footprint: None,
+        latency: None,
+        kernels: Vec::new(),
+        durability: None,
+        mixed: None,
+        standing: None,
+        search: Some(crate::report::SearchReport {
+            probes_per_size: probes as u64,
+            scalar_small_nanos: nanos[0].0,
+            block_small_nanos: nanos[0].1,
+            scalar_medium_nanos: nanos[1].0,
+            block_medium_nanos: nanos[1].1,
+            scalar_large_nanos: nanos[2].0,
+            block_large_nanos: nanos[2].1,
+            decode_probes: probes as u64,
+            decode_nanos: decode_d.as_nanos() as u64,
+            compressed_bytes,
+            raw_bytes,
+        }),
+    }
+}
+
+/// Search experiment (schema v8): branch-free block search vs the scalar
+/// baseline over identical probe streams per block size, plus the
+/// compressed cold tier's probe/decode cost and storage ratio.
+pub fn search_report(scale: &Scale) -> BenchReport {
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        experiment: "search".to_string(),
+        base: scale.base,
+        shift: scale.shift,
+        trials: scale.trials,
+        engines: vec![search_cell(scale)],
+    }
+}
+
+/// Search experiment, human-readable table: per-probe cost of the scalar
+/// vs block path per block size, and the compressed tier's decode cost.
+pub fn search(scale: &Scale) {
+    println!("# search: scalar vs branch-free block probes, compressed-tier decode");
+    let r = search_report(scale);
+    let s = r.engines[0].search.as_ref().expect("search cell");
+    println!(
+        "{:>8}{:>14}{:>14}{:>10}",
+        "block", "scalar-ns/op", "block-ns/op", "speedup"
+    );
+    let per = |n: u64| n as f64 / s.probes_per_size.max(1) as f64;
+    for (size, sc, bl) in [
+        (SEARCH_SIZES[0], s.scalar_small_nanos, s.block_small_nanos),
+        (SEARCH_SIZES[1], s.scalar_medium_nanos, s.block_medium_nanos),
+        (SEARCH_SIZES[2], s.scalar_large_nanos, s.block_large_nanos),
+    ] {
+        println!(
+            "{size:>8}{:>14.2}{:>14.2}{:>10}",
+            per(sc),
+            per(bl),
+            format!("{:.2}x", sc as f64 / bl.max(1) as f64)
+        );
+    }
+    println!(
+        "compressed tier: {} probes, {:.1} ns/probe; {} B stored vs {} B raw ({:.2}x smaller)",
+        s.decode_probes,
+        s.decode_nanos as f64 / s.decode_probes.max(1) as f64,
+        s.compressed_bytes,
+        s.raw_bytes,
+        s.raw_bytes as f64 / s.compressed_bytes.max(1) as f64
+    );
 }
 
 /// Artifact-evaluation style correctness pass: every engine must agree with
@@ -1762,6 +1979,33 @@ mod tests {
         }
         // The report round-trips through the schema v5 JSON, and a
         // self-comparison under the regression gate is clean.
+        let back = crate::report::BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        let v = crate::check::compare(&r, &back, crate::check::CheckOptions::default());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn smoke_search() {
+        let scale = Scale::tiny();
+        let r = search_report(&scale);
+        let s = r.engines[0].search.as_ref().expect("search payload");
+        let probes = 40_000 * scale.trials.max(1) as u64;
+        assert_eq!(s.probes_per_size, probes);
+        assert_eq!(s.decode_probes, probes);
+        assert!(s.compressed_bytes > 0 && s.compressed_bytes < s.raw_bytes);
+        // search_cell asserts hit-for-hit agreement between the scalar and
+        // block paths; here we pin the deterministic counter volumes. The
+        // global sink is shared across concurrently running tests, so the
+        // codec counters are lower bounds.
+        let ss = r.engines[0].struct_stats.expect("struct stats");
+        assert_eq!(ss.search_scalar_probes, SEARCH_SIZES.len() as u64 * probes);
+        assert_eq!(ss.search_block_probes, SEARCH_SIZES.len() as u64 * probes);
+        assert!(ss.spill_compressions >= 9, "8 hubs + 1 codec-level build");
+        assert!(ss.compressed_chunks_decoded > 0);
+        assert!(ss.compressed_bytes_saved > 0);
+        // Round-trips through the schema v8 JSON and self-compares clean
+        // under the regression gate.
         let back = crate::report::BenchReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
         let v = crate::check::compare(&r, &back, crate::check::CheckOptions::default());

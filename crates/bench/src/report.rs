@@ -54,7 +54,15 @@ use lsgraph_api::{CounterSnapshot, HistogramSnapshot, LatencySnapshot, StructSna
 /// object (delta-delivery vs full-recomputation cost) emitted by the
 /// `standing` experiment. Additive: v1–v6 documents parse with the counters
 /// at zero and `standing` as `None`.
-pub const SCHEMA_VERSION: u32 = 7;
+///
+/// v8 adds the search/compression layer: the probe and compressed-tier
+/// counters (`search_scalar_probes`, `search_block_probes`,
+/// `compressed_chunks_decoded`, `compressed_bytes_saved`,
+/// `spill_compressions`, `spill_thaws`) to `struct_stats`, and a per-engine
+/// `search` object (scalar vs block-probe microbench plus compressed-tier
+/// decode cost) emitted by the `search` experiment. Additive: v1–v7
+/// documents parse with the counters at zero and `search` as `None`.
+pub const SCHEMA_VERSION: u32 = 8;
 
 /// Memory footprint of one engine after the measured updates (schema v2).
 #[derive(Clone, Debug, PartialEq)]
@@ -166,6 +174,38 @@ pub struct StandingReport {
     pub final_backlog: u64,
 }
 
+/// Intra-block search and compressed-tier measurements for one engine cell
+/// (schema v8; only the `search` experiment populates it). Probes are run
+/// over identical sorted blocks with both the scalar baseline
+/// (`partition_point`-style binary search) and the branch-free block
+/// search, so the nanos columns are directly comparable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchReport {
+    /// Membership probes issued per block size (same for scalar and block).
+    pub probes_per_size: u64,
+    /// Scalar probe wall time over the small (inline-sized, 16) blocks.
+    pub scalar_small_nanos: u64,
+    /// Block-search probe wall time over the small blocks.
+    pub block_small_nanos: u64,
+    /// Scalar probe wall time over the medium (RIA-block-sized, 256) blocks.
+    pub scalar_medium_nanos: u64,
+    /// Block-search probe wall time over the medium blocks.
+    pub block_medium_nanos: u64,
+    /// Scalar probe wall time over the large (spill-sized, 4096) blocks.
+    pub scalar_large_nanos: u64,
+    /// Block-search probe wall time over the large blocks.
+    pub block_large_nanos: u64,
+    /// Membership probes issued against the compressed cold tier.
+    pub decode_probes: u64,
+    /// Wall time of those compressed-tier probes (skip-pointer search plus
+    /// at most one chunk decode each).
+    pub decode_nanos: u64,
+    /// Bytes the compressed tier stores for the probed adjacency sets.
+    pub compressed_bytes: u64,
+    /// Bytes the same sets occupy as raw `u32` arrays.
+    pub raw_bytes: u64,
+}
+
 /// Wall time of one analytics kernel on one engine (schema v2).
 #[derive(Clone, Debug, PartialEq)]
 pub struct KernelTime {
@@ -214,6 +254,9 @@ pub struct EngineReport {
     /// Standing-query measurements (schema v7; None everywhere except the
     /// `standing` experiment and in v1–v6 documents).
     pub standing: Option<StandingReport>,
+    /// Intra-block search microbench (schema v8; None everywhere except the
+    /// `search` experiment and in v1–v7 documents).
+    pub search: Option<SearchReport>,
 }
 
 /// A full experiment report.
@@ -422,6 +465,36 @@ impl BenchReport {
                     w.close('}');
                 }
             }
+            w.field("search");
+            match &e.search {
+                None => w.raw("null"),
+                Some(s) => {
+                    w.open('{');
+                    w.field("probes_per_size");
+                    w.raw(&s.probes_per_size.to_string());
+                    w.field("scalar_small_nanos");
+                    w.raw(&s.scalar_small_nanos.to_string());
+                    w.field("block_small_nanos");
+                    w.raw(&s.block_small_nanos.to_string());
+                    w.field("scalar_medium_nanos");
+                    w.raw(&s.scalar_medium_nanos.to_string());
+                    w.field("block_medium_nanos");
+                    w.raw(&s.block_medium_nanos.to_string());
+                    w.field("scalar_large_nanos");
+                    w.raw(&s.scalar_large_nanos.to_string());
+                    w.field("block_large_nanos");
+                    w.raw(&s.block_large_nanos.to_string());
+                    w.field("decode_probes");
+                    w.raw(&s.decode_probes.to_string());
+                    w.field("decode_nanos");
+                    w.raw(&s.decode_nanos.to_string());
+                    w.field("compressed_bytes");
+                    w.raw(&s.compressed_bytes.to_string());
+                    w.field("raw_bytes");
+                    w.raw(&s.raw_bytes.to_string());
+                    w.close('}');
+                }
+            }
             w.close('}');
         }
         w.close(']');
@@ -578,6 +651,34 @@ impl BenchReport {
                                 subscription_panics: get(so, "subscription_panics")?
                                     .as_u64("subscription_panics")?,
                                 final_backlog: get(so, "final_backlog")?.as_u64("final_backlog")?,
+                            })
+                        }
+                    },
+                    // v8 field: absent in v1–v7 documents.
+                    search: match get_opt(o, "search") {
+                        None | Some(Json::Null) => None,
+                        Some(s) => {
+                            let so = s.as_object("search")?;
+                            Some(SearchReport {
+                                probes_per_size: get(so, "probes_per_size")?
+                                    .as_u64("probes_per_size")?,
+                                scalar_small_nanos: get(so, "scalar_small_nanos")?
+                                    .as_u64("scalar_small_nanos")?,
+                                block_small_nanos: get(so, "block_small_nanos")?
+                                    .as_u64("block_small_nanos")?,
+                                scalar_medium_nanos: get(so, "scalar_medium_nanos")?
+                                    .as_u64("scalar_medium_nanos")?,
+                                block_medium_nanos: get(so, "block_medium_nanos")?
+                                    .as_u64("block_medium_nanos")?,
+                                scalar_large_nanos: get(so, "scalar_large_nanos")?
+                                    .as_u64("scalar_large_nanos")?,
+                                block_large_nanos: get(so, "block_large_nanos")?
+                                    .as_u64("block_large_nanos")?,
+                                decode_probes: get(so, "decode_probes")?.as_u64("decode_probes")?,
+                                decode_nanos: get(so, "decode_nanos")?.as_u64("decode_nanos")?,
+                                compressed_bytes: get(so, "compressed_bytes")?
+                                    .as_u64("compressed_bytes")?,
+                                raw_bytes: get(so, "raw_bytes")?.as_u64("raw_bytes")?,
                             })
                         }
                     },
@@ -1075,6 +1176,19 @@ mod tests {
                         subscription_panics: 0,
                         final_backlog: 0,
                     }),
+                    search: Some(SearchReport {
+                        probes_per_size: 10_000,
+                        scalar_small_nanos: 90_000,
+                        block_small_nanos: 60_000,
+                        scalar_medium_nanos: 200_000,
+                        block_medium_nanos: 120_000,
+                        scalar_large_nanos: 400_000,
+                        block_large_nanos: 220_000,
+                        decode_probes: 5_000,
+                        decode_nanos: 300_000,
+                        compressed_bytes: 9_000,
+                        raw_bytes: 32_768,
+                    }),
                 },
                 EngineReport {
                     engine: "Aspen".to_string(),
@@ -1097,6 +1211,7 @@ mod tests {
                     durability: None,
                     mixed: None,
                     standing: None,
+                    search: None,
                 },
             ],
         }
@@ -1147,7 +1262,8 @@ mod tests {
                 "kernels",
                 "durability",
                 "mixed",
-                "standing"
+                "standing",
+                "search"
             ]
         );
         let dur = get(e0, "durability").unwrap().as_object("dur").unwrap();
@@ -1200,6 +1316,24 @@ mod tests {
                 "speedup",
                 "subscription_panics",
                 "final_backlog"
+            ]
+        );
+        let search = get(e0, "search").unwrap().as_object("search").unwrap();
+        let search_keys: Vec<&str> = search.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            search_keys,
+            [
+                "probes_per_size",
+                "scalar_small_nanos",
+                "block_small_nanos",
+                "scalar_medium_nanos",
+                "block_medium_nanos",
+                "scalar_large_nanos",
+                "block_large_nanos",
+                "decode_probes",
+                "decode_nanos",
+                "compressed_bytes",
+                "raw_bytes"
             ]
         );
         let lat = get(e0, "latency").unwrap().as_object("lat").unwrap();
@@ -1279,7 +1413,7 @@ mod tests {
         // Simulate a v5 document: version 5 and no rotation/delta fields.
         let doc = sample()
             .to_json()
-            .replacen("\"schema_version\": 7", "\"schema_version\": 5", 1);
+            .replacen("\"schema_version\": 8", "\"schema_version\": 5", 1);
         // Splice inside the durability object (struct_stats carries fields
         // with the same names; those stay).
         let dur = doc.find("\"durability\"").unwrap();
@@ -1302,7 +1436,7 @@ mod tests {
     fn future_schema_versions_are_rejected() {
         let doc = sample()
             .to_json()
-            .replacen("\"schema_version\": 7", "\"schema_version\": 8", 1);
+            .replacen("\"schema_version\": 8", "\"schema_version\": 9", 1);
         let err = BenchReport::from_json(&doc).unwrap_err();
         assert!(err.contains("unsupported schema_version"), "{err}");
     }

@@ -16,9 +16,11 @@ use lsgraph_api::trace::{span, SpanKind};
 use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 use lsgraph_pma::{Pma, PmaParams};
 
+use crate::codec::CompressedNeighbors;
 use crate::config::{Config, HighDegreeStore, MediumStore};
 use crate::hitree::HiTree;
 use crate::ria::Ria;
+use crate::search;
 
 /// Spill storage for one vertex's non-inline neighbors.
 #[derive(Clone, Debug)]
@@ -31,11 +33,30 @@ pub enum Spill {
     Pma(Pma<u32>),
     /// HITree tier (`> M`).
     Tree(HiTree),
+    /// Gap-encoded cold tier (`> M`, [`Config::compress_cold`] only): frozen
+    /// delta-gap LEB128 chunks with skip pointers. Read-optimized for
+    /// footprint; any write thaws it back to the writable tier first.
+    Compressed(CompressedNeighbors),
 }
 
 impl Spill {
     /// Builds the right tier for a sorted duplicate-free neighbor slice.
+    ///
+    /// Under [`Config::compress_cold`], spills past the HITree threshold
+    /// `M` freeze straight into the compressed cold tier — this is the path
+    /// checkpoint restore takes, so a restored graph re-derives compressed
+    /// tiers deterministically from degree + config.
     pub fn from_sorted(ns: &[u32], cfg: &Config) -> Spill {
+        if cfg.compress_cold && ns.len() > cfg.m {
+            return Spill::Compressed(CompressedNeighbors::from_sorted(ns));
+        }
+        Spill::from_sorted_writable(ns, cfg)
+    }
+
+    /// Builds the writable tier for the slice's length, never the frozen
+    /// compressed tier — the thaw target for writes against a compressed
+    /// spill.
+    pub fn from_sorted_writable(ns: &[u32], cfg: &Config) -> Spill {
         if ns.len() <= cfg.a {
             Spill::Array(ns.to_vec())
         } else if ns.len() <= cfg.m || cfg.high == HighDegreeStore::RiaOnly {
@@ -55,6 +76,7 @@ impl Spill {
             Spill::Ria(r) => r.len(),
             Spill::Pma(p) => p.len(),
             Spill::Tree(t) => t.len(),
+            Spill::Compressed(c) => c.len(),
         }
     }
 
@@ -66,10 +88,11 @@ impl Spill {
     /// Returns whether `u` is present.
     pub fn contains(&self, u: u32, cfg: &Config) -> bool {
         match self {
-            Spill::Array(v) => v.binary_search(&u).is_ok(),
+            Spill::Array(v) => search::find(v, u).is_ok(),
             Spill::Ria(r) => r.contains(u),
             Spill::Pma(p) => p.contains(u),
             Spill::Tree(t) => t.contains(u, cfg),
+            Spill::Compressed(c) => c.contains(u),
         }
     }
 
@@ -83,7 +106,7 @@ impl Spill {
     pub fn insert_with(&mut self, u: u32, cfg: &Config, stats: &StructStats) -> bool {
         self.maybe_upgrade(cfg, stats);
         match self {
-            Spill::Array(v) => match v.binary_search(&u) {
+            Spill::Array(v) => match search::find(v, u) {
                 Ok(_) => false,
                 Err(i) => {
                     stats.record_arr_shift((v.len() - i) as u64);
@@ -94,6 +117,7 @@ impl Spill {
             Spill::Ria(r) => r.insert_with(u, stats).inserted(),
             Spill::Pma(p) => p.insert(u),
             Spill::Tree(t) => t.insert_with(u, cfg, stats),
+            Spill::Compressed(_) => unreachable!("maybe_upgrade thaws compressed spills"),
         }
     }
 
@@ -105,8 +129,11 @@ impl Spill {
 
     /// Deletes `u`, recording structural movement into `stats`.
     pub fn delete_with(&mut self, u: u32, cfg: &Config, stats: &StructStats) -> bool {
+        // A frozen spill cannot absorb writes; thaw it to the writable tier
+        // first (misses pay the thaw too, matching insert's upgrade path).
+        self.thaw(cfg, stats);
         let removed = match self {
-            Spill::Array(v) => match v.binary_search(&u) {
+            Spill::Array(v) => match search::find(v, u) {
                 Ok(i) => {
                     v.remove(i);
                     stats.record_arr_shift((v.len() - i) as u64);
@@ -117,6 +144,7 @@ impl Spill {
             Spill::Ria(r) => r.delete_with(u, stats),
             Spill::Pma(p) => p.delete(u),
             Spill::Tree(t) => t.delete_with(u, cfg, stats),
+            Spill::Compressed(_) => unreachable!("thawed above"),
         };
         if removed {
             self.maybe_downgrade(cfg, stats);
@@ -158,6 +186,7 @@ impl Spill {
                 });
                 m
             }
+            Spill::Compressed(c) => c.iter().next(),
         }?;
         let removed = self.delete_with(min, cfg, stats);
         debug_assert!(removed);
@@ -175,6 +204,7 @@ impl Spill {
             Spill::Ria(r) => r.for_each(f),
             Spill::Pma(p) => p.for_each(&mut *f),
             Spill::Tree(t) => t.for_each(f),
+            Spill::Compressed(c) => c.for_each(f),
         }
     }
 
@@ -193,6 +223,7 @@ impl Spill {
             Spill::Ria(r) => r.for_each_while(f),
             Spill::Pma(p) => p.for_each_range_while(0, u32::MAX, &mut *f),
             Spill::Tree(t) => t.for_each_while(f),
+            Spill::Compressed(c) => c.for_each_while(f),
         }
     }
 
@@ -225,6 +256,7 @@ impl Spill {
             }),
             Spill::Pma(p) => out.extend(p.iter()),
             Spill::Tree(t) => out.extend(t.iter()),
+            Spill::Compressed(c) => out.extend(c.iter()),
         }
     }
 
@@ -235,11 +267,27 @@ impl Spill {
             Spill::Ria(r) => SpillIter::Ria(r.iter()),
             Spill::Pma(p) => SpillIter::Pma(p.iter()),
             Spill::Tree(t) => SpillIter::Tree(t.iter()),
+            Spill::Compressed(c) => SpillIter::Compressed(c.iter()),
+        }
+    }
+
+    /// Thaws a compressed spill back to its writable tier ahead of a write;
+    /// a no-op on every other tier. The `spill_compress` failpoint covers
+    /// the decode window: a kill here unwinds before `self` is replaced, so
+    /// the vertex keeps its frozen tier intact.
+    fn thaw(&mut self, cfg: &Config, stats: &StructStats) {
+        if let Spill::Compressed(c) = self {
+            fail_point!("spill_compress");
+            let ns = c.to_vec();
+            *self = Spill::from_sorted_writable(&ns, cfg);
+            stats.record_spill_thaw();
         }
     }
 
     /// Upgrades to the next tier ahead of an insert when this one is full.
+    /// Compressed spills thaw here: the caller is about to write.
     fn maybe_upgrade(&mut self, cfg: &Config, stats: &StructStats) {
+        self.thaw(cfg, stats);
         let next = match self {
             Spill::Array(v) if v.len() >= cfg.a => true,
             Spill::Ria(r) if r.len() >= cfg.m && cfg.high == HighDegreeStore::HiTree => true,
@@ -256,7 +304,7 @@ impl Spill {
                     MediumStore::Pma => Spill::Pma(Pma::from_sorted(&ns, PmaParams::dense())),
                 },
                 Spill::Ria(_) | Spill::Pma(_) => Spill::Tree(HiTree::from_sorted(&ns, cfg)),
-                Spill::Tree(_) => unreachable!(),
+                Spill::Tree(_) | Spill::Compressed(_) => unreachable!(),
             };
             stats.record_tier_upgrade();
         }
@@ -269,6 +317,8 @@ impl Spill {
             Spill::Ria(r) => r.len() * 2 < cfg.a,
             Spill::Pma(p) => p.len() * 2 < cfg.a,
             Spill::Tree(t) => t.len() * 2 < cfg.m,
+            // Frozen spills never shrink in place: a delete thaws first.
+            Spill::Compressed(_) => false,
         };
         if rebuild {
             fail_point!("spill_downgrade");
@@ -289,6 +339,8 @@ pub enum SpillIter<'a> {
     Pma(lsgraph_pma::PmaIter<'a, u32>),
     /// HITree tier.
     Tree(crate::hitree::HiTreeIter<'a>),
+    /// Compressed cold tier (streaming gap decode).
+    Compressed(crate::codec::CompressedIter<'a>),
 }
 
 impl Iterator for SpillIter<'_> {
@@ -300,6 +352,7 @@ impl Iterator for SpillIter<'_> {
             SpillIter::Ria(it) => it.next(),
             SpillIter::Pma(it) => it.next(),
             SpillIter::Tree(it) => it.next(),
+            SpillIter::Compressed(it) => it.next(),
         }
     }
 }
@@ -311,6 +364,7 @@ impl MemoryFootprint for Spill {
             Spill::Ria(r) => r.footprint(),
             Spill::Pma(p) => p.footprint(),
             Spill::Tree(t) => t.footprint(),
+            Spill::Compressed(c) => c.footprint(),
         }
     }
 }
@@ -404,6 +458,33 @@ mod tests {
             assert!(s.contains(u, &c));
         }
         assert!(!s.contains(5_000, &c));
+    }
+
+    #[test]
+    fn compressed_tier_freezes_and_thaws() {
+        let c = cfg().with_compress_cold(true);
+        let ns: Vec<u32> = (0..600u32).map(|i| i * 2).collect();
+        let mut s = Spill::from_sorted(&ns, &c);
+        assert!(matches!(s, Spill::Compressed(_)), "len > m should freeze");
+        assert_eq!(s.len(), 600);
+        assert_eq!(s.to_vec(), ns);
+        assert_eq!(s.iter().collect::<Vec<_>>(), ns);
+        for u in (0..1_200u32).step_by(17) {
+            assert_eq!(s.contains(u, &c), u % 2 == 0 && u < 1_200);
+        }
+        // Any insert thaws back to the writable tier for that degree.
+        assert!(s.insert(1, &c));
+        assert!(matches!(s, Spill::Tree(_)), "thaw target is the HITree");
+        assert!(s.contains(1, &c));
+        assert_eq!(s.len(), 601);
+        // Deletes thaw too; a miss still pays the thaw (it is a write path).
+        let mut s = Spill::from_sorted(&ns, &c);
+        assert!(s.delete(0, &c));
+        assert!(!matches!(s, Spill::Compressed(_)));
+        assert_eq!(s.len(), 599);
+        // With the knob off the same slice stays on the writable ladder.
+        let s = Spill::from_sorted(&ns, &cfg());
+        assert!(matches!(s, Spill::Tree(_)));
     }
 
     #[test]

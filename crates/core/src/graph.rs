@@ -557,6 +557,47 @@ impl LsGraph {
         self.hooks = hooks;
     }
 
+    /// Freezes every eligible cold spill (length past the HITree threshold
+    /// `M`) into the gap-encoded compressed tier, returning how many
+    /// vertices were frozen. A no-op returning 0 unless the configuration
+    /// enables [`Config::compress_cold`]. Quarantined vertices are skipped.
+    ///
+    /// Each vertex is all-or-nothing: the replacement block is built off to
+    /// the side and swapped in via the CoW-aware installer, so a kill at the
+    /// `spill_compress` failpoint unwinds to the caller with the vertex
+    /// still intact on its previous tier, and outstanding snapshots keep
+    /// reading the uncompressed version they captured.
+    pub fn compress_cold_vertices(&mut self) -> usize {
+        if !self.cfg.compress_cold {
+            return 0;
+        }
+        let mut frozen = 0;
+        let mut ns = Vec::new();
+        for v in 0..self.vertices.len() as VertexId {
+            if self.quarantined.contains(&v) {
+                continue;
+            }
+            let vb = self.vertex(v);
+            let eligible = vb.spill().is_some_and(|s| {
+                s.len() > self.cfg.m && !matches!(s, crate::adjacency::Spill::Compressed(_))
+            });
+            if !eligible {
+                continue;
+            }
+            ns.clear();
+            vb.checkpoint_neighbors(&mut ns);
+            let new_vb = VertexBlock::from_sorted_neighbors(&ns, &self.cfg);
+            fail_point!("spill_compress");
+            self.install_block(v, new_vb);
+            // The codec records to the process-global sink; this engine's
+            // own counters see the freeze only once it is actually
+            // installed (a killed attempt above must leave them untouched).
+            self.stats.record_spill_compression();
+            frozen += 1;
+        }
+        frozen
+    }
+
     /// Tier tag of `v` plus its adjacency appended to `out` in ascending
     /// order, walked tier-natively (see
     /// [`VertexBlock::checkpoint_neighbors`]) — the per-vertex checkpoint

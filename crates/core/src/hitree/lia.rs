@@ -27,6 +27,7 @@ use super::typevec::{SlotType, TypeVec};
 use super::SlotOccupancy;
 use crate::config::{Config, LiaSearch, BKS};
 use crate::model::{LinearModel, PositionModel};
+use crate::search;
 
 /// Sentinel for "block has no child".
 const NO_CHILD: u32 = u32::MAX;
@@ -240,7 +241,7 @@ impl Lia {
             BlockKind::Packed => {
                 let base = b * BKS;
                 let blk = &self.slots[base..base + self.packed_len(b)];
-                blk.binary_search(&key).is_ok()
+                search::find(blk, key).is_ok()
             }
             BlockKind::Delegated => self.child(b).contains(key, cfg),
         }
@@ -306,7 +307,7 @@ impl Lia {
                             merged.push(self.slots[i]);
                         }
                     }
-                    let at = merged.partition_point(|&x| x < key);
+                    let at = search::stream_lower_bound(&merged, key);
                     merged.insert(at, key);
                     self.settle_block(b, merged, cfg, depth, stats);
                     self.len += 1;
@@ -319,7 +320,7 @@ impl Lia {
             BlockKind::Packed => {
                 let plen = self.packed_len(b);
                 let prefix = &self.slots[base..base + plen];
-                let at = match prefix.binary_search(&key) {
+                let at = match search::stream_find(prefix, key) {
                     Ok(_) => return false,
                     Err(i) => i,
                 };
@@ -408,7 +409,7 @@ impl Lia {
             BlockKind::Packed => {
                 let plen = self.packed_len(b);
                 let prefix = &self.slots[base..base + plen];
-                match prefix.binary_search(&key) {
+                match search::stream_find(prefix, key) {
                     Ok(i) => {
                         self.slots.copy_within(base + i + 1..base + plen, base + i);
                         self.types.set(base + plen - 1, SlotType::Unused);
@@ -550,7 +551,7 @@ impl Lia {
             BlockKind::Delegated => self.child(b).contains(key, cfg),
             BlockKind::Packed => {
                 let blk = &self.slots[base..base + self.packed_len(b)];
-                blk.binary_search(&key).is_ok()
+                search::find(blk, key).is_ok()
             }
             BlockKind::ExactOrUnused => (base..base + BKS)
                 .any(|i| self.types.get(i) == SlotType::Edge && self.slots[i] == key),

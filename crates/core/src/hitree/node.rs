@@ -8,6 +8,7 @@ use super::lia::{Lia, MAX_DEPTH};
 use super::SlotOccupancy;
 use crate::config::Config;
 use crate::ria::Ria;
+use crate::search;
 
 /// One HITree node (paper Fig. 8: a child pointer may reference a LIA, a
 /// RIA, or an array).
@@ -68,7 +69,7 @@ impl Node {
     /// Returns whether `key` is present.
     pub fn contains(&self, key: u32, cfg: &Config) -> bool {
         match self {
-            Node::Arr(v) => v.binary_search(&key).is_ok(),
+            Node::Arr(v) => search::find(v, key).is_ok(),
             Node::Ria(r) => r.contains(key),
             Node::Lia(l) => l.contains(key, cfg),
         }
@@ -80,7 +81,7 @@ impl Node {
     pub fn insert(&mut self, key: u32, cfg: &Config, depth: usize, stats: &StructStats) -> bool {
         self.maybe_upgrade(cfg, depth, stats);
         match self {
-            Node::Arr(v) => match v.binary_search(&key) {
+            Node::Arr(v) => match search::find(v, key) {
                 Ok(_) => false,
                 Err(i) => {
                     stats.record_arr_shift((v.len() - i) as u64);
@@ -96,7 +97,7 @@ impl Node {
     /// Deletes `key`; returns whether it was present.
     pub fn delete(&mut self, key: u32, cfg: &Config, depth: usize, stats: &StructStats) -> bool {
         match self {
-            Node::Arr(v) => match v.binary_search(&key) {
+            Node::Arr(v) => match search::find(v, key) {
                 Ok(i) => {
                     v.remove(i);
                     stats.record_arr_shift((v.len() - i) as u64);

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod adjacency;
+pub mod codec;
 pub mod config;
 pub mod error;
 pub mod graph;
@@ -44,6 +45,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod vertex;
 
+pub use codec::{CodecError, CompressedNeighbors};
 pub use config::{Config, ConfigError, HighDegreeStore, LiaSearch, MediumStore, BKS, INLINE_CAP};
 pub use error::{BatchOutcome, GraphError, InvariantError};
 pub use graph::{BatchEvent, BatchKind, LsGraph, PostBatchHook};

@@ -20,7 +20,10 @@ use lsgraph_api::trace::{span, SpanKind};
 use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 
 use crate::config::BKS;
-use crate::search::{linear_lower_bound, rightmost_le};
+use crate::search::{
+    chunk_lower_bound, linear_lower_bound, prefetch_read, rightmost_le, stream_lower_bound,
+    stream_rightmost_le,
+};
 
 /// Outcome of [`Ria::insert`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -132,6 +135,14 @@ impl Ria {
         rightmost_le(&self.index, key).unwrap_or(0)
     }
 
+    /// [`Ria::find_block`] for the mutation paths: a sorted batch walks the
+    /// index with highly correlated keys, where the branchy stream probe
+    /// beats the branch-free one (see [`crate::search::stream_lower_bound`]).
+    #[inline]
+    fn find_block_stream(&self, key: u32) -> usize {
+        stream_rightmost_le(&self.index, key).unwrap_or(0)
+    }
+
     /// Returns whether `key` is present.
     pub fn contains(&self, key: u32) -> bool {
         if self.len == 0 {
@@ -139,7 +150,7 @@ impl Ria {
         }
         let b = self.find_block(key);
         let blk = self.block(b);
-        let i = linear_lower_bound(blk, key);
+        let i = chunk_lower_bound(blk, key);
         i < blk.len() && blk[i] == key
     }
 
@@ -159,7 +170,7 @@ impl Ria {
             self.len = 1;
             return InsertOutcome::Inserted;
         }
-        let b = self.find_block(key);
+        let b = self.find_block_stream(key);
         let blk = self.block(b);
         let i = linear_lower_bound(blk, key);
         if i < blk.len() && blk[i] == key {
@@ -185,7 +196,7 @@ impl Ria {
         fail_point!("ria_rebuild");
         let mut all = Vec::with_capacity(self.len + 1);
         self.for_each(|x| all.push(x));
-        let pos = all.partition_point(|&x| x < key);
+        let pos = stream_lower_bound(&all, key);
         all.insert(pos, key);
         self.rebuild_from(&all);
         stats.record_ria_rebuild();
@@ -204,7 +215,7 @@ impl Ria {
         if self.len == 0 {
             return false;
         }
-        let b = self.find_block(key);
+        let b = self.find_block_stream(key);
         let cnt = self.counts[b] as usize;
         let blk = &self.data[b * BKS..b * BKS + cnt];
         let i = linear_lower_bound(blk, key);
@@ -423,6 +434,12 @@ impl Ria {
         let mut src = 0;
         for b in 0..nb {
             let take = base + usize::from(b < extra);
+            // Pull the source a few blocks ahead into cache while this
+            // block's copy is in flight; the destination is written
+            // streaming and needs no hint.
+            if let Some(ahead) = sorted.get(src + 4 * BKS) {
+                prefetch_read(ahead);
+            }
             self.data[b * BKS..b * BKS + take].copy_from_slice(&sorted[src..src + take]);
             self.counts[b] = take as u16;
             self.index[b] = sorted[src];

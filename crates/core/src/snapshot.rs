@@ -196,6 +196,7 @@ impl GraphSnapshot {
             Some(Spill::Ria(_)) => Tier::Ria,
             Some(Spill::Pma(_)) => Tier::Pma,
             Some(Spill::Tree(_)) => Tier::HiTree,
+            Some(Spill::Compressed(_)) => Tier::Compressed,
         }
     }
 

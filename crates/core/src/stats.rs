@@ -23,6 +23,11 @@ pub enum Tier {
     Pma,
     /// HITree spill.
     HiTree,
+    /// Gap-encoded compressed cold spill ([`Config::compress_cold`]
+    /// only).
+    ///
+    /// [`Config::compress_cold`]: crate::Config::compress_cold
+    Compressed,
 }
 
 impl Tier {
@@ -34,6 +39,7 @@ impl Tier {
             Tier::Ria => 2,
             Tier::Pma => 3,
             Tier::HiTree => 4,
+            Tier::Compressed => 5,
         }
     }
 
@@ -45,6 +51,7 @@ impl Tier {
             2 => Tier::Ria,
             3 => Tier::Pma,
             4 => Tier::HiTree,
+            5 => Tier::Compressed,
             _ => return None,
         })
     }
@@ -63,6 +70,8 @@ pub struct TierStats {
     pub pma_vertices: usize,
     /// Vertices spilling into a HITree.
     pub hitree_vertices: usize,
+    /// Vertices frozen into the gap-encoded compressed cold tier.
+    pub compressed_vertices: usize,
     /// Edges stored inline (including the inline prefix of spilled
     /// vertices).
     pub inline_edges: usize,
@@ -78,6 +87,7 @@ impl TierStats {
             + self.ria_vertices
             + self.pma_vertices
             + self.hitree_vertices
+            + self.compressed_vertices
     }
 }
 
@@ -90,6 +100,7 @@ impl LsGraph {
             Some(Spill::Ria(_)) => Tier::Ria,
             Some(Spill::Pma(_)) => Tier::Pma,
             Some(Spill::Tree(_)) => Tier::HiTree,
+            Some(Spill::Compressed(_)) => Tier::Compressed,
         }
     }
 
@@ -124,6 +135,7 @@ impl LsGraph {
                 Tier::Ria => s.ria_vertices += 1,
                 Tier::Pma => s.pma_vertices += 1,
                 Tier::HiTree => s.hitree_vertices += 1,
+                Tier::Compressed => s.compressed_vertices += 1,
             }
         }
         s

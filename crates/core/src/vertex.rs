@@ -12,6 +12,7 @@ use lsgraph_api::{Footprint, MemoryFootprint, StructStats};
 
 use crate::adjacency::Spill;
 use crate::config::{Config, INLINE_CAP};
+use crate::search;
 
 /// One vertex's cache-line block.
 ///
@@ -79,7 +80,7 @@ impl VertexBlock {
         let inl = self.inline_neighbors();
         if let Some(&last) = inl.last() {
             if u <= last {
-                return inl.binary_search(&u).is_ok();
+                return search::find(inl, u).is_ok();
             }
         }
         self.spill.as_ref().is_some_and(|s| s.contains(u, cfg))
@@ -98,7 +99,7 @@ impl VertexBlock {
         if n < INLINE_CAP {
             // Everything fits inline.
             debug_assert!(self.spill.is_none());
-            match self.inline[..n].binary_search(&u) {
+            match search::find(&self.inline[..n], u) {
                 Ok(_) => false,
                 Err(i) => {
                     self.inline.copy_within(i..n, i + 1);
@@ -109,7 +110,7 @@ impl VertexBlock {
                 }
             }
         } else {
-            match self.inline.binary_search(&u) {
+            match search::find(&self.inline, u) {
                 Ok(_) => false,
                 Err(i) if i < INLINE_CAP => {
                     // `u` belongs inline: evict the current inline maximum.
@@ -152,7 +153,7 @@ impl VertexBlock {
     /// Deletes neighbor `u`, recording structural movement into `stats`.
     pub fn delete_with(&mut self, u: u32, cfg: &Config, stats: &StructStats) -> bool {
         let n = self.inline_len();
-        match self.inline[..n].binary_search(&u) {
+        match search::find(&self.inline[..n], u) {
             Ok(i) => {
                 self.inline.copy_within(i + 1..n, i);
                 stats.record_vb_inline_shift((n - i - 1) as u64);
@@ -276,6 +277,9 @@ impl VertexBlock {
             }
             if let Spill::Tree(t) = spill.as_ref() {
                 t.check_invariants(cfg);
+            }
+            if let Spill::Compressed(c) = spill.as_ref() {
+                c.check_invariants();
             }
         }
     }

@@ -795,6 +795,51 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// The compressed cold tier's record tag must survive both image kinds:
+    /// a frozen vertex checkpoints as tag 5 with its plain ascending
+    /// adjacency, and restoring under a compress-enabled config re-derives
+    /// the frozen tier deterministically from `degree > M`. The tag is
+    /// descriptive, not prescriptive: a compression-disabled engine restores
+    /// the same contents on the writable ladder.
+    #[test]
+    fn checkpoint_roundtrip_compressed_tier() {
+        let dir = tmpdir("compressed");
+        let cold = Config {
+            compress_cold: true,
+            ..small_cfg()
+        };
+        let mut g = skewed_graph(cold);
+        // Only vertex 0 (degree 900 > M = 256) is cold enough to freeze.
+        assert_eq!(g.compress_cold_vertices(), 1);
+        assert_eq!(g.tier(0), Tier::Compressed);
+        let meta = write_checkpoint(&dir, 1, &g, 0, 0, 1).unwrap();
+        let (r, rmeta) = load_checkpoint(&checkpoint_file(&dir, 1), cold).unwrap();
+        assert_eq!(rmeta, meta);
+        assert_same_graph(&r, &g);
+        assert_eq!(r.tier(0), Tier::Compressed);
+        r.check_invariants();
+        let (w, _) = load_checkpoint(&checkpoint_file(&dir, 1), small_cfg()).unwrap();
+        assert_same_graph(&w, &g);
+        assert_eq!(w.tier(0), Tier::HiTree);
+
+        // Delta images carry the tag too: thaw vertex 0 with a write,
+        // re-freeze, and replay the chain.
+        g.clear_dirty();
+        g.delete_batch(&(0..40u32).map(|i| Edge::new(0, i + 1)).collect::<Vec<_>>());
+        assert_eq!(g.tier(0), Tier::HiTree, "the delete thawed the vertex");
+        assert_eq!(g.compress_cold_vertices(), 1);
+        let dirty = g.take_dirty_vertices();
+        assert!(dirty.contains(&0));
+        write_delta_checkpoint(&dir, 2, 1, &g, &dirty, 0, 10, 2).unwrap();
+        let (restored, info) = load_newest_chain(&dir, cold).unwrap();
+        let (d, _) = restored.unwrap();
+        assert_eq!(info.tip_id, 2);
+        assert_same_graph(&d, &g);
+        assert_eq!(d.tier(0), Tier::Compressed);
+        d.check_invariants();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn delta_roundtrip_applies_only_dirty_vertices() {
         let dir = tmpdir("delta");

@@ -19,9 +19,9 @@
 //!
 //! Differences from rayon: work is split eagerly into `num_threads` chunks
 //! (no work stealing), threads are spawned per call rather than pooled, and
-//! `par_sort_unstable` requires `T: Copy` (its merge rounds go through a
-//! scratch buffer of plain copies; every caller in this workspace sorts
-//! `u64` keys).
+//! `par_sort_unstable` requires `T: Clone + Sync` on top of rayon's
+//! `T: Ord` (its merge rounds go through a scratch buffer of clones; the
+//! hot callers in this workspace sort `u64` keys, where clone is a copy).
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -322,9 +322,30 @@ impl<T: Sync> ParallelSlice<T> for [T] {
 /// thread spawns only pay for themselves on sizeable slices.
 const PAR_SORT_MIN_LEN: usize = 1 << 12;
 
+/// Hints the CPU to pull the cache line holding `p` toward L1. The merge
+/// streams two runs linearly, so a few-iterations-ahead hint hides the DRAM
+/// latency of the next line. This crate cannot depend on `lsgraph-core`'s
+/// `search::prefetch_read` (dependency direction), so the hint lives here.
+#[inline(always)]
+fn prefetch_hint<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        core::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags));
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
+
+/// How far ahead of the merge cursors to issue prefetch hints, in elements.
+const MERGE_PREFETCH_DIST: usize = 16;
+
 /// Merges adjacent sorted runs of `width` from `src` into `dst` (same
 /// length), one scoped thread per run pair — pair outputs are disjoint.
-fn merge_round<T: Ord + Copy + Send + Sync>(src: &[T], width: usize, dst: &mut [T]) {
+fn merge_round<T: Ord + Clone + Send + Sync>(src: &[T], width: usize, dst: &mut [T]) {
     std::thread::scope(|s| {
         for (sc, dc) in src.chunks(2 * width).zip(dst.chunks_mut(2 * width)) {
             s.spawn(move || {
@@ -336,16 +357,23 @@ fn merge_round<T: Ord + Copy + Send + Sync>(src: &[T], width: usize, dst: &mut [
 }
 
 /// Classic two-way merge of sorted `a` and `b` into `out`
-/// (`out.len() == a.len() + b.len()`).
-fn merge_pair<T: Ord + Copy>(a: &[T], b: &[T], out: &mut [T]) {
+/// (`out.len() == a.len() + b.len()`), with prefetch hints ahead of both
+/// run cursors.
+fn merge_pair<T: Ord + Clone>(a: &[T], b: &[T], out: &mut [T]) {
     let (mut i, mut j) = (0, 0);
     for o in out.iter_mut() {
+        if let Some(ahead) = a.get(i + MERGE_PREFETCH_DIST) {
+            prefetch_hint(ahead);
+        }
+        if let Some(ahead) = b.get(j + MERGE_PREFETCH_DIST) {
+            prefetch_hint(ahead);
+        }
         *o = if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
             i += 1;
-            a[i - 1]
+            a[i - 1].clone()
         } else {
             j += 1;
-            b[j - 1]
+            b[j - 1].clone()
         };
     }
 }
@@ -358,11 +386,12 @@ pub trait ParallelSliceMut<T: Send> {
     /// a scratch buffer. Bounded by [`ThreadPool::install`] like every other
     /// parallel call.
     ///
-    /// Deviation from rayon's bound (`T: Ord`): the merge copies through
-    /// scratch, so `T: Copy + Sync` is also required here.
+    /// Deviation from rayon's bound (`T: Ord`): the merge rounds clone
+    /// through a scratch buffer and share the source slice across scoped
+    /// threads, so `T: Clone + Sync` is also required here.
     fn par_sort_unstable(&mut self)
     where
-        T: Ord + Copy + Sync;
+        T: Ord + Clone + Sync;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
@@ -371,7 +400,7 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     }
     fn par_sort_unstable(&mut self)
     where
-        T: Ord + Copy + Sync,
+        T: Ord + Clone + Sync,
     {
         let threads = current_num_threads();
         let len = self.len();
@@ -401,7 +430,7 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
             width *= 2;
         }
         if !in_self {
-            self.copy_from_slice(&scratch);
+            self.clone_from_slice(&scratch);
         }
     }
 }
@@ -546,6 +575,29 @@ mod tests {
         let mut expect = data.clone();
         expect.sort_unstable();
         for threads in [1usize, 2, 3, 8] {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let mut got = data.clone();
+            pool.install(|| got.par_sort_unstable());
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_sort_accepts_non_copy_types_across_thread_counts() {
+        // `String` is Ord + Clone but not Copy: exercises the clone-based
+        // merge path that real rayon supports (`T: Ord + Send`).
+        let mut data: Vec<String> = Vec::with_capacity(20_000);
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            data.push(format!("key-{:05}", x >> 48));
+        }
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for threads in [1usize, 2, 8] {
             let pool = crate::ThreadPoolBuilder::new()
                 .num_threads(threads)
                 .build()
